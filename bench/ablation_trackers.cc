@@ -1,0 +1,54 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Section 5.2 ablation: end-to-end BPA/BPA2 response time with the three
+// best-position management strategies (bit array, B+tree, sorted set). The
+// paper's analysis: the bit array costs O(n/u) amortized per access and n
+// bits of space; the B+tree costs O(log u) amortized and O(u) space, so it
+// wins when n >> u (deep lists, early stops).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void RunOne(AlgorithmKind kind) {
+  const size_t n = DefaultN();
+  const size_t k = DefaultK();
+  SumScorer sum;
+  FigureReporter report(
+      "Tracker ablation (" + ToString(kind) +
+          ", uniform database, k=" + std::to_string(k) +
+          ", n=" + std::to_string(n) + "): response time (ms) vs. m",
+      "m", {"bit-array", "b+tree", "sorted-set"});
+  for (size_t m : MSweep()) {
+    const Database db =
+        MakeDatabase(DatabaseKind::kUniform, n, m, 0.0, 31000 + m);
+    const TopKQuery query{k, &sum};
+    std::vector<double> row;
+    for (TrackerKind tracker : {TrackerKind::kBitArray,
+                                TrackerKind::kBPlusTree,
+                                TrackerKind::kSortedSet}) {
+      AlgorithmOptions options;
+      options.tracker = tracker;
+      row.push_back(Measure(kind, db, query, options).response_ms);
+    }
+    report.AddRow(m, row);
+  }
+  report.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::RunOne(topk::AlgorithmKind::kBpa);
+  topk::bench::RunOne(topk::AlgorithmKind::kBpa2);
+  return 0;
+}

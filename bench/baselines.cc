@@ -1,0 +1,61 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Related-work baseline comparison (Sections 3 and 7): total accesses and
+// execution cost of Naive, FA, NRA, TPUT, TA, BPA and BPA2 over a moderate
+// uniform database. FA and NRA blow up quickly with m, which is exactly the
+// behaviour the paper's lineage (FA -> TA -> BPA/BPA2) was designed to fix,
+// so this bench uses a reduced n and stops the m sweep at 8.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t n = SmokeMode() ? 2000 : 10000;
+  const size_t k = 10;
+  SumScorer sum;
+  const TopKQuery query{k, &sum};
+
+  FigureReporter accesses(
+      "Baselines: total accesses vs. m (uniform database, n=" +
+          std::to_string(n) + ", k=" + std::to_string(k) + ")",
+      "m", {"Naive", "FA", "NRA", "TPUT", "TA", "BPA", "BPA2"});
+  FigureReporter cost(
+      "Baselines: execution cost vs. m (uniform database, n=" +
+          std::to_string(n) + ", k=" + std::to_string(k) + ")",
+      "m", {"Naive", "FA", "NRA", "TPUT", "TA", "BPA", "BPA2"});
+
+  for (size_t m : {2u, 4u, 6u, 8u}) {
+    const Database db =
+        MakeDatabase(DatabaseKind::kUniform, n, m, 0.0, 15000 + m);
+    std::vector<double> acc_row;
+    std::vector<double> cost_row;
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kNaive, AlgorithmKind::kFa, AlgorithmKind::kNra,
+          AlgorithmKind::kTput, AlgorithmKind::kTa, AlgorithmKind::kBpa,
+          AlgorithmKind::kBpa2}) {
+      const Measurement mm = Measure(kind, db, query);
+      acc_row.push_back(static_cast<double>(mm.accesses));
+      cost_row.push_back(mm.execution_cost);
+    }
+    accesses.AddRow(m, acc_row);
+    cost.AddRow(m, cost_row);
+  }
+  accesses.Print();
+  cost.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// google-benchmark micro-benchmarks for the library's building blocks:
+// best-position trackers (the Section 5.2 data-structure trade-off at the
+// operation level), B+tree inserts, sorted-list access primitives, the top-k
+// buffer, workload generators, and small end-to-end algorithm executions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+#include "tracker/best_position_tracker.h"
+#include "tracker/bplus_tree.h"
+
+namespace topk {
+namespace {
+
+// --- trackers ---
+
+void BM_TrackerMarkSeen(benchmark::State& state, TrackerKind kind) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Position> positions(n);
+  for (auto& p : positions) {
+    p = static_cast<Position>(1 + rng.NextBounded(n));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto tracker = MakeTracker(kind, n);
+    state.ResumeTiming();
+    for (Position p : positions) {
+      tracker->MarkSeen(p);
+    }
+    benchmark::DoNotOptimize(tracker->best_position());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(positions.size()));
+}
+
+void BM_BitArrayTracker(benchmark::State& state) {
+  BM_TrackerMarkSeen(state, TrackerKind::kBitArray);
+}
+void BM_BPlusTreeTracker(benchmark::State& state) {
+  BM_TrackerMarkSeen(state, TrackerKind::kBPlusTree);
+}
+void BM_SortedSetTracker(benchmark::State& state) {
+  BM_TrackerMarkSeen(state, TrackerKind::kSortedSet);
+}
+BENCHMARK(BM_BitArrayTracker)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_BPlusTreeTracker)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_SortedSetTracker)->Arg(1 << 12)->Arg(1 << 16);
+
+// Sparse workload (few accesses over a huge list): the B+tree's O(log u)
+// regime vs. the bit array's O(n/u).
+void BM_TrackerSparse(benchmark::State& state, TrackerKind kind) {
+  const size_t n = 10'000'000;
+  const size_t u = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<Position> positions(u);
+  for (auto& p : positions) {
+    p = static_cast<Position>(1 + rng.NextBounded(n));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto tracker = MakeTracker(kind, n);
+    state.ResumeTiming();
+    for (Position p : positions) {
+      tracker->MarkSeen(p);
+    }
+    benchmark::DoNotOptimize(tracker->best_position());
+  }
+}
+void BM_BitArraySparse(benchmark::State& state) {
+  BM_TrackerSparse(state, TrackerKind::kBitArray);
+}
+void BM_BPlusTreeSparse(benchmark::State& state) {
+  BM_TrackerSparse(state, TrackerKind::kBPlusTree);
+}
+BENCHMARK(BM_BitArraySparse)->Arg(1000);
+BENCHMARK(BM_BPlusTreeSparse)->Arg(1000);
+
+// --- B+tree ---
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) {
+    k = static_cast<uint32_t>(rng.NextBounded(n * 4));
+  }
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (uint32_t k : keys) {
+      tree.Insert(k);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1024)->Arg(65536);
+
+// --- sorted list primitives ---
+
+void BM_SortedListLookup(benchmark::State& state) {
+  const size_t n = 100000;
+  const Database db = MakeUniformDatabase(n, 1, 4);
+  Rng rng(5);
+  std::vector<ItemId> items(1024);
+  for (auto& item : items) {
+    item = static_cast<ItemId>(rng.NextBounded(n));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.list(0).Lookup(items[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SortedListLookup);
+
+void BM_SortedListEntryAt(benchmark::State& state) {
+  const size_t n = 100000;
+  const Database db = MakeUniformDatabase(n, 1, 6);
+  Position p = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.list(0).EntryAt(p));
+    p = p % n + 1;
+  }
+}
+BENCHMARK(BM_SortedListEntryAt);
+
+// --- top-k buffer ---
+
+void BM_TopKBufferOffer(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Score> scores(8192);
+  for (auto& s : scores) {
+    s = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    TopKBuffer buffer(k);
+    for (size_t i = 0; i < scores.size(); ++i) {
+      buffer.Offer(static_cast<ItemId>(i), scores[i]);
+    }
+    benchmark::DoNotOptimize(buffer.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(scores.size()));
+}
+BENCHMARK(BM_TopKBufferOffer)->Arg(20)->Arg(100);
+
+// --- generators ---
+
+void BM_UniformGeneration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeUniformDatabase(n, 4, ++seed));
+  }
+}
+BENCHMARK(BM_UniformGeneration)->Arg(10000);
+
+void BM_CorrelatedGeneration(benchmark::State& state) {
+  CorrelatedConfig config;
+  config.n = static_cast<size_t>(state.range(0));
+  config.m = 4;
+  config.alpha = 0.01;
+  for (auto _ : state) {
+    ++config.seed;
+    benchmark::DoNotOptimize(MakeCorrelatedDatabase(config).ValueOrDie());
+  }
+}
+BENCHMARK(BM_CorrelatedGeneration)->Arg(10000);
+
+// --- end-to-end algorithm executions (small scale) ---
+
+void BM_Algorithm(benchmark::State& state, AlgorithmKind kind) {
+  static const Database db = MakeUniformDatabase(20000, 4, 8);
+  static const SumScorer sum;
+  const TopKQuery query{20, &sum};
+  auto algorithm = MakeAlgorithm(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm->Execute(db, query).ValueOrDie());
+  }
+}
+void BM_TaEndToEnd(benchmark::State& state) {
+  BM_Algorithm(state, AlgorithmKind::kTa);
+}
+void BM_BpaEndToEnd(benchmark::State& state) {
+  BM_Algorithm(state, AlgorithmKind::kBpa);
+}
+void BM_Bpa2EndToEnd(benchmark::State& state) {
+  BM_Algorithm(state, AlgorithmKind::kBpa2);
+}
+BENCHMARK(BM_TaEndToEnd);
+BENCHMARK(BM_BpaEndToEnd);
+BENCHMARK(BM_Bpa2EndToEnd);
+
+}  // namespace
+}  // namespace topk
+
+BENCHMARK_MAIN();

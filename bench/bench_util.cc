@@ -1,0 +1,116 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table_printer.h"
+
+namespace topk {
+namespace bench {
+
+bool SmokeMode() {
+  const char* env = std::getenv("BENCH_SMOKE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+size_t DefaultN() { return SmokeMode() ? 5000 : 100000; }
+size_t DefaultK() { return 20; }
+size_t DefaultM() { return 8; }
+
+std::vector<size_t> MSweep() {
+  if (SmokeMode()) {
+    return {2, 4, 8};
+  }
+  return {2, 4, 6, 8, 10, 12, 14, 16, 18};
+}
+
+std::vector<size_t> KSweep() {
+  if (SmokeMode()) {
+    return {10, 50, 100};
+  }
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+std::vector<size_t> NSweep() {
+  if (SmokeMode()) {
+    return {5000, 10000, 20000};
+  }
+  return {25000, 50000, 75000, 100000, 125000, 150000, 175000, 200000};
+}
+
+int Repetitions() { return SmokeMode() ? 1 : 3; }
+
+Measurement Measure(AlgorithmKind kind, const Database& db,
+                    const TopKQuery& query, const AlgorithmOptions& options) {
+  auto algorithm = MakeAlgorithm(kind, options);
+  Measurement measurement;
+  std::vector<double> times;
+  const int reps = Repetitions();
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const TopKResult result = algorithm->Execute(db, query).ValueOrDie();
+    measurement.execution_cost = result.execution_cost;
+    measurement.accesses = result.stats.TotalAccesses();
+    measurement.stop_position = result.stop_position;
+    times.push_back(result.elapsed_ms);
+  }
+  std::sort(times.begin(), times.end());
+  measurement.response_ms = times[times.size() / 2];
+  return measurement;
+}
+
+Database MakeDatabase(DatabaseKind kind, size_t n, size_t m, double alpha,
+                      uint64_t seed) {
+  switch (kind) {
+    case DatabaseKind::kUniform:
+      return MakeUniformDatabase(n, m, seed);
+    case DatabaseKind::kGaussian:
+      return MakeGaussianDatabase(n, m, seed);
+    case DatabaseKind::kCorrelated: {
+      CorrelatedConfig config;
+      config.n = n;
+      config.m = m;
+      config.alpha = alpha;
+      config.seed = seed;
+      return MakeCorrelatedDatabase(config).ValueOrDie();
+    }
+  }
+  return Database();
+}
+
+FigureReporter::FigureReporter(std::string title, std::string param_name,
+                               std::vector<std::string> series_names)
+    : title_(std::move(title)) {
+  header_.push_back(std::move(param_name));
+  for (auto& name : series_names) {
+    header_.push_back(std::move(name));
+  }
+}
+
+void FigureReporter::AddRow(uint64_t param_value,
+                            const std::vector<double>& values) {
+  rows_.emplace_back(param_value, values);
+}
+
+void FigureReporter::Print() const {
+  TablePrinter table(title_);
+  table.AddRow(std::vector<std::string>(header_.begin(), header_.end()));
+  for (const auto& [param, values] : rows_) {
+    std::vector<std::string> cells;
+    cells.push_back(TablePrinter::FormatCell(param));
+    for (double v : values) {
+      cells.push_back(TablePrinter::FormatCell(v));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  table.PrintCsv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace bench
+}  // namespace topk

@@ -1,0 +1,88 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Shared helpers for the figure-reproduction benchmark binaries. Every binary
+// prints the same series the corresponding paper figure plots, as an aligned
+// table followed by a CSV block (diff-friendly, plot-ready).
+//
+// Environment:
+//   BENCH_SMOKE=1  — run a reduced grid (small n, few m values, 1 repetition)
+//                    for quick checks; default is the paper's full scale.
+
+#ifndef TOPK_BENCH_BENCH_UTIL_H_
+#define TOPK_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topk_algorithm.h"
+#include "gen/database_generator.h"
+#include "lists/database.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+
+/// True when BENCH_SMOKE=1 is set in the environment.
+bool SmokeMode();
+
+/// Paper defaults (Table 1): n = 100,000, k = 20, m = 8. Smoke mode shrinks n.
+size_t DefaultN();
+size_t DefaultK();
+size_t DefaultM();
+
+/// The m sweep of Figures 3-11: 2, 4, ..., 18 (smoke: 2, 4, 8).
+std::vector<size_t> MSweep();
+
+/// The k sweep of Figures 12-14: 10, 20, ..., 100 (smoke: 10, 50, 100).
+std::vector<size_t> KSweep();
+
+/// The n sweep of Figures 15-17: 25k..200k step 25k (smoke: 5k, 10k, 20k).
+std::vector<size_t> NSweep();
+
+/// Repetitions for response-time measurements (median reported).
+int Repetitions();
+
+/// One measured algorithm execution.
+struct Measurement {
+  double execution_cost = 0.0;
+  uint64_t accesses = 0;
+  double response_ms = 0.0;  // median over Repetitions() runs
+  Position stop_position = 0;
+};
+
+/// Runs `kind` on `db` and reports the paper's three metrics. Repeats the run
+/// Repetitions() times for a stable response-time median (costs/accesses are
+/// deterministic across repetitions).
+Measurement Measure(AlgorithmKind kind, const Database& db,
+                    const TopKQuery& query,
+                    const AlgorithmOptions& options = {});
+
+/// Builds the database family used by the figure benches.
+Database MakeDatabase(DatabaseKind kind, size_t n, size_t m, double alpha,
+                      uint64_t seed);
+
+/// Prints an aligned table plus its CSV twin to stdout.
+class FigureReporter {
+ public:
+  /// \param title e.g. "Figure 4: Number of accesses vs. m (uniform, k=20)".
+  /// \param param_name the x-axis column ("m", "k", "n").
+  FigureReporter(std::string title, std::string param_name,
+                 std::vector<std::string> series_names);
+
+  /// Adds one x-axis row with one value per series.
+  void AddRow(uint64_t param_value, const std::vector<double>& values);
+
+  /// Prints the aligned table and the CSV block.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::pair<uint64_t, std::vector<double>>> rows_;
+};
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Future-work experiment (paper Section 8): BPA2 over a Chord-like DHT.
+// Compares BPA2-over-DHT against the gather-everything strawman as the ring
+// grows, reporting routing hops, protocol messages and payload bytes.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "dist/dht.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void RunFamily(DatabaseKind kind, double alpha) {
+  const size_t n = SmokeMode() ? 5000 : 50000;
+  const size_t m = DefaultM();
+  const size_t k = DefaultK();
+  SumScorer sum;
+  const TopKQuery query{k, &sum};
+  const Database db = MakeDatabase(kind, n, m, alpha, 123456);
+
+  std::string label = ToString(kind);
+  if (kind == DatabaseKind::kCorrelated) {
+    label += " alpha=" + std::to_string(alpha);
+  }
+  FigureReporter report(
+      "BPA2 over a Chord-like DHT vs. gather-all (" + label +
+          ", n=" + std::to_string(n) + ", m=" + std::to_string(m) +
+          ", k=" + std::to_string(k) + ")",
+      "nodes",
+      {"routing hops", "BPA2 msgs", "BPA2 MB", "gather MB", "byte ratio"});
+
+  for (size_t nodes : {8u, 32u, 128u, 512u, 2048u}) {
+    DhtTopKOptions options;
+    options.num_nodes = nodes;
+    options.ring_seed = 9 + nodes;
+    const auto bpa2 = RunDhtBpa2(db, query, options).ValueOrDie();
+    const auto gather = RunDhtGatherAll(db, query, options).ValueOrDie();
+    const double bpa2_mb = static_cast<double>(bpa2.network.bytes) / 1e6;
+    const double gather_mb = static_cast<double>(gather.network.bytes) / 1e6;
+    report.AddRow(nodes,
+                  {static_cast<double>(bpa2.routing_hops),
+                   static_cast<double>(bpa2.network.messages), bpa2_mb,
+                   gather_mb, gather_mb / bpa2_mb});
+  }
+  report.Print();
+}
+
+void Run() {
+  // The paper's DHT motivation is skewed, correlated data (e.g. URL
+  // popularity); there BPA2 touches a tiny prefix and gather-all pays the
+  // whole lists.
+  RunFamily(DatabaseKind::kCorrelated, 0.01);
+  // On independent uniform data BPA2 scans deep, and per-access RPC framing
+  // makes gather-all's bulk transfer the cheaper strategy — an honest
+  // trade-off worth knowing before deploying per-access protocols on a DHT.
+  RunFamily(DatabaseKind::kUniform, 0.0);
+  std::cout
+      << "Reading guide: routing grows ~log(nodes) while protocol traffic is\n"
+         "ring-size independent. BPA2 wins by orders of magnitude on skewed/\n"
+         "correlated rankings (its use case); bulk gather wins on uniform\n"
+         "noise where early termination cannot help.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

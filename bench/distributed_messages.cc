@@ -1,0 +1,71 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Distributed-cost comparison (Sections 5-7): messages, payload bytes and
+// simulated latency for distributed TA, BPA, BPA2 and TPUT over the uniform
+// database. The number-of-accesses metric of Figure 4 is the message proxy;
+// this bench exposes the actual message and byte counts, showing
+//  * BPA2 < BPA < TA on messages (per-access protocols),
+//  * TPUT's constant three rounds but bulk payloads,
+//  * BPA's extra position payloads vs. BPA2 (Section 5 motivation).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "dist/coordinator.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t n = SmokeMode() ? 5000 : 20000;
+  const size_t k = DefaultK();
+  SumScorer sum;
+  const TopKQuery query{k, &sum};
+  DistributedOptions options;
+
+  FigureReporter messages(
+      "Distributed: messages vs. m (uniform database, n=" + std::to_string(n) +
+          ", k=" + std::to_string(k) + ")",
+      "m", {"dist-TA", "dist-BPA", "dist-BPA2", "dist-TPUT"});
+  FigureReporter bytes(
+      "Distributed: payload bytes vs. m (uniform database, n=" +
+          std::to_string(n) + ", k=" + std::to_string(k) + ")",
+      "m", {"dist-TA", "dist-BPA", "dist-BPA2", "dist-TPUT"});
+  FigureReporter latency(
+      "Distributed: simulated latency (ms, rtt=1ms) vs. m", "m",
+      {"dist-TA", "dist-BPA", "dist-BPA2", "dist-TPUT"});
+
+  for (size_t m : MSweep()) {
+    const Database db =
+        MakeDatabase(DatabaseKind::kUniform, n, m, 0.0, 91000 + m);
+    const auto ta = RunDistributedTa(db, query, options).ValueOrDie();
+    const auto bpa = RunDistributedBpa(db, query, options).ValueOrDie();
+    const auto bpa2 = RunDistributedBpa2(db, query, options).ValueOrDie();
+    const auto tput = RunDistributedTput(db, query, options).ValueOrDie();
+    messages.AddRow(m, {static_cast<double>(ta.network.messages),
+                        static_cast<double>(bpa.network.messages),
+                        static_cast<double>(bpa2.network.messages),
+                        static_cast<double>(tput.network.messages)});
+    bytes.AddRow(m, {static_cast<double>(ta.network.bytes),
+                     static_cast<double>(bpa.network.bytes),
+                     static_cast<double>(bpa2.network.bytes),
+                     static_cast<double>(tput.network.bytes)});
+    latency.AddRow(m, {ta.network.simulated_ms, bpa.network.simulated_ms,
+                       bpa2.network.simulated_ms, tput.network.simulated_ms});
+  }
+  messages.Print();
+  bytes.Print();
+  latency.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

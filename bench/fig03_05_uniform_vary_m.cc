@@ -1,0 +1,70 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces Figures 3, 4 and 5: execution cost / number of accesses /
+// response time vs. the number of lists m over the uniform database
+// (n = 100,000, k = 20, sum scoring). Also prints the measured TA/BPA and
+// TA/BPA2 cost factors next to the paper's approximations (m+6)/8 and
+// (m+1)/2.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t n = DefaultN();
+  const size_t k = DefaultK();
+  SumScorer sum;
+  const std::string suffix =
+      " (uniform database, k=" + std::to_string(k) +
+      ", n=" + std::to_string(n) + ")";
+
+  FigureReporter cost("Figure 3: Execution cost vs. number of lists" + suffix,
+                      "m", {"TA", "BPA", "BPA2"});
+  FigureReporter accesses(
+      "Figure 4: Number of accesses vs. number of lists" + suffix, "m",
+      {"TA", "BPA", "BPA2"});
+  FigureReporter response(
+      "Figure 5: Response time (ms) vs. number of lists" + suffix, "m",
+      {"TA", "BPA", "BPA2"});
+  FigureReporter factors(
+      "Cost factor vs. TA (paper: BPA ~ (m+6)/8, BPA2 ~ (m+1)/2)", "m",
+      {"TA/BPA", "(m+6)/8", "TA/BPA2", "(m+1)/2"});
+
+  for (size_t m : MSweep()) {
+    const Database db =
+        MakeDatabase(DatabaseKind::kUniform, n, m, 0.0, 4200 + m);
+    const TopKQuery query{k, &sum};
+    const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+    const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+    const Measurement bpa2 = Measure(AlgorithmKind::kBpa2, db, query);
+    cost.AddRow(m, {ta.execution_cost, bpa.execution_cost,
+                    bpa2.execution_cost});
+    accesses.AddRow(m, {static_cast<double>(ta.accesses),
+                        static_cast<double>(bpa.accesses),
+                        static_cast<double>(bpa2.accesses)});
+    response.AddRow(m, {ta.response_ms, bpa.response_ms, bpa2.response_ms});
+    factors.AddRow(m, {ta.execution_cost / bpa.execution_cost,
+                       (static_cast<double>(m) + 6.0) / 8.0,
+                       ta.execution_cost / bpa2.execution_cost,
+                       (static_cast<double>(m) + 1.0) / 2.0});
+  }
+  cost.Print();
+  accesses.Print();
+  response.Print();
+  factors.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

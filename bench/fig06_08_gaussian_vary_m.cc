@@ -1,0 +1,60 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces Figures 6, 7 and 8: execution cost / number of accesses /
+// response time vs. the number of lists m over the Gaussian database
+// (n = 100,000, k = 20, sum scoring; scores ~ N(0,1) as in Section 6.1).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t n = DefaultN();
+  const size_t k = DefaultK();
+  SumScorer sum;
+  const std::string suffix =
+      " (Gaussian database, k=" + std::to_string(k) +
+      ", n=" + std::to_string(n) + ")";
+
+  FigureReporter cost("Figure 6: Execution cost vs. number of lists" + suffix,
+                      "m", {"TA", "BPA", "BPA2"});
+  FigureReporter accesses(
+      "Figure 7: Number of accesses vs. number of lists" + suffix, "m",
+      {"TA", "BPA", "BPA2"});
+  FigureReporter response(
+      "Figure 8: Response time (ms) vs. number of lists" + suffix, "m",
+      {"TA", "BPA", "BPA2"});
+
+  for (size_t m : MSweep()) {
+    const Database db =
+        MakeDatabase(DatabaseKind::kGaussian, n, m, 0.0, 6800 + m);
+    const TopKQuery query{k, &sum};
+    const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+    const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+    const Measurement bpa2 = Measure(AlgorithmKind::kBpa2, db, query);
+    cost.AddRow(m, {ta.execution_cost, bpa.execution_cost,
+                    bpa2.execution_cost});
+    accesses.AddRow(m, {static_cast<double>(ta.accesses),
+                        static_cast<double>(bpa.accesses),
+                        static_cast<double>(bpa2.accesses)});
+    response.AddRow(m, {ta.response_ms, bpa.response_ms, bpa2.response_ms});
+  }
+  cost.Print();
+  accesses.Print();
+  response.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

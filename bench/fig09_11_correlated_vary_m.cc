@@ -1,0 +1,50 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces Figures 9, 10 and 11: execution cost vs. the number of lists m
+// over correlated databases with α = 0.001, 0.01 and 0.1 (n = 100,000,
+// k = 20, Zipf θ = 0.7 scores; Section 6.1).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void RunOne(int figure, double alpha) {
+  const size_t n = DefaultN();
+  const size_t k = DefaultK();
+  SumScorer sum;
+  FigureReporter cost("Figure " + std::to_string(figure) +
+                          ": Execution cost vs. number of lists (correlated "
+                          "database, alpha=" +
+                          std::to_string(alpha) + ", k=" + std::to_string(k) +
+                          ", n=" + std::to_string(n) + ")",
+                      "m", {"TA", "BPA", "BPA2"});
+  for (size_t m : MSweep()) {
+    const Database db =
+        MakeDatabase(DatabaseKind::kCorrelated, n, m, alpha, 9000 + m);
+    const TopKQuery query{k, &sum};
+    const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+    const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+    const Measurement bpa2 = Measure(AlgorithmKind::kBpa2, db, query);
+    cost.AddRow(m, {ta.execution_cost, bpa.execution_cost,
+                    bpa2.execution_cost});
+  }
+  cost.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::RunOne(9, 0.001);
+  topk::bench::RunOne(10, 0.01);
+  topk::bench::RunOne(11, 0.1);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces Figures 12, 13 and 14: execution cost vs. k over the uniform
+// database (Figure 12) and correlated databases with α = 0.01 (Figure 13)
+// and α = 0.001 (Figure 14); m = 8, n = 100,000.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void RunOne(int figure, DatabaseKind kind, double alpha, uint64_t seed) {
+  const size_t n = DefaultN();
+  const size_t m = DefaultM();
+  SumScorer sum;
+  std::string db_label = ToString(kind);
+  if (kind == DatabaseKind::kCorrelated) {
+    db_label += " alpha=" + std::to_string(alpha);
+  }
+  FigureReporter cost("Figure " + std::to_string(figure) +
+                          ": Execution cost vs. k (" + db_label +
+                          ", m=" + std::to_string(m) +
+                          ", n=" + std::to_string(n) + ")",
+                      "k", {"TA", "BPA", "BPA2"});
+  const Database db = MakeDatabase(kind, n, m, alpha, seed);
+  for (size_t k : KSweep()) {
+    const TopKQuery query{k, &sum};
+    const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+    const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+    const Measurement bpa2 = Measure(AlgorithmKind::kBpa2, db, query);
+    cost.AddRow(k, {ta.execution_cost, bpa.execution_cost,
+                    bpa2.execution_cost});
+  }
+  cost.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::RunOne(12, topk::DatabaseKind::kUniform, 0.0, 1200);
+  topk::bench::RunOne(13, topk::DatabaseKind::kCorrelated, 0.01, 1300);
+  topk::bench::RunOne(14, topk::DatabaseKind::kCorrelated, 0.001, 1400);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces Figures 15, 16 and 17: execution cost vs. the number of data
+// items n over the uniform database (Figure 15) and correlated databases with
+// α = 0.01 (Figure 16) and α = 0.0001 (Figure 17); m = 8, k = 20.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void RunOne(int figure, DatabaseKind kind, double alpha, uint64_t seed) {
+  const size_t m = DefaultM();
+  const size_t k = DefaultK();
+  SumScorer sum;
+  std::string db_label = ToString(kind);
+  if (kind == DatabaseKind::kCorrelated) {
+    db_label += " alpha=" + std::to_string(alpha);
+  }
+  FigureReporter cost("Figure " + std::to_string(figure) +
+                          ": Execution cost vs. n (" + db_label +
+                          ", m=" + std::to_string(m) +
+                          ", k=" + std::to_string(k) + ")",
+                      "n", {"TA", "BPA", "BPA2"});
+  for (size_t n : NSweep()) {
+    const Database db = MakeDatabase(kind, n, m, alpha, seed + n);
+    const TopKQuery query{k, &sum};
+    const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+    const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+    const Measurement bpa2 = Measure(AlgorithmKind::kBpa2, db, query);
+    cost.AddRow(n, {ta.execution_cost, bpa.execution_cost,
+                    bpa2.execution_cost});
+  }
+  cost.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::RunOne(15, topk::DatabaseKind::kUniform, 0.0, 1500);
+  topk::bench::RunOne(16, topk::DatabaseKind::kCorrelated, 0.01, 1600);
+  topk::bench::RunOne(17, topk::DatabaseKind::kCorrelated, 0.0001, 1700);
+  return 0;
+}

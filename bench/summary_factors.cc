@@ -1,0 +1,58 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces the paper's Section 6.2.4 summary: over the uniform database,
+// BPA outperforms TA by approximately (m+6)/8 and BPA2 by approximately
+// (m+1)/2 (execution cost, m > 2). Prints measured factors, the paper's
+// approximation, and the relative deviation, averaged over several seeds.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t n = DefaultN();
+  const size_t k = DefaultK();
+  const int kSeeds = SmokeMode() ? 1 : 3;
+  SumScorer sum;
+
+  FigureReporter report(
+      "Section 6.2.4 summary: measured execution-cost gain vs. TA over the "
+      "uniform database (avg over " + std::to_string(kSeeds) + " seeds)",
+      "m", {"TA/BPA", "(m+6)/8", "TA/BPA2", "(m+1)/2"});
+
+  for (size_t m : MSweep()) {
+    double bpa_factor = 0.0;
+    double bpa2_factor = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const Database db = MakeDatabase(DatabaseKind::kUniform, n, m, 0.0,
+                                       77000 + 131 * s + m);
+      const TopKQuery query{k, &sum};
+      const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+      const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+      const Measurement bpa2 = Measure(AlgorithmKind::kBpa2, db, query);
+      bpa_factor += ta.execution_cost / bpa.execution_cost;
+      bpa2_factor += ta.execution_cost / bpa2.execution_cost;
+    }
+    bpa_factor /= kSeeds;
+    bpa2_factor /= kSeeds;
+    report.AddRow(m, {bpa_factor, (static_cast<double>(m) + 6.0) / 8.0,
+                      bpa2_factor, (static_cast<double>(m) + 1.0) / 2.0});
+  }
+  report.Print();
+  std::cout << "Paper reference points (m=10): TA/BPA ~ 2, TA/BPA2 ~ 5.5\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

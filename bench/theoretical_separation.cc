@@ -1,0 +1,51 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Demonstrates Lemma 3 / Theorem 3 at scale: over the adversarial family of
+// gen/adversarial.h, BPA's stopping position, access counts and execution
+// cost are exactly (m-1) times lower than TA's — the paper's proven
+// worst-case separation, realized on concrete databases.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/adversarial.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace bench {
+namespace {
+
+void Run() {
+  SumScorer sum;
+  FigureReporter report(
+      "Lemma 3 worst case (u=50, n=10000, k=20): TA vs BPA stopping position "
+      "and cost ratio (expected ratio: exactly m-1)",
+      "m", {"TA stop", "BPA stop", "TA cost", "BPA cost", "cost ratio"});
+  for (size_t m : {3u, 4u, 5u, 6u, 8u, 10u, 12u}) {
+    Lemma3Config config;
+    config.m = m;
+    config.u = 50;
+    config.n = 10000;
+    const Database db = MakeLemma3Database(config).ValueOrDie();
+    const TopKQuery query{DefaultK(), &sum};
+    const Measurement ta = Measure(AlgorithmKind::kTa, db, query);
+    const Measurement bpa = Measure(AlgorithmKind::kBpa, db, query);
+    report.AddRow(m, {static_cast<double>(ta.stop_position),
+                      static_cast<double>(bpa.stop_position),
+                      ta.execution_cost, bpa.execution_cost,
+                      ta.execution_cost / bpa.execution_cost});
+  }
+  report.Print();
+  std::cout << "Each row's cost ratio equals m-1: the separation proven in\n"
+               "Theorem 3, realized on an explicit database family.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topk
+
+int main() {
+  topk::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Distributed deployment (paper, Section 5): the sorted lists live at remote
+// list-owner nodes and every access is a message exchange with the query
+// originator. This example runs the distributed TA, BPA, BPA2 and TPUT
+// coordinators over a simulated network and compares messages, bytes, and
+// simulated latency — showing why BPA2 keeps the best positions at the list
+// owners instead of shipping seen positions to the originator.
+//
+//   $ ./distributed_topk
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "dist/coordinator.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+int main() {
+  using namespace topk;
+
+  constexpr size_t kItems = 20000;
+  constexpr size_t kNodes = 6;
+  constexpr size_t kTop = 10;
+
+  const Database db = MakeUniformDatabase(kItems, kNodes, 777);
+  SumScorer sum;
+  const TopKQuery query{kTop, &sum};
+
+  DistributedOptions options;
+  options.network.rtt_ms = 2.0;                    // WAN-ish round trip
+  options.network.bandwidth_bytes_per_ms = 125.0;  // ~1 Mbit/s
+
+  std::cout << "Distributed top-" << kTop << " over " << kNodes
+            << " list owners, n=" << kItems << " items each.\n\n";
+
+  TablePrinter table("Distributed protocols compared");
+  table.AddRow("protocol", "accesses", "messages", "bytes", "rounds",
+               "simulated latency (ms)");
+
+  const auto ta = RunDistributedTa(db, query, options).ValueOrDie();
+  const auto bpa = RunDistributedBpa(db, query, options).ValueOrDie();
+  const auto bpa2 = RunDistributedBpa2(db, query, options).ValueOrDie();
+  const auto tput = RunDistributedTput(db, query, options).ValueOrDie();
+
+  struct Row {
+    const char* name;
+    const DistributedResult* r;
+  };
+  for (const Row row : {Row{"dist-TA", &ta}, Row{"dist-BPA", &bpa},
+                        Row{"dist-BPA2", &bpa2}, Row{"dist-TPUT", &tput}}) {
+    table.AddRow(row.name, row.r->access_stats.TotalAccesses(),
+                 row.r->network.messages, row.r->network.bytes,
+                 row.r->network.rounds, row.r->network.simulated_ms);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nTop item according to dist-BPA2: item "
+            << bpa2.items[0].item << " (score " << bpa2.items[0].score
+            << ")\n";
+  std::cout << "\nReading guide: dist-BPA and dist-TA ship one RPC per list\n"
+               "access; BPA additionally transfers positions so the query\n"
+               "originator can maintain every seen position. BPA2 leaves\n"
+               "best-position management at the owners (fewer accesses, no\n"
+               "position sets at the originator). TPUT bounds the number of\n"
+               "round trips to three but moves bulk payloads.\n";
+  return 0;
+}

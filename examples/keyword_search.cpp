@@ -1,0 +1,88 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// The information-retrieval scenario from the paper's introduction: "to find
+// the top-k documents whose aggregate rank is the highest w.r.t. some given
+// keywords, the solution is to have for each keyword a ranked list of
+// documents, and return the k documents whose aggregate rank in all lists is
+// the highest."
+//
+// We synthesize per-keyword relevance lists (BM25-ish positive scores with a
+// long tail), weight the query terms, and answer with BPA2.
+//
+//   $ ./keyword_search
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/algorithms.h"
+#include "lists/scorer.h"
+
+int main() {
+  using namespace topk;
+
+  const std::vector<std::string> keywords = {"distributed", "top-k", "query",
+                                             "algorithm"};
+  constexpr size_t kDocs = 20000;
+  constexpr size_t kTop = 5;
+
+  // Synthetic relevance: each document's score for a keyword is a product of
+  // a per-document quality factor and a per-(doc, keyword) affinity, which
+  // yields realistic heavy-tailed, cross-list-correlated scores.
+  Rng rng(4242);
+  std::vector<double> quality(kDocs);
+  for (auto& q : quality) {
+    q = std::exp(rng.NextGaussian(0.0, 0.8));
+  }
+  std::vector<std::vector<Score>> scores(kDocs,
+                                         std::vector<Score>(keywords.size()));
+  for (size_t d = 0; d < kDocs; ++d) {
+    for (size_t t = 0; t < keywords.size(); ++t) {
+      scores[d][t] = quality[d] * std::exp(rng.NextGaussian(0.0, 0.5));
+    }
+  }
+  const Database db = Database::FromScoreMatrix(scores).ValueOrDie();
+
+  // The second query term matters twice as much.
+  const WeightedSumScorer scorer =
+      WeightedSumScorer::Make({1.0, 2.0, 1.0, 1.5}).ValueOrDie();
+  const TopKQuery query{kTop, &scorer};
+
+  std::cout << "Searching " << kDocs << " documents for:";
+  for (const auto& kw : keywords) {
+    std::cout << " \"" << kw << "\"";
+  }
+  std::cout << "\n\n";
+
+  auto bpa2 = MakeAlgorithm(AlgorithmKind::kBpa2);
+  const TopKResult result = bpa2->Execute(db, query).ValueOrDie();
+
+  TablePrinter hits("Top documents (weighted aggregate relevance)");
+  hits.AddRow("rank", "doc id", "score");
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    hits.AddRow(i + 1, static_cast<uint64_t>(result.items[i].item),
+                result.items[i].score);
+  }
+  hits.Print(std::cout);
+
+  std::cout << "\nBPA2 resolved the query after touching "
+            << result.stats.TotalAccesses() << " postings out of "
+            << kDocs * keywords.size() << " ("
+            << 100.0 * result.stats.TotalAccesses() /
+                   static_cast<double>(kDocs * keywords.size())
+            << "% of the index).\n";
+
+  // Contrast with the naive full scan.
+  const TopKResult naive = MakeAlgorithm(AlgorithmKind::kNaive)
+                               ->Execute(db, query)
+                               .ValueOrDie();
+  std::cout << "A full scan reads " << naive.stats.TotalAccesses()
+            << " postings; same answer, "
+            << naive.stats.TotalAccesses() /
+                   std::max<uint64_t>(1, result.stats.TotalAccesses())
+            << "x the work.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// The network-monitoring scenario from the paper's conclusion: an application
+// monitors the activity of users at m IP locations; each location keeps a
+// list of URLs ranked by access frequency. The administrator asks "what are
+// the top-k popular URLs overall?".
+//
+// URL popularity famously follows a Zipf law, and the same URL tends to be
+// popular everywhere, so the per-location lists are position-correlated: we
+// generate them with the paper's correlated-database generator (Zipf scores,
+// small alpha) and answer the query with TA, BPA and BPA2.
+//
+//   $ ./network_monitoring
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+int main() {
+  using namespace topk;
+
+  constexpr size_t kUrls = 50000;      // distinct URLs (data items)
+  constexpr size_t kLocations = 12;    // monitored IP locations (lists)
+  constexpr size_t kTop = 10;
+
+  // Each location ranks URLs by access frequency; frequencies follow a Zipf
+  // law (theta = 0.7, the paper's setting) and the ranking is strongly
+  // correlated across locations (alpha = 0.001).
+  CorrelatedConfig config;
+  config.n = kUrls;
+  config.m = kLocations;
+  config.alpha = 0.001;
+  config.zipf_theta = 0.7;
+  config.seed = 20070923;  // VLDB'07 opening day
+  const Database db = MakeCorrelatedDatabase(config).ValueOrDie();
+
+  // Overall popularity = total frequency across locations.
+  SumScorer total_frequency;
+  const TopKQuery query{kTop, &total_frequency};
+
+  std::cout << "Monitoring " << kLocations << " locations x " << kUrls
+            << " URLs; looking for the top-" << kTop << " popular URLs.\n\n";
+
+  auto bpa2 = MakeAlgorithm(AlgorithmKind::kBpa2);
+  const TopKResult top = bpa2->Execute(db, query).ValueOrDie();
+  TablePrinter urls("Top URLs by aggregated access frequency");
+  urls.AddRow("rank", "url id", "aggregated frequency");
+  for (size_t i = 0; i < top.items.size(); ++i) {
+    urls.AddRow(i + 1, static_cast<uint64_t>(top.items[i].item),
+                top.items[i].score);
+  }
+  urls.Print(std::cout);
+  std::cout << "\n";
+
+  TablePrinter work("Who read how much of the lists?");
+  work.AddRow("algorithm", "accesses", "execution cost", "time (ms)");
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kTa, AlgorithmKind::kBpa, AlgorithmKind::kBpa2}) {
+    const TopKResult r = MakeAlgorithm(kind)->Execute(db, query).ValueOrDie();
+    work.AddRow(ToString(kind), r.stats.TotalAccesses(), r.execution_cost,
+                r.elapsed_ms);
+  }
+  work.Print(std::cout);
+  std::cout << "\nBecause popular URLs sit near the top of every list, the\n"
+               "best-position algorithms stop after reading a tiny prefix.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Quickstart: build a small database, run a top-k query with BPA, and compare
+// the work all algorithms did. Start here.
+//
+//   $ ./quickstart
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/algorithms.h"
+#include "lists/scorer.h"
+
+int main() {
+  using namespace topk;
+
+  // A database is m sorted lists over the same n items. The easiest way to
+  // build one is a score matrix: scores[item][list].
+  const Database db = Database::FromScoreMatrix({
+                                    // list0  list1  list2
+                                    {30.0, 21.0, 14.0},  // item 0
+                                    {11.0, 28.0, 24.0},  // item 1
+                                    {26.0, 14.0, 30.0},  // item 2
+                                    {28.0, 13.0, 25.0},  // item 3
+                                    {17.0, 24.0, 29.0},  // item 4
+                                    {14.0, 27.0, 19.0},  // item 5
+                                    {25.0, 25.0, 11.0},  // item 6
+                                    {23.0, 20.0, 28.0},  // item 7
+                                    {27.0, 23.0, 12.0},  // item 8
+                                })
+                          .ValueOrDie();
+
+  // A query: how many items (k) and how to aggregate the local scores.
+  SumScorer sum;
+  const TopKQuery query{3, &sum};
+
+  // Run the paper's Best Position Algorithm.
+  auto bpa = MakeAlgorithm(AlgorithmKind::kBpa);
+  const TopKResult result = bpa->Execute(db, query).ValueOrDie();
+
+  std::cout << "Top-" << query.k << " items by " << sum.name() << ":\n";
+  for (const ResultItem& item : result.items) {
+    std::cout << "  item " << item.item << "  overall score " << item.score
+              << "\n";
+  }
+  std::cout << "\nBPA stopped at position " << result.stop_position
+            << " after " << result.stats.ToString() << "\n\n";
+
+  // Every algorithm returns the same answer; they differ in how much of the
+  // lists they read.
+  TablePrinter table("Work comparison on this database");
+  table.AddRow("algorithm", "stop position", "total accesses",
+               "execution cost");
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const TopKResult r = MakeAlgorithm(kind)->Execute(db, query).ValueOrDie();
+    table.AddRow(ToString(kind), static_cast<uint64_t>(r.stop_position),
+                 r.stats.TotalAccesses(), r.execution_cost);
+  }
+  table.Print(std::cout);
+  return 0;
+}

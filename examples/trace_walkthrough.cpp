@@ -1,0 +1,81 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Replays the paper's worked example (Figure 1, Examples 2-3) with execution
+// traces switched on, printing TA's threshold δ and BPA's best-positions
+// overall score λ row by row — the exact numbers from the paper's Figure 1.b
+// and Example 3. A compact way to *see* why BPA stops at position 3 while TA
+// runs to position 6.
+//
+//   $ ./trace_walkthrough
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/algorithms.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+int main() {
+  using namespace topk;
+
+  const Database db = MakeFigure1Database();
+  SumScorer sum;
+  const TopKQuery query{3, &sum};
+
+  AlgorithmOptions options;
+  options.collect_trace = true;
+
+  const TopKResult ta = MakeAlgorithm(AlgorithmKind::kTa, options)
+                            ->Execute(db, query)
+                            .ValueOrDie();
+  const TopKResult bpa = MakeAlgorithm(AlgorithmKind::kBpa, options)
+                             ->Execute(db, query)
+                             .ValueOrDie();
+
+  std::cout << "Figure 1 database, k = 3, f = sum.\n"
+            << "Paper: TA stops at position 6, BPA at position 3 "
+               "(Examples 2-3).\n\n";
+
+  TablePrinter table("Stop-rule evaluations, row by row");
+  table.AddRow("position", "TA threshold δ", "TA kth(Y)", "BPA λ",
+               "BPA kth(Y)", "BPA min bp");
+  const size_t rows = std::max(ta.trace.size(), bpa.trace.size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(i + 1));
+    if (i < ta.trace.size()) {
+      cells.push_back(TablePrinter::FormatCell(ta.trace[i].threshold));
+      cells.push_back(TablePrinter::FormatCell(ta.trace[i].kth_score));
+    } else {
+      cells.push_back("(stopped)");
+      cells.push_back("-");
+    }
+    if (i < bpa.trace.size()) {
+      cells.push_back(TablePrinter::FormatCell(bpa.trace[i].threshold));
+      cells.push_back(TablePrinter::FormatCell(bpa.trace[i].kth_score));
+      cells.push_back(
+          std::to_string(bpa.trace[i].min_best_position));
+    } else {
+      cells.push_back("(stopped)");
+      cells.push_back("-");
+      cells.push_back("-");
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nReading guide: both algorithms buffer the same k items, but BPA\n"
+         "evaluates the threshold at the *best positions* (deepest fully-\n"
+         "seen prefix). At row 3 the random accesses have filled positions\n"
+         "1..9 of lists 1-2 and 1..6 of list 3, so λ collapses from 80 to\n"
+         "43 = s1(9)+s2(9)+s3(6) while TA's δ is still 80. Y's k-th score\n"
+         "(70) beats 43, and BPA stops three rows before TA.\n";
+
+  std::cout << "\nTop-3: ";
+  for (const ResultItem& item : bpa.items) {
+    std::cout << PaperItemLabel(item.item) << " (" << item.score << ")  ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Small helper macros shared across the library.
+
+#ifndef TOPK_COMMON_MACROS_H_
+#define TOPK_COMMON_MACROS_H_
+
+#define TOPK_CONCAT_IMPL(x, y) x##y
+#define TOPK_CONCAT(x, y) TOPK_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning a Status; propagates non-OK statuses to the
+/// caller. Usable in functions returning Status or Result<T>.
+#define TOPK_RETURN_NOT_OK(expr)                    \
+  do {                                              \
+    ::topk::Status _st = (expr);                    \
+    if (!_st.ok()) {                                \
+      return _st;                                   \
+    }                                               \
+  } while (false)
+
+#define TOPK_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) {                                  \
+    return result_name.status();                            \
+  }                                                         \
+  lhs = std::move(result_name).ValueUnsafe();
+
+/// Evaluates an expression returning Result<T>; on success assigns the value to
+/// `lhs`, otherwise propagates the error Status.
+#define TOPK_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TOPK_ASSIGN_OR_RETURN_IMPL(TOPK_CONCAT(_topk_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // TOPK_COMMON_MACROS_H_

@@ -1,0 +1,92 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Result<T>: either a value of type T or an error Status (Arrow idiom).
+
+#ifndef TOPK_COMMON_RESULT_H_
+#define TOPK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace topk {
+
+/// Holds either a successfully computed value of type `T` or the Status
+/// describing why the computation failed.
+///
+/// Typical use:
+/// \code
+///   Result<Database> db = Database::Make(lists);
+///   if (!db.ok()) return db.status();
+///   Use(db.ValueOrDie());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status. Aborts (in debug) if the status is OK,
+  /// because an OK Result must carry a value.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  /// Constructs from a value.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status, or OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Const access to the value; the caller must have checked ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+
+  /// Moves the value out; the caller must have checked ok().
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// Returns the value or aborts the process with the error message. Intended
+  /// for examples, benchmarks and tests where errors are programming bugs.
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      std::get<Status>(rep_).Abort("Result::ValueOrDie");
+    }
+    return std::get<T>(rep_);
+  }
+
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::get<Status>(rep_).Abort("Result::ValueOrDie");
+    }
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// Returns the value, or `alternative` if this Result holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(rep_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_RESULT_H_

@@ -1,0 +1,56 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "common/status.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace topk {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) {
+    return;
+  }
+  std::cerr << "-- fatal status";
+  if (!context.empty()) {
+    std::cerr << " (" << context << ")";
+  }
+  std::cerr << ": " << ToString() << std::endl;
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace topk

@@ -1,0 +1,131 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// A compact Status type in the style of Apache Arrow / RocksDB. Fallible library
+// APIs return Status (or Result<T>, see result.h) instead of throwing exceptions.
+
+#ifndef TOPK_COMMON_STATUS_H_
+#define TOPK_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace topk {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,
+  kOutOfRange = 3,
+  kNotImplemented = 4,
+  kInternal = 5,
+};
+
+/// Returns a human-readable name for a status code (e.g. "Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK state carries no allocation; error states allocate a small shared
+/// payload, so copying a Status is cheap either way.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  /// Builds an InvalidArgument status by streaming all arguments together.
+  template <typename... Args>
+  static Status Invalid(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+
+  /// Builds a KeyError status (lookup of a non-existent item/position).
+  template <typename... Args>
+  static Status KeyError(Args&&... args) {
+    return Make(StatusCode::kKeyError, std::forward<Args>(args)...);
+  }
+
+  /// Builds an OutOfRange status (index/position beyond list bounds).
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+
+  /// Builds a NotImplemented status.
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+
+  /// Builds an Internal status (invariant violation inside the library).
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only where an
+  /// error is a programming bug (e.g. in examples and benchmarks).
+  void Abort() const;
+  void Abort(std::string_view context) const;
+
+  bool Equals(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.Equals(b); }
+  friend bool operator!=(const Status& a, const Status& b) { return !a.Equals(b); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return Status(code, oss.str());
+  }
+
+  std::shared_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_STATUS_H_

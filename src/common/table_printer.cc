@@ -1,0 +1,89 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace topk {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatCell(double v) {
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  // Integral doubles print without a fractional part; otherwise keep a few
+  // significant decimals.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  if (std::abs(v) >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  if (!title_.empty()) {
+    os << title_ << "\n";
+  }
+  if (rows_.empty()) {
+    return;
+  }
+  size_t cols = 0;
+  for (const auto& row : rows_) {
+    cols = std::max(cols, row.size());
+  }
+  std::vector<size_t> widths(cols, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    os << "  ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+    if (r == 0) {
+      size_t total = 2;
+      for (size_t c = 0; c < cols; ++c) {
+        total += widths[c] + (c + 1 < cols ? 2 : 0);
+      }
+      os << "  " << std::string(total, '-') << "\n";
+    }
+  }
+  os.flush();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  if (!title_.empty()) {
+    os << "# " << title_ << "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << ",";
+      }
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace topk

@@ -1,0 +1,59 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Minimal aligned-table printer used by the benchmark harness and examples to
+// print figure/table series in a uniform, diff-friendly format.
+
+#ifndef TOPK_COMMON_TABLE_PRINTER_H_
+#define TOPK_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace topk {
+
+/// Collects rows of string cells and prints them as an aligned text table and/or
+/// as CSV. The first added row is treated as the header.
+class TablePrinter {
+ public:
+  /// \param title printed above the table (e.g. "Figure 4: ...").
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Adds a row of pre-formatted cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each element with FormatCell.
+  template <typename... Ts>
+  void AddRow(const Ts&... values) {
+    AddRow(std::vector<std::string>{FormatCell(values)...});
+  }
+
+  /// Formats a value for a cell: integers verbatim, doubles with up to 4
+  /// significant fractional digits (trailing zeros trimmed).
+  static std::string FormatCell(const std::string& v) { return v; }
+  static std::string FormatCell(const char* v) { return v; }
+  static std::string FormatCell(double v);
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  static std::string FormatCell(T v) {
+    return std::to_string(v);
+  }
+
+  /// Prints the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Prints the same data as CSV (no alignment, comma-separated).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_TABLE_PRINTER_H_

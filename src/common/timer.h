@@ -1,0 +1,45 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Wall-clock stopwatch used for the paper's "response time" metric.
+
+#ifndef TOPK_COMMON_TIMER_H_
+#define TOPK_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace topk {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset().
+  std::chrono::nanoseconds Elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_);
+  }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in fractional seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_TIMER_H_

@@ -1,0 +1,90 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/bpa2_algorithm.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
+                          AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+
+  TopKBuffer buffer(query.k);
+  std::vector<std::unique_ptr<BestPositionTracker>> trackers;
+  trackers.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    trackers.push_back(MakeTracker(options().tracker, n));
+  }
+
+  std::vector<Score> local(m, 0.0);
+  uint64_t rounds = 0;
+  for (;;) {
+    // One round: per list, direct access to the smallest unseen position
+    // (bpi + 1 evaluated *now*, so random accesses earlier in this round that
+    // advanced bpi are respected — this is what guarantees Theorem 5), then
+    // (m-1) random accesses for the revealed item.
+    bool any_access = false;
+    for (size_t i = 0; i < m; ++i) {
+      const Position bp = trackers[i]->best_position();
+      if (bp >= n) {
+        continue;  // list fully seen
+      }
+      const AccessedEntry entry = engine->DirectAccess(i, bp + 1);
+      trackers[i]->MarkSeen(entry.position);
+      any_access = true;
+      for (size_t j = 0; j < m; ++j) {
+        if (j == i) {
+          local[j] = entry.score;
+          continue;
+        }
+        const ItemLookup lookup = engine->RandomAccess(j, entry.item);
+        trackers[j]->MarkSeen(lookup.position);
+        local[j] = lookup.score;
+      }
+      buffer.Offer(entry.item, query.scorer->Combine(local.data(), m));
+    }
+    if (!any_access) {
+      break;  // every position of every list has been seen
+    }
+    ++rounds;
+    // λ over the best-position scores; the owners return si(bpi) alongside
+    // accesses (paper step 3), so no extra charged access is needed.
+    for (size_t i = 0; i < m; ++i) {
+      const Position bp = trackers[i]->best_position();
+      local[i] = db.list(i).EntryAt(bp).score;
+    }
+    const Score lambda = query.scorer->Combine(local.data(), m);
+    if (options().collect_trace) {
+      Position min_bp = static_cast<Position>(n);
+      for (const auto& tracker : trackers) {
+        min_bp = std::min(min_bp, tracker->best_position());
+      }
+      result->trace.push_back(StopRuleTrace{
+          static_cast<Position>(rounds), lambda,
+          buffer.full() ? buffer.KthScore()
+                        : std::numeric_limits<double>::quiet_NaN(),
+          buffer.size(), min_bp});
+    }
+    if (buffer.HasKAtLeast(lambda)) {
+      break;
+    }
+  }
+
+  result->items = buffer.ToSortedItems();
+  result->stop_position = static_cast<Position>(rounds);
+  Position min_bp = static_cast<Position>(n);
+  for (const auto& tracker : trackers) {
+    min_bp = std::min(min_bp, tracker->best_position());
+  }
+  result->min_best_position = min_bp;
+  return Status::OK();
+}
+
+}  // namespace topk

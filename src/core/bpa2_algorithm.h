@@ -1,0 +1,33 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// BPA2, paper Section 5 — the paper's second contribution. Same stopping rule
+// as BPA, but sorted access is replaced by *direct access* to position bpi+1,
+// which is by construction the smallest unseen position of the list. Hence no
+// list position is ever accessed twice (Theorem 5) and the total number of
+// accesses can be about (m-1) times lower than BPA's (Theorem 8). Best
+// positions are conceptually managed by the list owners; the query originator
+// only keeps Y and the m best-position scores.
+
+#ifndef TOPK_CORE_BPA2_ALGORITHM_H_
+#define TOPK_CORE_BPA2_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class Bpa2Algorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "BPA2"; }
+
+ protected:
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_BPA2_ALGORITHM_H_

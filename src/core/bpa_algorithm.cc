@@ -1,0 +1,94 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/bpa_algorithm.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+Status BpaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                         AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  const bool memoize = options().memoize_seen_items;
+
+  TopKBuffer buffer(query.k);
+  std::vector<std::unique_ptr<BestPositionTracker>> trackers;
+  trackers.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    trackers.push_back(MakeTracker(options().tracker, n));
+  }
+
+  std::vector<Score> local(m, 0.0);
+  std::unordered_map<ItemId, Score> resolved;  // used only when memoizing
+
+  Position depth = 0;
+  bool stopped = false;
+  while (!stopped && depth < n) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      const AccessedEntry entry = engine->SortedAccess(i);
+      trackers[i]->MarkSeen(entry.position);
+      if (memoize) {
+        auto it = resolved.find(entry.item);
+        if (it != resolved.end()) {
+          // Positions of this item were already recorded in every list the
+          // first time it was resolved; only the buffer offer remains.
+          buffer.Offer(entry.item, it->second);
+          continue;
+        }
+      }
+      for (size_t j = 0; j < m; ++j) {
+        if (j == i) {
+          local[j] = entry.score;
+          continue;
+        }
+        const ItemLookup lookup = engine->RandomAccess(j, entry.item);
+        trackers[j]->MarkSeen(lookup.position);
+        local[j] = lookup.score;
+      }
+      const Score overall = query.scorer->Combine(local.data(), m);
+      if (memoize) {
+        resolved.emplace(entry.item, overall);
+      }
+      buffer.Offer(entry.item, overall);
+    }
+    // Best positions overall score λ. Reading si(bpi) is not a charged list
+    // access: the entry at the best position was necessarily seen already.
+    for (size_t i = 0; i < m; ++i) {
+      local[i] = db.list(i).EntryAt(trackers[i]->best_position()).score;
+    }
+    const Score lambda = query.scorer->Combine(local.data(), m);
+    if (options().collect_trace) {
+      Position min_bp = static_cast<Position>(n);
+      for (const auto& tracker : trackers) {
+        min_bp = std::min(min_bp, tracker->best_position());
+      }
+      result->trace.push_back(StopRuleTrace{
+          depth, lambda,
+          buffer.full() ? buffer.KthScore()
+                        : std::numeric_limits<double>::quiet_NaN(),
+          buffer.size(), min_bp});
+    }
+    if (buffer.HasKAtLeast(lambda)) {
+      stopped = true;
+    }
+  }
+
+  result->items = buffer.ToSortedItems();
+  result->stop_position = depth;
+  Position min_bp = static_cast<Position>(n);
+  for (const auto& tracker : trackers) {
+    min_bp = std::min(min_bp, tracker->best_position());
+  }
+  result->min_best_position = min_bp;
+  return Status::OK();
+}
+
+}  // namespace topk

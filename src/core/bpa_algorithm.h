@@ -1,0 +1,33 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// The Best Position Algorithm (BPA), paper Section 4 — the paper's first
+// contribution. BPA scans like TA but additionally records the *positions*
+// revealed by sorted and random accesses. Its stopping threshold
+// λ = f(s1(bp1), ..., sm(bpm)) is evaluated at each list's best position
+// (deepest fully-seen prefix), which is >= TA's sorted depth, so λ <= δ and
+// BPA stops at least as early as TA (Lemma 1) and up to (m-1) times earlier
+// (Lemma 3).
+
+#ifndef TOPK_CORE_BPA_ALGORITHM_H_
+#define TOPK_CORE_BPA_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class BpaAlgorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "BPA"; }
+
+ protected:
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_BPA_ALGORITHM_H_

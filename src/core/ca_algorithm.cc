@@ -1,0 +1,174 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/ca_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+namespace {
+
+struct Candidate {
+  std::vector<Score> scores;
+  std::vector<bool> known;
+  size_t known_count = 0;
+
+  explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
+};
+
+}  // namespace
+
+Status CaAlgorithm::ValidateFor(const Database& db,
+                                const TopKQuery& query) const {
+  (void)query;
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    if (db.list(i).MinScore() < options().score_floor) {
+      return Status::Invalid(
+          "CA lower bounds assume scores >= score floor ",
+          options().score_floor, "; list ", i, " has minimum ",
+          db.list(i).MinScore(),
+          " (set AlgorithmOptions::score_floor accordingly)");
+    }
+  }
+  return Status::OK();
+}
+
+Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                        AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  const Score floor = options().score_floor;
+  const Scorer& f = *query.scorer;
+
+  const CostModel model =
+      options().cost_model.value_or(CostModel::PaperDefault(n));
+  // Resolve one candidate every h rows; h = cr/cs rounded, at least 1.
+  const Position resolve_every = static_cast<Position>(std::max(
+      1.0, std::round(model.random_cost / std::max(1e-9, model.sorted_cost))));
+
+  std::unordered_map<ItemId, Candidate> candidates;
+  candidates.reserve(1024);
+  std::vector<Score> last_scores(m, 0.0);
+  std::vector<Score> tmp(m, 0.0);
+
+  auto bound = [&](const Candidate& c, bool upper) {
+    for (size_t i = 0; i < m; ++i) {
+      tmp[i] = c.known[i] ? c.scores[i] : (upper ? last_scores[i] : floor);
+    }
+    return f.Combine(tmp.data(), m);
+  };
+
+  auto resolve = [&](ItemId item, Candidate* c) {
+    for (size_t i = 0; i < m; ++i) {
+      if (!c->known[i]) {
+        c->scores[i] = engine->RandomAccess(i, item).score;
+        c->known[i] = true;
+        ++c->known_count;
+      }
+    }
+  };
+
+  std::vector<ItemId> winners;
+  Position depth = 0;
+  while (depth < n) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      const AccessedEntry entry = engine->SortedAccess(i);
+      last_scores[i] = entry.score;
+      auto [it, inserted] = candidates.try_emplace(entry.item, Candidate(m));
+      if (!it->second.known[i]) {
+        it->second.known[i] = true;
+        it->second.scores[i] = entry.score;
+        ++it->second.known_count;
+      }
+    }
+
+    // Every h rows: fully resolve the unresolved candidate with the largest
+    // upper bound (the one blocking the stop rule the hardest).
+    if (depth % resolve_every == 0) {
+      ItemId best_item = kInvalidItem;
+      Score best_upper = -std::numeric_limits<Score>::infinity();
+      for (auto& [item, cand] : candidates) {
+        if (cand.known_count == m) {
+          continue;
+        }
+        const Score upper = bound(cand, /*upper=*/true);
+        if (upper > best_upper) {
+          best_upper = upper;
+          best_item = item;
+        }
+      }
+      if (best_item != kInvalidItem) {
+        resolve(best_item, &candidates.at(best_item));
+      }
+    }
+
+    // Stop rule (NRA-style, checked with the same cadence as the resolver to
+    // amortize the candidate scan).
+    if (depth % resolve_every != 0 && depth != n) {
+      continue;
+    }
+    TopKBuffer lower_k(query.k);
+    for (const auto& [item, cand] : candidates) {
+      lower_k.Offer(item, bound(cand, /*upper=*/false));
+    }
+    if (!lower_k.full()) {
+      continue;
+    }
+    const Score kth_lower = lower_k.KthScore();
+    bool can_stop = kth_lower >= f.Combine(last_scores.data(), m);
+    if (can_stop) {
+      for (auto it = candidates.begin(); can_stop && it != candidates.end();
+           ++it) {
+        if (!lower_k.Contains(it->first) &&
+            bound(it->second, /*upper=*/true) > kth_lower) {
+          can_stop = false;
+        }
+      }
+    }
+    // Prune candidates that can no longer reach the top-k.
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      if (!lower_k.Contains(it->first) &&
+          bound(it->second, /*upper=*/true) < kth_lower) {
+        it = candidates.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (can_stop) {
+      for (const ResultItem& ri : lower_k.ToSortedItems()) {
+        winners.push_back(ri.item);
+      }
+      break;
+    }
+  }
+
+  if (winners.empty()) {
+    TopKBuffer buffer(query.k);
+    for (const auto& [item, cand] : candidates) {
+      buffer.Offer(item, bound(cand, /*upper=*/false));
+    }
+    for (const ResultItem& ri : buffer.ToSortedItems()) {
+      winners.push_back(ri.item);
+    }
+  }
+
+  // Resolve winners exactly: charged random accesses for still-unknown local
+  // scores (unlike NRA, CA has random access at its disposal).
+  result->items.reserve(winners.size());
+  for (ItemId item : winners) {
+    Candidate& cand = candidates.at(item);
+    resolve(item, &cand);
+    result->items.push_back(ResultItem{item, bound(cand, /*upper=*/false)});
+  }
+  result->stop_position = depth;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,38 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// CA — the "Combined Algorithm" of Fagin, Lotem and Naor (the paper's
+// reference [15]), included to complete the middleware-cost framework the
+// paper builds on. CA interpolates between NRA and TA based on the cost
+// ratio h = cr/cs: it scans like NRA, and once every h rows it spends the
+// equivalent of one random access per list to fully resolve the unresolved
+// candidate with the highest upper bound. With cr >> cs this avoids TA's
+// per-row random-access storm while stopping far earlier than NRA.
+//
+// Like NRA, CA lower-bounds unknown local scores with the configured score
+// floor (AlgorithmOptions::score_floor) and rejects databases violating it.
+
+#ifndef TOPK_CORE_CA_ALGORITHM_H_
+#define TOPK_CORE_CA_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class CaAlgorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "CA"; }
+
+ protected:
+  Status ValidateFor(const Database& db, const TopKQuery& query) const override;
+
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_CA_ALGORITHM_H_

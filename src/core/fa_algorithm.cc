@@ -1,0 +1,62 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/fa_algorithm.h"
+
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                        AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+
+  // Phase 1: sorted access in parallel until >= k items are seen in all lists.
+  // seen_lists[d] counts the lists where d was seen under sorted access;
+  // local[d*m + i] caches the local score revealed by that access.
+  std::vector<uint16_t> seen_lists(n, 0);
+  std::vector<Score> local(n * m, 0.0);
+  std::vector<bool> known(n * m, false);
+
+  size_t fully_seen = 0;
+  Position depth = 0;
+  while (fully_seen < query.k && depth < n) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      const AccessedEntry entry = engine->SortedAccess(i);
+      const size_t cell = static_cast<size_t>(entry.item) * m + i;
+      local[cell] = entry.score;
+      known[cell] = true;
+      if (++seen_lists[entry.item] == m) {
+        ++fully_seen;
+      }
+    }
+  }
+
+  // Phase 2: for every item seen somewhere, resolve missing local scores via
+  // random access, aggregate, and keep the k best.
+  TopKBuffer buffer(query.k);
+  std::vector<Score> scores(m);
+  for (ItemId item = 0; item < n; ++item) {
+    if (seen_lists[item] == 0) {
+      continue;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const size_t cell = static_cast<size_t>(item) * m + i;
+      if (known[cell]) {
+        scores[i] = local[cell];
+      } else {
+        scores[i] = engine->RandomAccess(i, item).score;
+      }
+    }
+    buffer.Offer(item, query.scorer->Combine(scores.data(), m));
+  }
+
+  result->items = buffer.ToSortedItems();
+  result->stop_position = depth;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,29 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Fagin's Algorithm (FA), paper Section 3.1: scan the lists in parallel until
+// at least k items have been seen in *all* lists under sorted access, then
+// resolve the remaining local scores with random accesses.
+
+#ifndef TOPK_CORE_FA_ALGORITHM_H_
+#define TOPK_CORE_FA_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class FaAlgorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "FA"; }
+
+ protected:
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_FA_ALGORITHM_H_

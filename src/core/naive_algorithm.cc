@@ -1,0 +1,35 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/naive_algorithm.h"
+
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+Status NaiveAlgorithm::Run(const Database& db, const TopKQuery& query,
+                           AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+
+  // One full sorted scan per list; local scores are gathered per item.
+  std::vector<Score> local(n * m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < n; ++p) {
+      const AccessedEntry entry = engine->SortedAccess(i);
+      local[static_cast<size_t>(entry.item) * m + i] = entry.score;
+    }
+  }
+
+  TopKBuffer buffer(query.k);
+  for (ItemId item = 0; item < n; ++item) {
+    buffer.Offer(item, query.scorer->Combine(&local[item * m], m));
+  }
+
+  result->items = buffer.ToSortedItems();
+  result->stop_position = static_cast<Position>(n);
+  return Status::OK();
+}
+
+}  // namespace topk

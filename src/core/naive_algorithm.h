@@ -1,0 +1,29 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// The O(m*n) baseline from the paper's introduction: scan every list fully,
+// aggregate every item's overall score, return the k best. Used as the ground
+// truth in tests and as the "no early termination" reference in benchmarks.
+
+#ifndef TOPK_CORE_NAIVE_ALGORITHM_H_
+#define TOPK_CORE_NAIVE_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class NaiveAlgorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "Naive"; }
+
+ protected:
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_NAIVE_ALGORITHM_H_

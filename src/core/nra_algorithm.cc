@@ -1,0 +1,155 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/nra_algorithm.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+namespace {
+
+struct Candidate {
+  std::vector<Score> scores;
+  std::vector<bool> known;
+  size_t known_count = 0;
+
+  explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
+};
+
+}  // namespace
+
+Status NraAlgorithm::ValidateFor(const Database& db,
+                                 const TopKQuery& query) const {
+  (void)query;
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    if (db.list(i).MinScore() < options().score_floor) {
+      return Status::Invalid(
+          "NRA lower bounds assume scores >= score floor ",
+          options().score_floor, "; list ", i, " has minimum ",
+          db.list(i).MinScore(),
+          " (set AlgorithmOptions::score_floor accordingly)");
+    }
+  }
+  return Status::OK();
+}
+
+Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
+                         AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  const Score floor = options().score_floor;
+  const Scorer& f = *query.scorer;
+
+  // Stop-rule evaluation is O(#candidates); amortize it by evaluating every
+  // kCheckInterval rows (correct — checking less often can only delay the
+  // stop, never produce a wrong answer).
+  constexpr Position kCheckInterval = 8;
+
+  std::unordered_map<ItemId, Candidate> candidates;
+  candidates.reserve(1024);
+  std::vector<Score> last_scores(m, 0.0);
+  std::vector<Score> tmp(m, 0.0);
+
+  auto bound = [&](const Candidate& c, bool upper) {
+    for (size_t i = 0; i < m; ++i) {
+      tmp[i] = c.known[i] ? c.scores[i] : (upper ? last_scores[i] : floor);
+    }
+    return f.Combine(tmp.data(), m);
+  };
+
+  std::vector<ItemId> winners;
+  Position depth = 0;
+  while (depth < n) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      const AccessedEntry entry = engine->SortedAccess(i);
+      last_scores[i] = entry.score;
+      auto [it, inserted] = candidates.try_emplace(entry.item, Candidate(m));
+      if (!it->second.known[i]) {
+        it->second.known[i] = true;
+        it->second.scores[i] = entry.score;
+        ++it->second.known_count;
+      }
+    }
+    if (depth % kCheckInterval != 0 && depth != n) {
+      continue;
+    }
+
+    // k-th best lower bound across candidates.
+    TopKBuffer lower_k(query.k);
+    for (const auto& [item, cand] : candidates) {
+      lower_k.Offer(item, bound(cand, /*upper=*/false));
+    }
+    if (!lower_k.full()) {
+      continue;
+    }
+    const Score kth_lower = lower_k.KthScore();
+
+    // Unseen items are bounded by the row threshold.
+    const Score unseen_upper = f.Combine(last_scores.data(), m);
+    bool can_stop = kth_lower >= unseen_upper;
+
+    // Seen items outside the current top-k must not be able to overtake.
+    // Items whose upper bound cannot reach kth_lower are pruned for good
+    // (their upper bounds only shrink and kth_lower only grows).
+    if (can_stop) {
+      for (auto it = candidates.begin(); can_stop && it != candidates.end();
+           ++it) {
+        if (lower_k.Contains(it->first)) {
+          continue;
+        }
+        if (bound(it->second, /*upper=*/true) > kth_lower) {
+          can_stop = false;
+        }
+      }
+    }
+    // Prune hopeless candidates to keep the map small.
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      if (!lower_k.Contains(it->first) &&
+          bound(it->second, /*upper=*/true) < kth_lower) {
+        it = candidates.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (can_stop) {
+      winners = [&lower_k] {
+        std::vector<ItemId> ids;
+        for (const ResultItem& ri : lower_k.ToSortedItems()) {
+          ids.push_back(ri.item);
+        }
+        return ids;
+      }();
+      break;
+    }
+  }
+
+  if (winners.empty()) {
+    // Scanned to the bottom: every score is known; take the exact top-k.
+    TopKBuffer buffer(query.k);
+    for (const auto& [item, cand] : candidates) {
+      buffer.Offer(item, bound(cand, /*upper=*/false));
+    }
+    for (const ResultItem& ri : buffer.ToSortedItems()) {
+      winners.push_back(ri.item);
+    }
+  }
+
+  // Membership is certified; resolve exact winner scores for reporting
+  // (uncounted — outside the NRA access model, see header).
+  result->items.reserve(winners.size());
+  for (ItemId item : winners) {
+    for (size_t i = 0; i < m; ++i) {
+      tmp[i] = db.list(i).ScoreOf(item);
+    }
+    result->items.push_back(ResultItem{item, f.Combine(tmp.data(), m)});
+  }
+  result->stop_position = depth;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,61 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace topk {
+
+std::vector<Result<TopKResult>> QueryEngine::ExecuteBatch(
+    AlgorithmKind kind, const std::vector<TopKQuery>& queries,
+    size_t num_threads) const {
+  std::vector<Result<TopKResult>> results(
+      queries.size(), Result<TopKResult>(Status::Internal("not executed")));
+  if (queries.empty()) {
+    last_batch_stats_ = AccessStats{};
+    return results;
+  }
+
+  const size_t workers =
+      std::max<size_t>(1, std::min(num_threads, queries.size()));
+  if (workers == 1) {
+    auto algorithm = MakeAlgorithm(kind, options_);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = algorithm->Execute(*db_, queries[i]);
+    }
+  } else {
+    // Work stealing via a shared atomic cursor; each worker owns a private
+    // algorithm instance.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, this] {
+        auto algorithm = MakeAlgorithm(kind, options_);
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= queries.size()) {
+            return;
+          }
+          results[i] = algorithm->Execute(*db_, queries[i]);
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  AccessStats total;
+  for (const Result<TopKResult>& r : results) {
+    if (r.ok()) {
+      total += r.ValueUnsafe().stats;
+    }
+  }
+  last_batch_stats_ = total;
+  return results;
+}
+
+}  // namespace topk

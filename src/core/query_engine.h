@@ -1,0 +1,52 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// QueryEngine: batch execution of many top-k queries against one immutable
+// database, optionally across worker threads. Databases and algorithms are
+// read-only during execution, so queries parallelize without locking; each
+// worker owns a private algorithm instance (and thus private trackers,
+// buffers and counters).
+
+#ifndef TOPK_CORE_QUERY_ENGINE_H_
+#define TOPK_CORE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/topk_algorithm.h"
+#include "lists/database.h"
+
+namespace topk {
+
+/// Executes batches of queries against one database.
+class QueryEngine {
+ public:
+  /// \param db non-owning; must outlive the engine.
+  explicit QueryEngine(const Database* db, AlgorithmOptions options = {})
+      : db_(db), options_(std::move(options)) {}
+
+  /// Runs every query with the given algorithm. Results arrive in query
+  /// order; per-query failures (e.g. k out of range) are reported in the
+  /// corresponding slot without aborting the batch.
+  ///
+  /// \param num_threads 0 or 1 = run inline on the calling thread; otherwise
+  ///        queries are sharded across min(num_threads, queries) workers.
+  std::vector<Result<TopKResult>> ExecuteBatch(
+      AlgorithmKind kind, const std::vector<TopKQuery>& queries,
+      size_t num_threads = 0) const;
+
+  /// Aggregate access statistics of the last ExecuteBatch call (sums over the
+  /// successful queries).
+  const AccessStats& last_batch_stats() const { return last_batch_stats_; }
+
+  const Database& database() const { return *db_; }
+
+ private:
+  const Database* db_;
+  AlgorithmOptions options_;
+  mutable AccessStats last_batch_stats_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,67 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/ta_algorithm.h"
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+Status TaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                        AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  const bool memoize = options().memoize_seen_items;
+
+  TopKBuffer buffer(query.k);
+  std::vector<Score> last_scores(m, 0.0);  // si: last score seen in list i
+  std::vector<Score> local(m, 0.0);
+  // Overall scores already resolved; used only when memoization is on (the
+  // paper's accounting model re-issues the random accesses, see Lemma 2).
+  std::unordered_map<ItemId, Score> resolved;
+
+  Position depth = 0;
+  while (depth < n) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      const AccessedEntry entry = engine->SortedAccess(i);
+      last_scores[i] = entry.score;
+      if (memoize) {
+        auto it = resolved.find(entry.item);
+        if (it != resolved.end()) {
+          buffer.Offer(entry.item, it->second);
+          continue;
+        }
+      }
+      for (size_t j = 0; j < m; ++j) {
+        local[j] = (j == i) ? entry.score
+                            : engine->RandomAccess(j, entry.item).score;
+      }
+      const Score overall = query.scorer->Combine(local.data(), m);
+      if (memoize) {
+        resolved.emplace(entry.item, overall);
+      }
+      buffer.Offer(entry.item, overall);
+    }
+    const Score threshold = query.scorer->Combine(last_scores.data(), m);
+    if (options().collect_trace) {
+      result->trace.push_back(StopRuleTrace{
+          depth, threshold,
+          buffer.full() ? buffer.KthScore()
+                        : std::numeric_limits<double>::quiet_NaN(),
+          buffer.size(), 0});
+    }
+    if (buffer.HasKAtLeast(threshold)) {
+      break;
+    }
+  }
+
+  result->items = buffer.ToSortedItems();
+  result->stop_position = depth;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,30 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// The Threshold Algorithm (TA), paper Section 3.2 (Fagin/Lotem/Naor;
+// Güntzer/Kießling/Balke; Nepal/Ramakrishna). Scans all lists in parallel;
+// after each row computes the threshold δ = f(last scores seen under sorted
+// access) and stops once the buffer holds k items with overall score >= δ.
+
+#ifndef TOPK_CORE_TA_ALGORITHM_H_
+#define TOPK_CORE_TA_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class TaAlgorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "TA"; }
+
+ protected:
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TA_ALGORITHM_H_

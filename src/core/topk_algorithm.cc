@@ -1,0 +1,125 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/topk_algorithm.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/bpa2_algorithm.h"
+#include "core/bpa_algorithm.h"
+#include "core/ca_algorithm.h"
+#include "core/fa_algorithm.h"
+#include "core/naive_algorithm.h"
+#include "core/nra_algorithm.h"
+#include "core/ta_algorithm.h"
+#include "core/tput_algorithm.h"
+
+namespace topk {
+
+Status TopKAlgorithm::ValidateFor(const Database& /*db*/,
+                                  const TopKQuery& /*query*/) const {
+  return Status::OK();
+}
+
+Result<TopKResult> TopKAlgorithm::Execute(const Database& db,
+                                          const TopKQuery& query) const {
+  if (query.scorer == nullptr) {
+    return Status::Invalid("query has no scoring function");
+  }
+  if (query.k == 0) {
+    return Status::Invalid("k must be >= 1");
+  }
+  if (query.k > db.num_items()) {
+    return Status::Invalid("k = ", query.k, " exceeds database size n = ",
+                           db.num_items());
+  }
+  TOPK_RETURN_NOT_OK(ValidateFor(db, query));
+
+  AccessEngine engine(db, options_.audit_accesses);
+  TopKResult result;
+  Timer timer;
+  TOPK_RETURN_NOT_OK(Run(db, query, &engine, &result));
+  result.elapsed_ms = timer.ElapsedMillis();
+
+  result.stats = engine.stats();
+  const CostModel model =
+      options_.cost_model.value_or(CostModel::PaperDefault(db.num_items()));
+  result.execution_cost = model.ExecutionCost(result.stats);
+
+  if (options_.audit_accesses) {
+    result.max_touches_per_list.resize(db.num_lists());
+    for (size_t i = 0; i < db.num_lists(); ++i) {
+      result.max_touches_per_list[i] = engine.MaxTouchCount(i);
+    }
+  }
+
+  if (result.items.size() != query.k) {
+    return Status::Internal(name(), " produced ", result.items.size(),
+                            " items for k = ", query.k);
+  }
+  std::sort(result.items.begin(), result.items.end(),
+            [](const ResultItem& a, const ResultItem& b) {
+              if (a.score != b.score) {
+                return a.score > b.score;
+              }
+              return a.item < b.item;
+            });
+  return result;
+}
+
+std::string ToString(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kNaive:
+      return "Naive";
+    case AlgorithmKind::kFa:
+      return "FA";
+    case AlgorithmKind::kTa:
+      return "TA";
+    case AlgorithmKind::kBpa:
+      return "BPA";
+    case AlgorithmKind::kBpa2:
+      return "BPA2";
+    case AlgorithmKind::kTput:
+      return "TPUT";
+    case AlgorithmKind::kNra:
+      return "NRA";
+    case AlgorithmKind::kCa:
+      return "CA";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TopKAlgorithm> MakeAlgorithm(AlgorithmKind kind,
+                                             AlgorithmOptions options) {
+  switch (kind) {
+    case AlgorithmKind::kNaive:
+      return std::make_unique<NaiveAlgorithm>(std::move(options));
+    case AlgorithmKind::kFa:
+      return std::make_unique<FaAlgorithm>(std::move(options));
+    case AlgorithmKind::kTa:
+      return std::make_unique<TaAlgorithm>(std::move(options));
+    case AlgorithmKind::kBpa:
+      return std::make_unique<BpaAlgorithm>(std::move(options));
+    case AlgorithmKind::kBpa2:
+      return std::make_unique<Bpa2Algorithm>(std::move(options));
+    case AlgorithmKind::kTput:
+      return std::make_unique<TputAlgorithm>(std::move(options));
+    case AlgorithmKind::kNra:
+      return std::make_unique<NraAlgorithm>(std::move(options));
+    case AlgorithmKind::kCa:
+      return std::make_unique<CaAlgorithm>(std::move(options));
+  }
+  return nullptr;
+}
+
+const std::vector<AlgorithmKind>& AllAlgorithmKinds() {
+  static const std::vector<AlgorithmKind> kAll = {
+      AlgorithmKind::kNaive, AlgorithmKind::kFa,   AlgorithmKind::kTa,
+      AlgorithmKind::kBpa,   AlgorithmKind::kBpa2, AlgorithmKind::kTput,
+      AlgorithmKind::kNra,   AlgorithmKind::kCa,
+  };
+  return kAll;
+}
+
+}  // namespace topk

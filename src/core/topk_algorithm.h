@@ -1,0 +1,113 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// TopKAlgorithm: the common driver for every top-k algorithm in the library.
+
+#ifndef TOPK_CORE_TOPK_ALGORITHM_H_
+#define TOPK_CORE_TOPK_ALGORITHM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/topk_result.h"
+#include "lists/access_engine.h"
+#include "lists/database.h"
+#include "tracker/best_position_tracker.h"
+
+namespace topk {
+
+/// Knobs shared by all algorithms. Defaults reproduce the paper's setup.
+struct AlgorithmOptions {
+  /// Best-position management strategy for BPA/BPA2 (Section 5.2). The
+  /// evaluation's default is the bit array (Section 6.1).
+  TrackerKind tracker = TrackerKind::kBitArray;
+
+  /// When false (paper-faithful, Lemma 2), TA and BPA issue (m-1) random
+  /// accesses for *every* sorted access, even when the item was seen before.
+  /// When true, random accesses for already-resolved items are skipped; the
+  /// stopping position is unchanged, only access counts drop (ablation).
+  bool memoize_seen_items = false;
+
+  /// Record a per-(list, position) touch count during execution, reported in
+  /// TopKResult::max_touches_per_list. Used by tests (Theorem 5) and the
+  /// access-pattern ablation; costs O(n*m) memory.
+  bool audit_accesses = false;
+
+  /// Record every stop-rule evaluation (threshold, k-th buffered score) in
+  /// TopKResult::trace. Supported by TA, BPA and BPA2; used to replay the
+  /// paper's threshold tables (Figure 1.b) in tests and teaching material.
+  bool collect_trace = false;
+
+  /// Cost model for TopKResult::execution_cost. Defaults to
+  /// CostModel::PaperDefault(n): cs = 1, cr = log2(n).
+  std::optional<CostModel> cost_model;
+
+  /// Lower bound that every local score is guaranteed to respect; used by NRA
+  /// to lower-bound unknown scores and by TPUT's pruning. The paper's formal
+  /// model (non-negative scores) corresponds to 0.
+  double score_floor = 0.0;
+};
+
+/// Base class: validates the query, times the run, applies the cost model.
+/// Concrete algorithms implement Run().
+class TopKAlgorithm {
+ public:
+  explicit TopKAlgorithm(AlgorithmOptions options = {})
+      : options_(std::move(options)) {}
+
+  virtual ~TopKAlgorithm() = default;
+
+  /// Algorithm name as used in the paper ("TA", "BPA", "BPA2", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes the query against `db`. Fails with Status::Invalid on malformed
+  /// queries (k = 0, k > n, missing scorer) or on databases an algorithm
+  /// cannot serve (e.g. TPUT with a non-sum scorer).
+  Result<TopKResult> Execute(const Database& db, const TopKQuery& query) const;
+
+  const AlgorithmOptions& options() const { return options_; }
+
+ protected:
+  /// Algorithm body. `engine` is the counted access layer; `result` arrives
+  /// zero-initialized with its items empty. Implementations fill
+  /// result->items (any order; Execute sorts), stop_position and
+  /// min_best_position where applicable.
+  virtual Status Run(const Database& db, const TopKQuery& query,
+                     AccessEngine* engine, TopKResult* result) const = 0;
+
+  /// Per-algorithm validation hook; default accepts everything Execute
+  /// accepts.
+  virtual Status ValidateFor(const Database& db, const TopKQuery& query) const;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+/// Every algorithm shipped with the library.
+enum class AlgorithmKind {
+  kNaive,
+  kFa,
+  kTa,
+  kBpa,
+  kBpa2,
+  kTput,
+  kNra,
+  kCa,
+};
+
+/// Paper-style display name ("TA", "BPA", ...).
+std::string ToString(AlgorithmKind kind);
+
+/// Instantiates an algorithm.
+std::unique_ptr<TopKAlgorithm> MakeAlgorithm(AlgorithmKind kind,
+                                             AlgorithmOptions options = {});
+
+/// All kinds, in a stable order (useful for sweeps).
+const std::vector<AlgorithmKind>& AllAlgorithmKinds();
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TOPK_ALGORITHM_H_

@@ -1,0 +1,36 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+void TopKBuffer::Offer(ItemId item, Score score) {
+  if (k_ == 0 || Contains(item)) {
+    return;
+  }
+  if (ordered_.size() < k_) {
+    ordered_.emplace(score, item);
+    members_.insert(item);
+    return;
+  }
+  const auto weakest = ordered_.begin();
+  const std::pair<Score, ItemId> candidate{score, item};
+  if (WeakerFirst{}(*weakest, candidate)) {
+    members_.erase(weakest->second);
+    ordered_.erase(weakest);
+    ordered_.insert(candidate);
+    members_.insert(item);
+  }
+}
+
+std::vector<ResultItem> TopKBuffer::ToSortedItems() const {
+  std::vector<ResultItem> items;
+  items.reserve(ordered_.size());
+  // ordered_ is ascending weakest-first; emit in reverse for descending order.
+  for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
+    items.push_back(ResultItem{it->second, it->first});
+  }
+  return items;
+}
+
+}  // namespace topk

@@ -1,0 +1,73 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// TopKBuffer: the paper's set Y — the k highest-scored items seen so far.
+
+#ifndef TOPK_CORE_TOPK_BUFFER_H_
+#define TOPK_CORE_TOPK_BUFFER_H_
+
+#include <set>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/topk_result.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// Bounded buffer holding the k best (item, overall score) pairs offered so
+/// far. Ties are broken deterministically: on equal scores the smaller item id
+/// is considered stronger.
+class TopKBuffer {
+ public:
+  explicit TopKBuffer(size_t k) : k_(k) {}
+
+  /// Offers an item. No-op when the item is already buffered or is weaker
+  /// than the current k-th entry of a full buffer. (Re-offering an item with
+  /// its — deterministic — overall score is always a no-op.)
+  void Offer(ItemId item, Score score);
+
+  /// True iff `item` currently belongs to the buffer.
+  bool Contains(ItemId item) const { return members_.count(item) > 0; }
+
+  /// Number of buffered items (<= k).
+  size_t size() const { return ordered_.size(); }
+
+  /// True when k items are buffered.
+  bool full() const { return ordered_.size() == k_; }
+
+  size_t k() const { return k_; }
+
+  /// Score of the weakest buffered item. Requires size() > 0.
+  Score KthScore() const { return ordered_.begin()->first; }
+
+  /// The stopping predicate of TA/BPA/BPA2: true iff the buffer holds k items
+  /// whose overall scores are all >= `threshold`.
+  bool HasKAtLeast(Score threshold) const {
+    return full() && KthScore() >= threshold;
+  }
+
+  /// Buffered items sorted by descending score (ties: ascending item id).
+  std::vector<ResultItem> ToSortedItems() const;
+
+ private:
+  // Ascending (score, then *descending* item id), so that begin() is the
+  // weakest entry under the deterministic tie-break.
+  struct WeakerFirst {
+    bool operator()(const std::pair<Score, ItemId>& a,
+                    const std::pair<Score, ItemId>& b) const {
+      if (a.first != b.first) {
+        return a.first < b.first;
+      }
+      return a.second > b.second;
+    }
+  };
+
+  size_t k_;
+  std::set<std::pair<Score, ItemId>, WeakerFirst> ordered_;
+  std::unordered_set<ItemId> members_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TOPK_BUFFER_H_

@@ -1,0 +1,110 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Query and result types shared by every top-k algorithm.
+
+#ifndef TOPK_CORE_TOPK_RESULT_H_
+#define TOPK_CORE_TOPK_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lists/access_stats.h"
+#include "lists/scorer.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// A top-k query: how many items, aggregated how.
+struct TopKQuery {
+  /// Number of items requested (1 <= k <= n).
+  size_t k = 1;
+
+  /// Monotonic scoring function; non-owning, must outlive the execution.
+  const Scorer* scorer = nullptr;
+};
+
+/// One answer: an item and its exact overall score.
+struct ResultItem {
+  ItemId item = kInvalidItem;
+  Score score = 0.0;
+
+  friend bool operator==(const ResultItem& a, const ResultItem& b) {
+    return a.item == b.item && a.score == b.score;
+  }
+};
+
+/// One stop-rule evaluation, recorded when AlgorithmOptions::collect_trace
+/// is set. For TA the threshold is δ (last sorted scores); for BPA/BPA2 it is
+/// λ (best-position scores). `position` is the sorted depth (TA/BPA) or the
+/// round number (BPA2).
+struct StopRuleTrace {
+  Position position = 0;
+  /// Threshold the buffer was compared against (δ or λ).
+  double threshold = 0.0;
+  /// Score of the k-th buffered item (NaN while the buffer is not full).
+  double kth_score = 0.0;
+  /// Number of buffered items at evaluation time.
+  size_t buffer_size = 0;
+  /// Smallest best position across lists (BPA/BPA2; 0 for TA).
+  Position min_best_position = 0;
+};
+
+/// Outcome of one algorithm execution.
+struct TopKResult {
+  /// The k answers, sorted by descending overall score (ties: ascending item
+  /// id).
+  std::vector<ResultItem> items;
+
+  /// Access counts incurred by the run.
+  AccessStats stats;
+
+  /// Execution cost of the run under the cost model in effect
+  /// (as*cs + (ar+ad)*cr; Section 2 / Section 6.1).
+  double execution_cost = 0.0;
+
+  /// Wall-clock time of the run (the paper's "response time").
+  double elapsed_ms = 0.0;
+
+  /// Depth at which the algorithm stopped:
+  ///  * FA/TA/BPA/NRA — the sorted-access position at stop (the paper's
+  ///    "stopping position");
+  ///  * BPA2          — the number of direct-access rounds executed;
+  ///  * naive/TPUT    — the deepest sorted position read.
+  Position stop_position = 0;
+
+  /// Final best position, minimized over lists (BPA/BPA2 only; 0 otherwise).
+  Position min_best_position = 0;
+
+  /// Per-list maximum number of times any single position was touched.
+  /// Filled only when AlgorithmOptions::audit_accesses is set.
+  std::vector<uint32_t> max_touches_per_list;
+
+  /// One entry per stop-rule evaluation (TA: per row; BPA: per row; BPA2: per
+  /// round). Filled only when AlgorithmOptions::collect_trace is set.
+  std::vector<StopRuleTrace> trace;
+
+  /// The k overall scores in descending order (convenience for tests).
+  std::vector<Score> Scores() const {
+    std::vector<Score> scores;
+    scores.reserve(items.size());
+    for (const ResultItem& item : items) {
+      scores.push_back(item.score);
+    }
+    return scores;
+  }
+
+  /// The k item ids in result order (convenience for tests).
+  std::vector<ItemId> Items() const {
+    std::vector<ItemId> ids;
+    ids.reserve(items.size());
+    for (const ResultItem& item : items) {
+      ids.push_back(item.item);
+    }
+    return ids;
+  }
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TOPK_RESULT_H_

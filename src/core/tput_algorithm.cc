@@ -1,0 +1,145 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/tput_algorithm.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topk_buffer.h"
+
+namespace topk {
+
+namespace {
+
+// Partial knowledge about a candidate: which lists have revealed its local
+// score, and those scores.
+struct Candidate {
+  std::vector<Score> scores;
+  std::vector<bool> known;
+
+  explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
+};
+
+// k-th largest value of `values` (values.size() >= k >= 1).
+Score KthLargest(std::vector<Score> values, size_t k) {
+  std::nth_element(values.begin(), values.begin() + (k - 1), values.end(),
+                   std::greater<Score>());
+  return values[k - 1];
+}
+
+}  // namespace
+
+Status TputAlgorithm::ValidateFor(const Database& db,
+                                  const TopKQuery& query) const {
+  if (query.scorer->name() != "sum") {
+    return Status::NotImplemented(
+        "TPUT thresholding (τ1/m) is defined for summation scoring; got '",
+        query.scorer->name(), "'");
+  }
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    if (db.list(i).MinScore() < options().score_floor) {
+      return Status::Invalid("TPUT requires scores >= score floor ",
+                             options().score_floor, "; list ", i,
+                             " has minimum ", db.list(i).MinScore());
+    }
+  }
+  return Status::OK();
+}
+
+Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
+                          AccessEngine* engine, TopKResult* result) const {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  const double floor = options().score_floor;
+
+  std::unordered_map<ItemId, Candidate> candidates;
+  auto record = [&](size_t list_index, const AccessedEntry& entry) {
+    auto [it, inserted] =
+        candidates.try_emplace(entry.item, Candidate(m));
+    it->second.scores[list_index] = entry.score;
+    it->second.known[list_index] = true;
+  };
+
+  // Lower bound of a candidate's overall sum: unknown lists contribute the
+  // floor.
+  auto lower_bound_sum = [&](const Candidate& c) {
+    Score sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += c.known[i] ? c.scores[i] : floor;
+    }
+    return sum;
+  };
+
+  // ---- Phase 1: top-k prefix of every list. ----
+  Position depth = 0;
+  for (Position p = 0; p < query.k && p < n; ++p) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      record(i, engine->SortedAccess(i));
+    }
+  }
+  std::vector<Score> partial_sums;
+  partial_sums.reserve(candidates.size());
+  for (const auto& [item, cand] : candidates) {
+    partial_sums.push_back(lower_bound_sum(cand));
+  }
+  // Phase 1 sees >= k distinct items (k rows of one list are distinct).
+  const Score tau1 = KthLargest(partial_sums, query.k);
+
+  // ---- Phase 2: drain every list down to local score >= τ1/m. ----
+  const Score threshold = tau1 / static_cast<Score>(m);
+  std::vector<Score> last_scores(m, 0.0);
+  {
+    // The per-list scan continues from the shared phase-1 depth.
+    for (size_t i = 0; i < m; ++i) {
+      last_scores[i] =
+          depth == 0 ? db.list(i).MaxScore() : db.list(i).EntryAt(depth).score;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      while (!engine->SortedExhausted(i) && last_scores[i] >= threshold) {
+        const AccessedEntry entry = engine->SortedAccess(i);
+        record(i, entry);
+        last_scores[i] = entry.score;
+        depth = std::max(depth, entry.position);
+      }
+    }
+  }
+
+  partial_sums.clear();
+  for (const auto& [item, cand] : candidates) {
+    partial_sums.push_back(lower_bound_sum(cand));
+  }
+  const Score tau2 = KthLargest(partial_sums, query.k);
+
+  // Upper bound: unknown lists contribute min(last seen score, threshold
+  // ceiling) — after phase 2 any unseen score in list i is < max(last_scores
+  // [i], threshold).
+  auto upper_bound_sum = [&](const Candidate& c) {
+    Score sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += c.known[i] ? c.scores[i] : std::min(last_scores[i], threshold);
+    }
+    return sum;
+  };
+
+  // ---- Phase 3: resolve survivors exactly. ----
+  TopKBuffer buffer(query.k);
+  for (auto& [item, cand] : candidates) {
+    if (upper_bound_sum(cand) < tau2) {
+      continue;  // pruned: cannot reach the top-k
+    }
+    Score sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += cand.known[i] ? cand.scores[i]
+                           : engine->RandomAccess(i, item).score;
+    }
+    buffer.Offer(item, sum);
+  }
+
+  result->items = buffer.ToSortedItems();
+  result->stop_position = depth;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,42 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// TPUT — "Three-Phase Uniform Threshold" (Cao & Wang, PODC 2004), discussed in
+// the paper's related work (Section 7). Implemented as a comparison baseline:
+//
+//   Phase 1: fetch the top k entries of every list; τ1 = k-th largest partial
+//            sum (missing scores taken as the score floor).
+//   Phase 2: continue fetching every list down to local score >= τ1/m; prune
+//            candidates whose upper bound is below τ2, the new k-th largest
+//            partial sum.
+//   Phase 3: random accesses resolve the exact scores of survivors.
+//
+// TPUT's thresholding is defined for summation scoring over scores bounded
+// below; ValidateFor() rejects other scorers or databases with scores below
+// the configured floor. As the paper notes, TPUT is not instance-optimal: a
+// list whose scores sit just above τ1/m forces it to fetch that entire list.
+
+#ifndef TOPK_CORE_TPUT_ALGORITHM_H_
+#define TOPK_CORE_TPUT_ALGORITHM_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+
+namespace topk {
+
+class TputAlgorithm : public TopKAlgorithm {
+ public:
+  using TopKAlgorithm::TopKAlgorithm;
+
+  std::string name() const override { return "TPUT"; }
+
+ protected:
+  Status ValidateFor(const Database& db, const TopKQuery& query) const override;
+
+  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
+             TopKResult* result) const override;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TPUT_ALGORITHM_H_

@@ -1,0 +1,197 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "gen/adversarial.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+#include "lists/sorted_list.h"
+
+namespace topk {
+
+namespace {
+
+// Identifier of visible item (g, r): groups are blocks of u consecutive ids.
+ItemId VisibleId(size_t g, size_t r, size_t u) {
+  return static_cast<ItemId>(g * u + r);
+}
+
+}  // namespace
+
+// The construction needs every visible item's overall score T to land in the
+// band [δ(j), δ(j-1)) of TA's threshold, where δ(p) = m * S(p). Because T is
+// the sum of m-1 scores at positions <= j plus one tiny tail score, this
+// forces a *flat* score schedule over [1, j] (exactly like the paper's
+// Figure 1, whose visible scores span only 30..19): S(p) = Base + (j - p) * s
+// with a small step s, so that T ≈ (m-1) * Base + O(j*s) can equal
+// m * Base + O(m*s) for a suitable Base.
+//
+// Position-sum balancing keeps T constant across the m*u visible items:
+//  * per-list middle blocks are assigned by the Latin rank
+//    rank(l, g) = (g - l - 1) mod m, which gives every group the same
+//    multiset of block offsets across its middle lists;
+//  * within-block order alternates so the r-drift of the position sum
+//    cancels: odd m uses one extra descending block; even m uses balanced
+//    blocks plus a descending tail whose score step equals s.
+Result<Database> MakeLemma3Database(const Lemma3Config& config) {
+  const size_t m = config.m;
+  const size_t u = config.u;
+  const size_t n = config.n;
+  if (m < 3) {
+    return Status::Invalid("Lemma 3 family needs m >= 3 (got ", m,
+                           "); for m = 2 the bound degenerates to 1x");
+  }
+  if (u < 1) {
+    return Status::Invalid("u must be >= 1");
+  }
+  const size_t j = (m - 1) * u;  // TA's target stopping position
+  if (n < m * u + 1) {
+    return Status::Invalid("n must be >= m*u + 1 = ", m * u + 1, " (got ", n,
+                           ")");
+  }
+
+  const double s = 1.0;  // score step inside [1, j]
+  // Tail step: for even m the tail cancels the position-sum drift (step s);
+  // for odd m the blocks already cancel and the tail only needs to stay
+  // strictly decreasing.
+  const bool even_m = (m % 2 == 0);
+  const double eps2 = even_m ? s : s / (2.0 * static_cast<double>(u));
+  // Top score of the visible tail block; the whole block spans
+  // [a - (u-1)*eps2, a] and must sit strictly below S(j) = Base.
+  const double a = (static_cast<double>(u) - 1.0) * eps2 + 1.0;
+
+  // position_of[item][list], 1-based.
+  std::vector<std::vector<Position>> position_of(
+      n, std::vector<Position>(m, kInvalidPosition));
+  // tail_r[item] = r for visible items (tail ordering), unused otherwise.
+  std::vector<size_t> tail_rank(n, 0);
+
+  // Latin rank: in [0, m-3] exactly for the middle (list, group) pairs.
+  auto rank = [&](size_t l, size_t g) { return (g + m - l - 1) % m; };
+  const size_t desc_blocks = even_m ? (m - 2) / 2 : (m - 1) / 2;
+
+  for (size_t g = 0; g < m; ++g) {
+    const size_t tail_list = (g + 1) % m;
+    for (size_t r = 0; r < u; ++r) {
+      const ItemId item = VisibleId(g, r, u);
+      position_of[item][g] = static_cast<Position>(r + 1);
+      // Tail: descending order for even m (r -> slot u-1-r), ascending
+      // otherwise; always after the gap at j+1.
+      const size_t tail_slot = even_m ? (u - 1 - r) : r;
+      position_of[item][tail_list] = static_cast<Position>(j + 2 + tail_slot);
+      tail_rank[item] = tail_slot;
+      for (size_t l = 0; l < m; ++l) {
+        if (l == g || l == tail_list) {
+          continue;
+        }
+        const size_t block = rank(l, g);
+        const size_t offset = u + block * u;  // block spans offset+1..offset+u
+        const bool descending = block < desc_blocks;
+        const size_t pos_in_block = descending ? (u - r) : (r + 1);
+        position_of[item][l] = static_cast<Position>(offset + pos_in_block);
+      }
+    }
+  }
+
+  // Invisible items: position j+1 (the gap that pins the best position at j)
+  // and all positions past the visible tails, identical in every list.
+  {
+    std::vector<Position> free_positions;
+    free_positions.push_back(static_cast<Position>(j + 1));
+    for (size_t p = j + 1 + u + 1; p <= n; ++p) {
+      free_positions.push_back(static_cast<Position>(p));
+    }
+    size_t next = 0;
+    for (ItemId item = static_cast<ItemId>(m * u); item < n; ++item) {
+      const Position p = free_positions[next++];
+      for (size_t l = 0; l < m; ++l) {
+        position_of[item][l] = p;
+      }
+    }
+  }
+
+  // Pick Base so that T - m*Base sits at s/2 above δ(j) for the *maximum* T;
+  // the drift-cancelling layout keeps the spread of T far below the band m*s.
+  // W(item) = T(item) - (m-1)*Base, computable without Base.
+  double w_min = 0.0;
+  double w_max = 0.0;
+  {
+    bool first = true;
+    for (size_t g = 0; g < m; ++g) {
+      for (size_t r = 0; r < u; ++r) {
+        const ItemId item = VisibleId(g, r, u);
+        double position_sum = 0.0;
+        for (size_t l = 0; l < m; ++l) {
+          if (l == (g + 1) % m) {
+            continue;  // tail handled separately
+          }
+          position_sum += static_cast<double>(position_of[item][l]);
+        }
+        const double tail_score =
+            a - static_cast<double>(tail_rank[item]) * eps2;
+        const double w =
+            s * (static_cast<double>((m - 1) * j) - position_sum) + tail_score;
+        w_min = first ? w : std::min(w_min, w);
+        w_max = first ? w : std::max(w_max, w);
+        first = false;
+      }
+    }
+  }
+  // T = (m-1)*Base + W; anchoring the *minimum* T at δ(j) + s/2 gives
+  // Base = w_min - s/2; the spread check below keeps the maximum under
+  // δ(j-1).
+  const double base = w_min - 0.5 * s;
+
+  // Self-checks; Internal errors indicate a bug in this construction.
+  if (w_max - w_min >= static_cast<double>(m) * s - 0.5 * s) {
+    return Status::Internal("Lemma3: T spread ", w_max - w_min,
+                            " does not fit the band ", m * s);
+  }
+  if (base <= a + 1e-9) {
+    return Status::Internal("Lemma3: Base ", base,
+                            " does not clear the tail block top ", a);
+  }
+
+  const double gap_score = 0.5 * (base + a);  // position j+1
+  const double invisible_top = a - (static_cast<double>(u) - 1.0) * eps2;
+
+  auto score_at = [&](Position p) {
+    if (p <= j) {
+      return base + s * static_cast<double>(j - p);
+    }
+    if (p == j + 1) {
+      return gap_score;
+    }
+    if (p <= j + 1 + u) {
+      // Visible tail block: slot t at position j+2+t.
+      return a - static_cast<double>(p - (j + 2)) * eps2;
+    }
+    // Deep tail: strictly below the visible tail block, decreasing to ~0.
+    return invisible_top * 0.5 * static_cast<double>(n + 1 - p) /
+           static_cast<double>(n);
+  };
+
+  // Materialize and validate strict descending order per list.
+  std::vector<SortedList> lists;
+  lists.reserve(m);
+  for (size_t l = 0; l < m; ++l) {
+    std::vector<ListEntry> entries(n);
+    for (ItemId item = 0; item < n; ++item) {
+      const Position p = position_of[item][l];
+      entries[p - 1] = ListEntry{item, score_at(p)};
+    }
+    for (size_t p = 1; p < n; ++p) {
+      if (entries[p - 1].score <= entries[p].score) {
+        return Status::Internal("Lemma3: scores not strictly descending at "
+                                "position ", p + 1);
+      }
+    }
+    TOPK_ASSIGN_OR_RETURN(SortedList list,
+                          SortedList::FromEntries(std::move(entries)));
+    lists.push_back(std::move(list));
+  }
+  return Database::Make(std::move(lists));
+}
+
+}  // namespace topk

@@ -1,0 +1,55 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Adversarial database families realizing the paper's theoretical bounds.
+//
+// MakeLemma3Database constructs the worst case of Lemma 3 / Theorem 3: a
+// database over which BPA stops at position u while TA scans to j = (m-1)*u,
+// i.e. BPA's sorted (and random) accesses are exactly (m-1) times lower.
+//
+// Construction (generalizing the paper's Figure 1, which is the m = 3, u = 3
+// instance): the first m*u items are "visible". Visible item (g, r)
+// (g in [0, m), r in [0, u)) sits
+//   * at position r+1 in list g                       (the "top" region),
+//   * somewhere in positions [u+1, j] in m-2 lists    (the "middle" region),
+//   * past position j+1 in the remaining list         (the "tail").
+// Scores are a strictly decreasing function of position with three regimes
+// (steep top, u-step middle, tiny tail), shifted so that every visible item's
+// overall score lands in the half-open band (δ(j), δ(j-1)]:
+//   * TA's threshold stays above the band until depth j, so TA stops at
+//     exactly j (Lemma 3's condition 2 keeps the tail positions unseen);
+//   * by depth u BPA has seen, via random accesses, every middle position, so
+//     each best position reaches exactly j (position j+1 is held by an
+//     invisible item), λ drops to δ(j), and BPA stops at exactly u.
+// The within-block ordering of the middle region alternates ascending/
+// descending in r so the position sums of visible items stay within the band.
+
+#ifndef TOPK_GEN_ADVERSARIAL_H_
+#define TOPK_GEN_ADVERSARIAL_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "lists/database.h"
+
+namespace topk {
+
+/// Parameters of the Lemma 3 family.
+struct Lemma3Config {
+  /// Number of lists (m >= 3; with m = 2 the bound degenerates to 1x).
+  size_t m = 3;
+  /// BPA's target stopping position (u >= 1). TA stops at j = (m-1)*u.
+  size_t u = 3;
+  /// Total items; must satisfy n >= m*u + 1 (at least one invisible item to
+  /// hold position j+1). Positions beyond the construction are filled with
+  /// tiny-score filler items.
+  size_t n = 100;
+};
+
+/// Builds the worst-case database. With any k in [1, m*u] and sum scoring,
+/// BPA stops at position u and TA at position (m-1)*u (verified by the test
+/// suite for a grid of m, u, n).
+Result<Database> MakeLemma3Database(const Lemma3Config& config);
+
+}  // namespace topk
+
+#endif  // TOPK_GEN_ADVERSARIAL_H_

@@ -1,0 +1,61 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "gen/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace topk {
+
+double ZipfScore(Position position, double theta) {
+  assert(position >= 1);
+  return 1.0 / std::pow(static_cast<double>(position), theta);
+}
+
+std::vector<Score> ZipfScoreVector(size_t n, double theta) {
+  std::vector<Score> scores(n);
+  for (size_t p = 1; p <= n; ++p) {
+    scores[p - 1] = ZipfScore(static_cast<Position>(p), theta);
+  }
+  return scores;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += ZipfScore(static_cast<Position>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) {
+    v /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+Position ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<Position>((it - cdf_.begin()) + 1);
+}
+
+std::vector<Score> UniformScoreVector(size_t n, Rng* rng) {
+  std::vector<Score> scores(n);
+  for (Score& s : scores) {
+    s = rng->NextDouble();
+  }
+  return scores;
+}
+
+std::vector<Score> GaussianScoreVector(size_t n, Rng* rng, double mean,
+                                       double stddev) {
+  std::vector<Score> scores(n);
+  for (Score& s : scores) {
+    s = rng->NextGaussian(mean, stddev);
+  }
+  return scores;
+}
+
+}  // namespace topk

@@ -1,0 +1,49 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Score distributions used by the workload generators (paper, Section 6.1).
+
+#ifndef TOPK_GEN_DISTRIBUTIONS_H_
+#define TOPK_GEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// Zipf-law score for rank `position` (1-based): s(p) = 1 / p^theta. The
+/// paper's correlated databases assign scores by rank following Zipf's law
+/// with theta = 0.7.
+double ZipfScore(Position position, double theta);
+
+/// Scores for ranks 1..n under the Zipf law (descending).
+std::vector<Score> ZipfScoreVector(size_t n, double theta);
+
+/// Samples ranks from the Zipf distribution P(rank = i) ∝ 1/i^theta over
+/// {1..n}. Used by the example workloads (e.g. URL access frequencies).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks; \param theta skew (0 = uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [1, n].
+  Position Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+/// n i.i.d. Uniform[0,1) scores.
+std::vector<Score> UniformScoreVector(size_t n, Rng* rng);
+
+/// n i.i.d. Normal(mean, stddev) scores (the paper uses mean 0, stddev 1).
+std::vector<Score> GaussianScoreVector(size_t n, Rng* rng, double mean = 0.0,
+                                       double stddev = 1.0);
+
+}  // namespace topk
+
+#endif  // TOPK_GEN_DISTRIBUTIONS_H_

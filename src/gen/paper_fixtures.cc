@@ -1,0 +1,86 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "gen/paper_fixtures.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace topk {
+
+namespace {
+
+// One list given as the visible (item, score) prefix from the figure plus the
+// four completion entries appended by BuildList. Items are the paper's 1-based
+// d-indexes.
+struct FigureList {
+  std::array<int, 10> items;
+  std::array<double, 10> scores;
+  // The four items absent from the visible prefix, in ascending d-index.
+  std::array<int, 4> completion_items;
+};
+
+SortedList BuildList(const FigureList& spec) {
+  std::vector<ListEntry> entries;
+  entries.reserve(kPaperFixtureItems);
+  for (size_t i = 0; i < spec.items.size(); ++i) {
+    entries.push_back(ListEntry{static_cast<ItemId>(spec.items[i] - 1),
+                                spec.scores[i]});
+  }
+  // Completion: positions 11..14, scores 4, 3, 2, 1 (below every visible
+  // score; see header).
+  double score = 4.0;
+  for (int d : spec.completion_items) {
+    entries.push_back(ListEntry{static_cast<ItemId>(d - 1), score});
+    score -= 1.0;
+  }
+  return SortedList::FromEntries(std::move(entries)).ValueOrDie();
+}
+
+Database BuildDatabase(const FigureList& l1, const FigureList& l2,
+                       const FigureList& l3) {
+  std::vector<SortedList> lists;
+  lists.push_back(BuildList(l1));
+  lists.push_back(BuildList(l2));
+  lists.push_back(BuildList(l3));
+  return Database::Make(std::move(lists)).ValueOrDie();
+}
+
+}  // namespace
+
+std::string PaperItemLabel(ItemId item) {
+  std::string label = "d";
+  label += std::to_string(item + 1);
+  return label;
+}
+
+Database MakeFigure1Database() {
+  // Figure 1.a, verbatim.
+  const FigureList l1{{1, 4, 9, 3, 7, 8, 5, 6, 2, 11},
+                      {30, 28, 27, 26, 25, 23, 17, 14, 11, 10},
+                      {10, 12, 13, 14}};
+  const FigureList l2{{2, 6, 7, 5, 9, 1, 8, 3, 4, 14},
+                      {28, 27, 25, 24, 23, 21, 20, 14, 13, 12},
+                      {10, 11, 12, 13}};
+  const FigureList l3{{3, 5, 8, 4, 2, 6, 13, 1, 9, 7},
+                      {30, 29, 28, 25, 24, 19, 15, 14, 12, 11},
+                      {10, 11, 12, 14}};
+  return BuildDatabase(l1, l2, l3);
+}
+
+Database MakeFigure2Database() {
+  // Figure 2, verbatim. Differs from Figure 1 in lists 1-3 scores/placements
+  // so that BPA2 skips positions 4-6 entirely.
+  const FigureList l1{{1, 4, 9, 3, 7, 8, 11, 6, 2, 5},
+                      {30, 28, 27, 26, 25, 24, 17, 14, 11, 10},
+                      {10, 12, 13, 14}};
+  const FigureList l2{{2, 6, 7, 5, 9, 1, 14, 3, 4, 8},
+                      {28, 27, 25, 24, 23, 22, 20, 14, 13, 12},
+                      {10, 11, 12, 13}};
+  const FigureList l3{{3, 5, 8, 4, 2, 6, 13, 1, 9, 7},
+                      {30, 29, 28, 27, 26, 25, 15, 13, 12, 11},
+                      {10, 11, 12, 14}};
+  return BuildDatabase(l1, l2, l3);
+}
+
+}  // namespace topk

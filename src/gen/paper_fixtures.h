@@ -1,0 +1,39 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// The paper's worked-example databases (Figure 1 and Figure 2), reconstructed
+// exactly for the visible ten positions of each list. The figures elide
+// positions 11+ ("..."); a valid database needs every item in every list, so
+// positions 11-14 are completed with the items missing from each list's
+// visible prefix, in item-id order, with scores 4, 3, 2, 1. The completion is
+// below every visible score and cannot influence any behaviour the paper
+// reports (see DESIGN.md, "Paper-fixture completion").
+//
+// Item ids map the paper's d1..d14 to 0..13.
+
+#ifndef TOPK_GEN_PAPER_FIXTURES_H_
+#define TOPK_GEN_PAPER_FIXTURES_H_
+
+#include "lists/database.h"
+
+namespace topk {
+
+/// Number of items in both fixtures (d1..d14).
+inline constexpr size_t kPaperFixtureItems = 14;
+
+/// The paper's item label ("d1"..) for a fixture item id.
+std::string PaperItemLabel(ItemId item);
+
+/// Figure 1: the database of Examples 1-3. With k = 3 and sum scoring the
+/// paper reports: FA stops at position 8, TA at position 6, BPA at position 3;
+/// top-3 = {d8 (71), d3 (70), d5 (70)}.
+Database MakeFigure1Database();
+
+/// Figure 2: the database of Section 5's access-count example. With k = 3 and
+/// sum scoring the paper reports: BPA stops at position 7 with 63 total
+/// accesses; BPA2 performs direct accesses only at positions 1, 2, 3, 7 for a
+/// total of 36 accesses; top-3 = {d3 (70), d4 (68), d6 (66)}.
+Database MakeFigure2Database();
+
+}  // namespace topk
+
+#endif  // TOPK_GEN_PAPER_FIXTURES_H_

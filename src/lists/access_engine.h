@@ -1,0 +1,98 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// AccessEngine: counted access layer between the algorithms and a Database.
+// Every sorted/random/direct access an algorithm performs goes through this
+// class, which maintains the per-run AccessStats, the per-list sorted-access
+// cursors, and (optionally) a per-position audit trail used by the tests to
+// verify access-pattern theorems (e.g. Theorem 5: BPA2 never accesses a list
+// position twice).
+
+#ifndef TOPK_LISTS_ACCESS_ENGINE_H_
+#define TOPK_LISTS_ACCESS_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lists/access_stats.h"
+#include "lists/database.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// Result of one sorted or direct access.
+struct AccessedEntry {
+  ItemId item = kInvalidItem;
+  Score score = 0.0;
+  Position position = kInvalidPosition;
+};
+
+/// Counted access layer over an immutable Database. Not thread-safe; create
+/// one engine per query execution.
+class AccessEngine {
+ public:
+  /// \param audit when true, records how many times each (list, position) pair
+  ///        was touched; needed only by tests/ablations (costs O(n*m) memory).
+  explicit AccessEngine(const Database& db, bool audit = false);
+
+  /// Sorted access: the next unread entry of list `list_index` (paper mode 1).
+  /// Precondition: !SortedExhausted(list_index).
+  AccessedEntry SortedAccess(size_t list_index);
+
+  /// True when the sorted cursor of the list has walked past position n.
+  bool SortedExhausted(size_t list_index) const {
+    return cursors_[list_index] >= db_->num_items();
+  }
+
+  /// Current sorted-access depth of a list: the position of the last entry
+  /// returned by SortedAccess (0 before the first access).
+  Position SortedDepth(size_t list_index) const {
+    return static_cast<Position>(cursors_[list_index]);
+  }
+
+  /// Largest sorted-access depth over all lists; the "stopping position" that
+  /// the paper reports for FA/TA/BPA.
+  Position MaxSortedDepth() const;
+
+  /// Random access: score and position of `item` in list `list_index`
+  /// (paper mode 2).
+  ItemLookup RandomAccess(size_t list_index, ItemId item);
+
+  /// Direct access: entry at `position` of list `list_index` (Section 5.1).
+  AccessedEntry DirectAccess(size_t list_index, Position position);
+
+  /// Access counts so far.
+  const AccessStats& stats() const { return stats_; }
+
+  /// The database being accessed.
+  const Database& database() const { return *db_; }
+
+  // --- audit trail (enabled via constructor flag) ---
+
+  /// Number of times position `pos` of list `list_index` was touched by any
+  /// access mode. Requires audit mode.
+  uint32_t TouchCount(size_t list_index, Position pos) const {
+    return touch_counts_[list_index][pos - 1];
+  }
+
+  /// Maximum touch count over all positions of a list. Requires audit mode.
+  uint32_t MaxTouchCount(size_t list_index) const;
+
+  bool audit_enabled() const { return audit_; }
+
+ private:
+  void RecordTouch(size_t list_index, Position pos) {
+    if (audit_) {
+      ++touch_counts_[list_index][pos - 1];
+    }
+  }
+
+  const Database* db_;
+  AccessStats stats_;
+  std::vector<size_t> cursors_;  // entries consumed per list (0-based count)
+  bool audit_;
+  std::vector<std::vector<uint32_t>> touch_counts_;  // [list][pos-1]
+};
+
+}  // namespace topk
+
+#endif  // TOPK_LISTS_ACCESS_ENGINE_H_

@@ -1,0 +1,16 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/access_stats.h"
+
+#include <sstream>
+
+namespace topk {
+
+std::string AccessStats::ToString() const {
+  std::ostringstream oss;
+  oss << "sorted=" << sorted_accesses << " random=" << random_accesses
+      << " direct=" << direct_accesses << " total=" << TotalAccesses();
+  return oss.str();
+}
+
+}  // namespace topk

@@ -1,0 +1,75 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Access counting and the paper's execution-cost ("middleware cost") model.
+
+#ifndef TOPK_LISTS_ACCESS_STATS_H_
+#define TOPK_LISTS_ACCESS_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace topk {
+
+/// Counts of the three access modes defined in Sections 2 and 5.1.
+struct AccessStats {
+  uint64_t sorted_accesses = 0;
+  uint64_t random_accesses = 0;
+  uint64_t direct_accesses = 0;
+
+  /// Total number of list accesses (the paper's "number of accesses" metric,
+  /// Section 6.1, used as the distributed-cost proxy).
+  uint64_t TotalAccesses() const {
+    return sorted_accesses + random_accesses + direct_accesses;
+  }
+
+  AccessStats& operator+=(const AccessStats& other) {
+    sorted_accesses += other.sorted_accesses;
+    random_accesses += other.random_accesses;
+    direct_accesses += other.direct_accesses;
+    return *this;
+  }
+
+  friend AccessStats operator+(AccessStats a, const AccessStats& b) {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const AccessStats& a, const AccessStats& b) {
+    return a.sorted_accesses == b.sorted_accesses &&
+           a.random_accesses == b.random_accesses &&
+           a.direct_accesses == b.direct_accesses;
+  }
+
+  std::string ToString() const;
+};
+
+/// The paper's cost model: execution cost = as*cs + ar*cr, with each direct
+/// access billed like a random access (Section 6.1).
+struct CostModel {
+  double sorted_cost = 1.0;  // cs
+  double random_cost = 1.0;  // cr (also the price of a direct access)
+
+  /// The evaluation's setting: cs = 1, cr = log2(n). (The paper says "log n"
+  /// without a base; log2 reproduces the magnitude of its cost axis.)
+  static CostModel PaperDefault(size_t n) {
+    CostModel model;
+    model.sorted_cost = 1.0;
+    model.random_cost = n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+    return model;
+  }
+
+  /// Unit costs for both access kinds (cost == number of accesses).
+  static CostModel Unit() { return CostModel{1.0, 1.0}; }
+
+  /// Execution cost of a run with the given access counts.
+  double ExecutionCost(const AccessStats& stats) const {
+    return static_cast<double>(stats.sorted_accesses) * sorted_cost +
+           static_cast<double>(stats.random_accesses + stats.direct_accesses) *
+               random_cost;
+  }
+};
+
+}  // namespace topk
+
+#endif  // TOPK_LISTS_ACCESS_STATS_H_

@@ -1,0 +1,60 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/database.h"
+
+namespace topk {
+
+Result<Database> Database::Make(std::vector<SortedList> lists) {
+  if (lists.empty()) {
+    return Status::Invalid("a database needs at least one list");
+  }
+  const size_t n = lists[0].size();
+  if (n == 0) {
+    return Status::Invalid("lists must be non-empty");
+  }
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() != n) {
+      return Status::Invalid("list ", i, " has ", lists[i].size(),
+                             " items but list 0 has ", n);
+    }
+  }
+  return Database(std::move(lists));
+}
+
+Result<Database> Database::FromScoreMatrix(
+    const std::vector<std::vector<Score>>& scores) {
+  if (scores.empty()) {
+    return Status::Invalid("score matrix has no rows");
+  }
+  const size_t m = scores[0].size();
+  if (m == 0) {
+    return Status::Invalid("score matrix has no columns");
+  }
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i].size() != m) {
+      return Status::Invalid("score matrix row ", i, " has ", scores[i].size(),
+                             " columns, expected ", m);
+    }
+  }
+  std::vector<SortedList> lists;
+  lists.reserve(m);
+  std::vector<Score> column(scores.size());
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < scores.size(); ++i) {
+      column[i] = scores[i][j];
+    }
+    lists.push_back(SortedList::FromScores(column));
+  }
+  return Make(std::move(lists));
+}
+
+bool Database::AllScoresNonNegative() const {
+  for (const SortedList& list : lists_) {
+    if (!list.AllScoresNonNegative()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace topk

@@ -1,0 +1,66 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Database: the paper's "set of m sorted lists" over a common item universe.
+
+#ifndef TOPK_LISTS_DATABASE_H_
+#define TOPK_LISTS_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "lists/sorted_list.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// An immutable collection of m sorted lists over items 0..n-1. Every item
+/// appears exactly once in every list (enforced at construction).
+class Database {
+ public:
+  Database() = default;
+
+  /// Builds a database from already-constructed lists. Fails if there are no
+  /// lists or the lists disagree on n.
+  static Result<Database> Make(std::vector<SortedList> lists);
+
+  /// Builds a database from an n x m score matrix: scores[i][j] is the local
+  /// score of item i in list j. Fails if rows are ragged or empty.
+  static Result<Database> FromScoreMatrix(
+      const std::vector<std::vector<Score>>& scores);
+
+  /// Number of lists (the paper's m).
+  size_t num_lists() const { return lists_.size(); }
+
+  /// Number of items per list (the paper's n).
+  size_t num_items() const { return lists_.empty() ? 0 : lists_[0].size(); }
+
+  /// The i-th list, 0-based.
+  const SortedList& list(size_t i) const { return lists_[i]; }
+
+  const std::vector<SortedList>& lists() const { return lists_; }
+
+  /// True iff all local scores in all lists are non-negative (the paper's
+  /// formal model; required by TPUT and by NRA's default score floor).
+  bool AllScoresNonNegative() const;
+
+  /// Exact overall score of `item` under `combine`, reading one score per list
+  /// (used by the naive algorithm and by tests as ground truth).
+  template <typename CombineFn>
+  Score OverallScore(ItemId item, CombineFn&& combine) const {
+    std::vector<Score> local(lists_.size());
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      local[i] = lists_[i].ScoreOf(item);
+    }
+    return combine(local);
+  }
+
+ private:
+  explicit Database(std::vector<SortedList> lists) : lists_(std::move(lists)) {}
+
+  std::vector<SortedList> lists_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_LISTS_DATABASE_H_

@@ -1,0 +1,218 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/database_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace topk {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'O', 'P', 'K', 'D', 'B', '\x01', '\n'};
+
+Status CannotOpen(const std::string& path, const char* mode) {
+  return Status::Invalid("cannot open '", path, "' for ", mode);
+}
+
+}  // namespace
+
+Status WriteCsv(const Database& db, std::ostream& os) {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  os << "item";
+  for (size_t j = 0; j < m; ++j) {
+    os << ",list" << j;
+  }
+  os << "\n";
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (ItemId item = 0; item < n; ++item) {
+    os << item;
+    for (size_t j = 0; j < m; ++j) {
+      os << "," << db.list(j).ScoreOf(item);
+    }
+    os << "\n";
+  }
+  if (!os) {
+    return Status::Internal("stream write failure");
+  }
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Database& db, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return CannotOpen(path, "writing");
+  }
+  return WriteCsv(db, file);
+}
+
+Result<Database> ReadCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::Invalid("empty CSV input");
+  }
+  // Header: item,list0,...
+  size_t m = 0;
+  {
+    std::stringstream header(line);
+    std::string cell;
+    if (!std::getline(header, cell, ',') || cell != "item") {
+      return Status::Invalid("CSV header must start with 'item', got '", cell,
+                             "'");
+    }
+    while (std::getline(header, cell, ',')) {
+      ++m;
+    }
+    if (m == 0) {
+      return Status::Invalid("CSV header has no list columns");
+    }
+  }
+  std::vector<std::vector<Score>> rows;  // rows[item][list]
+  std::vector<bool> seen;
+  size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    std::stringstream row(line);
+    std::string cell;
+    if (!std::getline(row, cell, ',')) {
+      return Status::Invalid("line ", line_number, ": missing item id");
+    }
+    size_t item = 0;
+    try {
+      item = std::stoul(cell);
+    } catch (...) {
+      return Status::Invalid("line ", line_number, ": bad item id '", cell,
+                             "'");
+    }
+    if (item >= rows.size()) {
+      rows.resize(item + 1, std::vector<Score>(m, 0.0));
+      seen.resize(item + 1, false);
+    }
+    if (seen[item]) {
+      return Status::Invalid("line ", line_number, ": item ", item,
+                             " appears twice");
+    }
+    seen[item] = true;
+    for (size_t j = 0; j < m; ++j) {
+      if (!std::getline(row, cell, ',')) {
+        return Status::Invalid("line ", line_number, ": expected ", m,
+                               " scores");
+      }
+      try {
+        rows[item][j] = std::stod(cell);
+      } catch (...) {
+        return Status::Invalid("line ", line_number, ": bad score '", cell,
+                               "'");
+      }
+    }
+    if (std::getline(row, cell, ',')) {
+      return Status::Invalid("line ", line_number, ": too many columns");
+    }
+  }
+  if (rows.empty()) {
+    return Status::Invalid("CSV has no data rows");
+  }
+  for (size_t item = 0; item < seen.size(); ++item) {
+    if (!seen[item]) {
+      return Status::Invalid("item ", item,
+                             " missing (ids must be dense 0..n-1)");
+    }
+  }
+  return Database::FromScoreMatrix(rows);
+}
+
+Result<Database> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return CannotOpen(path, "reading");
+  }
+  return ReadCsv(file);
+}
+
+Status WriteBinary(const Database& db, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const uint64_t n = db.num_items();
+  const uint64_t m = db.num_lists();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (size_t j = 0; j < m; ++j) {
+    for (Position p = 1; p <= n; ++p) {
+      const ListEntry& e = db.list(j).EntryAt(p);
+      os.write(reinterpret_cast<const char*>(&e.item), sizeof(e.item));
+      os.write(reinterpret_cast<const char*>(&e.score), sizeof(e.score));
+    }
+  }
+  if (!os) {
+    return Status::Internal("stream write failure");
+  }
+  return Status::OK();
+}
+
+Status WriteBinaryFile(const Database& db, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return CannotOpen(path, "writing");
+  }
+  return WriteBinary(db, file);
+}
+
+Result<Database> ReadBinary(std::istream& is) {
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("bad magic: not a topk binary database");
+  }
+  uint64_t n = 0;
+  uint64_t m = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  is.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!is || n == 0 || m == 0) {
+    return Status::Invalid("bad header (n=", n, ", m=", m, ")");
+  }
+  constexpr uint64_t kMaxReasonable = 1ULL << 32;
+  if (n > kMaxReasonable || m > (1ULL << 16)) {
+    return Status::Invalid("header out of range (n=", n, ", m=", m, ")");
+  }
+  std::vector<SortedList> lists;
+  lists.reserve(m);
+  for (uint64_t j = 0; j < m; ++j) {
+    std::vector<ListEntry> entries(n);
+    Score prev = std::numeric_limits<Score>::infinity();
+    for (uint64_t p = 0; p < n; ++p) {
+      ListEntry& e = entries[p];
+      is.read(reinterpret_cast<char*>(&e.item), sizeof(e.item));
+      is.read(reinterpret_cast<char*>(&e.score), sizeof(e.score));
+      if (!is) {
+        return Status::Invalid("truncated list ", j, " at record ", p);
+      }
+      if (e.score > prev) {
+        return Status::Invalid("list ", j, " not in descending score order");
+      }
+      prev = e.score;
+    }
+    TOPK_ASSIGN_OR_RETURN(SortedList list,
+                          SortedList::FromEntries(std::move(entries)));
+    lists.push_back(std::move(list));
+  }
+  return Database::Make(std::move(lists));
+}
+
+Result<Database> ReadBinaryFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return CannotOpen(path, "reading");
+  }
+  return ReadBinary(file);
+}
+
+}  // namespace topk

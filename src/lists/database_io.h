@@ -1,0 +1,40 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Database serialization: a human-readable CSV format (one row per item, one
+// score column per list) and a compact binary format for large databases.
+
+#ifndef TOPK_LISTS_DATABASE_IO_H_
+#define TOPK_LISTS_DATABASE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "lists/database.h"
+
+namespace topk {
+
+/// CSV layout:
+///   item,list0,list1,...,list<m-1>
+///   0,0.91,0.13,...
+/// Rows may appear in any item order; every item in [0, n) must appear
+/// exactly once.
+Status WriteCsv(const Database& db, std::ostream& os);
+Status WriteCsvFile(const Database& db, const std::string& path);
+
+Result<Database> ReadCsv(std::istream& is);
+Result<Database> ReadCsvFile(const std::string& path);
+
+/// Binary layout (little-endian host order):
+///   8-byte magic "TOPKDB\x01\n", u64 n, u64 m,
+///   then m lists, each n records of (u32 item, f64 score) in descending
+///   score order (the on-disk order *is* the sorted-list order).
+Status WriteBinary(const Database& db, std::ostream& os);
+Status WriteBinaryFile(const Database& db, const std::string& path);
+
+Result<Database> ReadBinary(std::istream& is);
+Result<Database> ReadBinaryFile(const std::string& path);
+
+}  // namespace topk
+
+#endif  // TOPK_LISTS_DATABASE_IO_H_

@@ -1,0 +1,65 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/scorer.h"
+
+#include <algorithm>
+
+namespace topk {
+
+Score SumScorer::Combine(const Score* scores, size_t count) const {
+  Score total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    total += scores[i];
+  }
+  return total;
+}
+
+Result<WeightedSumScorer> WeightedSumScorer::Make(std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::Invalid("weighted sum needs at least one weight");
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) {
+      return Status::Invalid("weight ", i, " is negative (", weights[i],
+                             "); monotonicity requires non-negative weights");
+    }
+  }
+  return WeightedSumScorer(std::move(weights));
+}
+
+Score WeightedSumScorer::Combine(const Score* scores, size_t count) const {
+  // A database with more lists than weights is a caller bug; combine over the
+  // common prefix to stay total.
+  const size_t n = std::min(count, weights_.size());
+  Score total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += weights_[i] * scores[i];
+  }
+  return total;
+}
+
+Score MinScorer::Combine(const Score* scores, size_t count) const {
+  Score best = scores[0];
+  for (size_t i = 1; i < count; ++i) {
+    best = std::min(best, scores[i]);
+  }
+  return best;
+}
+
+Score MaxScorer::Combine(const Score* scores, size_t count) const {
+  Score best = scores[0];
+  for (size_t i = 1; i < count; ++i) {
+    best = std::max(best, scores[i]);
+  }
+  return best;
+}
+
+Score AverageScorer::Combine(const Score* scores, size_t count) const {
+  Score total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    total += scores[i];
+  }
+  return count == 0 ? 0.0 : total / static_cast<Score>(count);
+}
+
+}  // namespace topk

@@ -1,0 +1,112 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Monotonic scoring functions f(s1, ..., sm) -> overall score (paper, Sec. 2).
+
+#ifndef TOPK_LISTS_SCORER_H_
+#define TOPK_LISTS_SCORER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// A monotonic aggregation function over m local scores.
+///
+/// Monotonicity (f(x) <= f(x') whenever x_i <= x'_i for all i) is required by
+/// the correctness proofs of TA, BPA and BPA2; every scorer shipped with the
+/// library is monotonic.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Aggregates `count` local scores into an overall score.
+  virtual Score Combine(const Score* scores, size_t count) const = 0;
+
+  /// Human-readable name ("sum", "min", ...).
+  virtual std::string name() const = 0;
+
+  /// Convenience overload.
+  Score Combine(const std::vector<Score>& scores) const {
+    return Combine(scores.data(), scores.size());
+  }
+};
+
+/// f = s1 + s2 + ... + sm (the paper's evaluation default).
+class SumScorer : public Scorer {
+ public:
+  using Scorer::Combine;
+  Score Combine(const Score* scores, size_t count) const override;
+  std::string name() const override { return "sum"; }
+};
+
+/// f = w1*s1 + ... + wm*sm with non-negative weights (monotonic).
+class WeightedSumScorer : public Scorer {
+ public:
+  using Scorer::Combine;
+  /// Fails if any weight is negative (would break monotonicity).
+  static Result<WeightedSumScorer> Make(std::vector<double> weights);
+
+  Score Combine(const Score* scores, size_t count) const override;
+  std::string name() const override { return "weighted-sum"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  explicit WeightedSumScorer(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  std::vector<double> weights_;
+};
+
+/// f = min(s1, ..., sm).
+class MinScorer : public Scorer {
+ public:
+  using Scorer::Combine;
+  Score Combine(const Score* scores, size_t count) const override;
+  std::string name() const override { return "min"; }
+};
+
+/// f = max(s1, ..., sm).
+class MaxScorer : public Scorer {
+ public:
+  using Scorer::Combine;
+  Score Combine(const Score* scores, size_t count) const override;
+  std::string name() const override { return "max"; }
+};
+
+/// f = (s1 + ... + sm) / m.
+class AverageScorer : public Scorer {
+ public:
+  using Scorer::Combine;
+  Score Combine(const Score* scores, size_t count) const override;
+  std::string name() const override { return "average"; }
+};
+
+/// Wraps an arbitrary user function. The caller promises monotonicity; the
+/// library cannot verify it and the algorithms are incorrect without it.
+class FunctionScorer : public Scorer {
+ public:
+  using Scorer::Combine;
+  using Fn = std::function<Score(const Score*, size_t)>;
+
+  FunctionScorer(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Score Combine(const Score* scores, size_t count) const override {
+    return fn_(scores, count);
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_LISTS_SCORER_H_

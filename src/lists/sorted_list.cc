@@ -1,0 +1,75 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/sorted_list.h"
+
+#include <algorithm>
+
+namespace topk {
+
+namespace {
+
+// Descending by score; ascending item id breaks ties deterministically.
+bool DescendingScoreOrder(const ListEntry& a, const ListEntry& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  return a.item < b.item;
+}
+
+}  // namespace
+
+SortedList SortedList::FromScores(const std::vector<Score>& scores) {
+  SortedList list;
+  list.entries_.resize(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    list.entries_[i] = ListEntry{static_cast<ItemId>(i), scores[i]};
+  }
+  std::sort(list.entries_.begin(), list.entries_.end(), DescendingScoreOrder);
+  list.BuildIndex();
+  return list;
+}
+
+Result<SortedList> SortedList::FromEntries(std::vector<ListEntry> entries) {
+  const size_t n = entries.size();
+  std::vector<bool> seen(n, false);
+  for (const ListEntry& e : entries) {
+    if (e.item >= n) {
+      return Status::Invalid("item id ", e.item, " out of range for list of ",
+                             n, " items");
+    }
+    if (seen[e.item]) {
+      return Status::Invalid("item id ", e.item, " appears more than once");
+    }
+    seen[e.item] = true;
+  }
+  SortedList list;
+  list.entries_ = std::move(entries);
+  std::sort(list.entries_.begin(), list.entries_.end(), DescendingScoreOrder);
+  list.BuildIndex();
+  return list;
+}
+
+Result<ListEntry> SortedList::EntryAtChecked(Position position) const {
+  if (position == kInvalidPosition || position > entries_.size()) {
+    return Status::OutOfRange("position ", position, " not in [1, ",
+                              entries_.size(), "]");
+  }
+  return entries_[position - 1];
+}
+
+Result<ItemLookup> SortedList::LookupChecked(ItemId item) const {
+  if (item >= position_of_.size()) {
+    return Status::KeyError("item ", item, " not in list of ",
+                            position_of_.size(), " items");
+  }
+  return Lookup(item);
+}
+
+void SortedList::BuildIndex() {
+  position_of_.assign(entries_.size(), kInvalidPosition);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    position_of_[entries_[i].item] = static_cast<Position>(i + 1);
+  }
+}
+
+}  // namespace topk

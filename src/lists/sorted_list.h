@@ -1,0 +1,90 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// SortedList: one of the paper's m lists. Stores n (item, local score) pairs in
+// descending score order and an inverted index for O(1) by-item lookups.
+
+#ifndef TOPK_LISTS_SORTED_LIST_H_
+#define TOPK_LISTS_SORTED_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// An immutable list of n items sorted by descending local score.
+///
+/// Supports the three access primitives of the paper:
+///  * sorted access    — performed by an external cursor walking positions 1..n
+///                       via EntryAt();
+///  * random access    — Lookup(item) returns the item's score and position;
+///  * direct access    — EntryAt(position) returns the entry at a position.
+///
+/// Ties are broken by ascending item id so that list order is deterministic.
+class SortedList {
+ public:
+  SortedList() = default;
+
+  /// Builds a list over items 0..scores.size()-1 where item i has local score
+  /// scores[i]. Always succeeds (every id appears exactly once by construction).
+  static SortedList FromScores(const std::vector<Score>& scores);
+
+  /// Builds a list from arbitrary (item, score) pairs. Fails with
+  /// Status::Invalid unless the items are exactly 0..n-1, each once.
+  static Result<SortedList> FromEntries(std::vector<ListEntry> entries);
+
+  /// Number of items in the list.
+  size_t size() const { return entries_.size(); }
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Entry at a 1-based position; position must be in [1, size()].
+  const ListEntry& EntryAt(Position position) const {
+    return entries_[position - 1];
+  }
+
+  /// Checked variant of EntryAt.
+  Result<ListEntry> EntryAtChecked(Position position) const;
+
+  /// Random access: score and 1-based position of `item`. Item must be < n.
+  ItemLookup Lookup(ItemId item) const {
+    const Position pos = position_of_[item];
+    return ItemLookup{entries_[pos - 1].score, pos};
+  }
+
+  /// Checked variant of Lookup.
+  Result<ItemLookup> LookupChecked(ItemId item) const;
+
+  /// Position of `item` (1-based). Item must be < n.
+  Position PositionOf(ItemId item) const { return position_of_[item]; }
+
+  /// Local score of `item`. Item must be < n.
+  Score ScoreOf(ItemId item) const {
+    return entries_[position_of_[item] - 1].score;
+  }
+
+  /// Highest local score (score at position 1). List must be non-empty.
+  Score MaxScore() const { return entries_.front().score; }
+
+  /// Lowest local score (score at position n). List must be non-empty.
+  Score MinScore() const { return entries_.back().score; }
+
+  /// True iff every local score is >= 0 (the paper's formal model).
+  bool AllScoresNonNegative() const { return MinScore() >= 0.0; }
+
+  /// The underlying descending-ordered entries.
+  const std::vector<ListEntry>& entries() const { return entries_; }
+
+ private:
+  void BuildIndex();
+
+  std::vector<ListEntry> entries_;       // descending (score, then item asc)
+  std::vector<Position> position_of_;    // item id -> 1-based position
+};
+
+}  // namespace topk
+
+#endif  // TOPK_LISTS_SORTED_LIST_H_

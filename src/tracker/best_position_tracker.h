@@ -1,0 +1,64 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Best-position management (paper, Section 5.2). A tracker records which
+// positions of one sorted list have been seen (under any access mode) and
+// maintains the *best position*: the greatest position bp such that every
+// position in [1, bp] has been seen.
+
+#ifndef TOPK_TRACKER_BEST_POSITION_TRACKER_H_
+#define TOPK_TRACKER_BEST_POSITION_TRACKER_H_
+
+#include <memory>
+#include <string>
+
+#include "lists/types.h"
+
+namespace topk {
+
+/// Tracks seen positions of a single list and exposes the best position.
+///
+/// Implementations: BitArrayTracker (Section 5.2.1), BPlusTreeTracker
+/// (Section 5.2.2) and SortedSetTracker (reference oracle).
+class BestPositionTracker {
+ public:
+  virtual ~BestPositionTracker() = default;
+
+  /// Records `position` (1-based) as seen. Idempotent.
+  virtual void MarkSeen(Position position) = 0;
+
+  /// The greatest position bp such that all of [1, bp] are seen; 0 if
+  /// position 1 has not been seen yet.
+  virtual Position best_position() const = 0;
+
+  /// True iff `position` has been marked seen.
+  virtual bool IsSeen(Position position) const = 0;
+
+  /// Number of distinct positions marked seen.
+  virtual size_t seen_count() const = 0;
+
+  /// Forgets all seen positions.
+  virtual void Reset() = 0;
+
+  /// Implementation name ("bit-array", "b+tree", "sorted-set").
+  virtual std::string name() const = 0;
+};
+
+/// Selects a best-position management strategy (Section 5.2 trade-off:
+/// bit array is O(n/u) amortized and O(n) bits; B+tree is O(log u) amortized
+/// and O(u) space).
+enum class TrackerKind {
+  kBitArray,
+  kBPlusTree,
+  kSortedSet,
+};
+
+/// Human-readable tracker-kind name.
+std::string ToString(TrackerKind kind);
+
+/// Creates a tracker for a list of `list_size` positions.
+std::unique_ptr<BestPositionTracker> MakeTracker(TrackerKind kind,
+                                                 size_t list_size);
+
+}  // namespace topk
+
+#endif  // TOPK_TRACKER_BEST_POSITION_TRACKER_H_

@@ -1,0 +1,43 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Bit-array best-position management (paper, Section 5.2.1): an n-bit array of
+// seen flags plus a pointer `bp` that only ever moves forward. Advancing bp
+// costs O(n) over the whole query, i.e. O(n/u) amortized per access; space is
+// n bits.
+
+#ifndef TOPK_TRACKER_BITARRAY_TRACKER_H_
+#define TOPK_TRACKER_BITARRAY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tracker/best_position_tracker.h"
+
+namespace topk {
+
+class BitArrayTracker : public BestPositionTracker {
+ public:
+  explicit BitArrayTracker(size_t list_size);
+
+  void MarkSeen(Position position) override;
+  Position best_position() const override { return best_position_; }
+  bool IsSeen(Position position) const override;
+  size_t seen_count() const override { return seen_count_; }
+  void Reset() override;
+  std::string name() const override { return "bit-array"; }
+
+ private:
+  bool TestBit(size_t index) const {
+    return (words_[index >> 6] >> (index & 63)) & 1ULL;
+  }
+  void SetBit(size_t index) { words_[index >> 6] |= 1ULL << (index & 63); }
+
+  size_t list_size_;
+  std::vector<uint64_t> words_;  // bit i (0-based) == position i+1 seen
+  Position best_position_ = 0;
+  size_t seen_count_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TRACKER_BITARRAY_TRACKER_H_

@@ -1,0 +1,423 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// A from-scratch in-memory B+tree over uint32 keys, built for the paper's
+// Section 5.2.2 best-position management. All keys live in the leaves; leaves
+// are singly linked in key order, so ordered scans (walking the best-position
+// cursor forward) are O(1) per step. The tracker workload only ever inserts,
+// so the tree implements insert/lookup/ordered-seek (no delete) — documented
+// and enforced by the public API.
+//
+// Insertion uses preemptive top-down splitting (full children are split on the
+// way down), which keeps the code free of upward split propagation. Node
+// capacities are template parameters so tests can force deep trees with tiny
+// fanouts; the default fanout 64 keeps the tree shallow for real list sizes.
+
+#ifndef TOPK_TRACKER_BPLUS_TREE_H_
+#define TOPK_TRACKER_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+
+// Local helper macro (undef'ed at the end of this header): propagate
+// invariant-check failures.
+#define TOPK_CHECK_STATUS(expr)       \
+  do {                                \
+    ::topk::Status _s = (expr);       \
+    if (!_s.ok()) {                   \
+      return _s;                      \
+    }                                 \
+  } while (false)
+
+namespace topk {
+
+/// In-memory B+tree set of uint32 keys (insert-only).
+///
+/// \tparam kLeafCapacity  max keys per leaf (>= 2)
+/// \tparam kInternalCapacity max separator keys per internal node (>= 2);
+///         an internal node has up to kInternalCapacity + 1 children.
+template <int kLeafCapacity = 64, int kInternalCapacity = 64>
+class BPlusTreeT {
+  static_assert(kLeafCapacity >= 2, "leaf capacity must be >= 2");
+  static_assert(kInternalCapacity >= 2, "internal capacity must be >= 2");
+
+ public:
+  using Key = uint32_t;
+
+  BPlusTreeT() = default;
+
+  ~BPlusTreeT() { Clear(); }
+
+  BPlusTreeT(const BPlusTreeT&) = delete;
+  BPlusTreeT& operator=(const BPlusTreeT&) = delete;
+
+  BPlusTreeT(BPlusTreeT&& other) noexcept { *this = std::move(other); }
+
+  BPlusTreeT& operator=(BPlusTreeT&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = std::exchange(other.root_, nullptr);
+      head_leaf_ = std::exchange(other.head_leaf_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      height_ = std::exchange(other.height_, 0);
+    }
+    return *this;
+  }
+
+  /// Inserts `key`; returns true iff the key was not already present.
+  bool Insert(Key key) {
+    if (root_ == nullptr) {
+      LeafNode* leaf = new LeafNode();
+      leaf->keys[0] = key;
+      leaf->count = 1;
+      root_ = leaf;
+      head_leaf_ = leaf;
+      height_ = 1;
+      size_ = 1;
+      return true;
+    }
+    if (IsFull(root_)) {
+      // Grow the tree: new root with the old root as its only child, then
+      // split that child.
+      InternalNode* new_root = new InternalNode();
+      new_root->count = 0;
+      new_root->children[0] = root_;
+      root_ = new_root;
+      ++height_;
+      SplitChild(new_root, 0);
+    }
+    Node* node = root_;
+    while (!node->is_leaf) {
+      InternalNode* internal = static_cast<InternalNode*>(node);
+      int idx = ChildIndex(internal, key);
+      Node* child = internal->children[idx];
+      if (IsFull(child)) {
+        SplitChild(internal, idx);
+        // The separator now at keys[idx] decides which half to descend into.
+        if (key >= internal->keys[idx]) {
+          ++idx;
+        }
+      }
+      node = internal->children[idx];
+    }
+    LeafNode* leaf = static_cast<LeafNode*>(node);
+    const int slot = LowerBound(leaf->keys, leaf->count, key);
+    if (slot < leaf->count && leaf->keys[slot] == key) {
+      return false;
+    }
+    assert(leaf->count < kLeafCapacity);
+    for (int i = leaf->count; i > slot; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+    }
+    leaf->keys[slot] = key;
+    ++leaf->count;
+    ++size_;
+    return true;
+  }
+
+  /// True iff `key` is present.
+  bool Contains(Key key) const {
+    const LeafNode* leaf = DescendToLeaf(key);
+    if (leaf == nullptr) {
+      return false;
+    }
+    const int slot = LowerBound(leaf->keys, leaf->count, key);
+    return slot < leaf->count && leaf->keys[slot] == key;
+  }
+
+  /// Number of keys stored.
+  size_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height in levels (0 for an empty tree, 1 for a single leaf).
+  int height() const { return height_; }
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+ public:
+  /// Forward iterator over keys in ascending order (leaf-chain walk).
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    /// True while the iterator points at a key.
+    bool Valid() const { return leaf_ != nullptr; }
+
+    /// Current key; requires Valid().
+    Key key() const { return leaf_->keys[slot_]; }
+
+    /// Advances to the next key in ascending order.
+    void Next() {
+      if (++slot_ >= leaf_->count) {
+        leaf_ = leaf_->next;
+        slot_ = 0;
+      }
+    }
+
+   private:
+    friend class BPlusTreeT;
+    Iterator(const LeafNode* leaf, int slot) : leaf_(leaf), slot_(slot) {}
+
+    const LeafNode* leaf_ = nullptr;
+    int slot_ = 0;
+  };
+
+  /// Iterator at the smallest key (invalid for an empty tree).
+  Iterator Begin() const {
+    return head_leaf_ == nullptr ? Iterator() : Iterator(head_leaf_, 0);
+  }
+
+  /// Iterator at the first key >= `key` (invalid if none).
+  Iterator Seek(Key key) const {
+    const LeafNode* leaf = DescendToLeaf(key);
+    if (leaf == nullptr) {
+      return Iterator();
+    }
+    int slot = LowerBound(leaf->keys, leaf->count, key);
+    if (slot >= leaf->count) {
+      // All keys in this leaf are < key; the first >= key (if any) starts the
+      // next leaf.
+      leaf = leaf->next;
+      slot = 0;
+      if (leaf == nullptr) {
+        return Iterator();
+      }
+    }
+    return Iterator(leaf, slot);
+  }
+
+  /// Removes all keys.
+  void Clear() {
+    if (root_ != nullptr) {
+      FreeNode(root_);
+      root_ = nullptr;
+      head_leaf_ = nullptr;
+      size_ = 0;
+      height_ = 0;
+    }
+  }
+
+  /// Structural self-check used by tests: uniform leaf depth, per-node key
+  /// ordering and occupancy, separator/child consistency, sorted leaf chain
+  /// covering exactly size() keys.
+  Status CheckInvariants() const {
+    if (root_ == nullptr) {
+      if (size_ != 0 || height_ != 0 || head_leaf_ != nullptr) {
+        return Status::Internal("empty tree with non-empty bookkeeping");
+      }
+      return Status::OK();
+    }
+    int leaf_depth = -1;
+    TOPK_CHECK_STATUS(CheckNode(root_, /*depth=*/0, /*is_root=*/true,
+                                /*lo=*/nullptr, /*hi=*/nullptr, &leaf_depth));
+    // Leaf chain: strictly ascending and exactly size_ keys.
+    size_t chain_count = 0;
+    bool first = true;
+    Key prev = 0;
+    for (Iterator it = Begin(); it.Valid(); it.Next()) {
+      if (!first && it.key() <= prev) {
+        return Status::Internal("leaf chain not strictly ascending at key ",
+                                it.key());
+      }
+      prev = it.key();
+      first = false;
+      ++chain_count;
+    }
+    if (chain_count != size_) {
+      return Status::Internal("leaf chain has ", chain_count,
+                              " keys, size() is ", size_);
+    }
+    if (height_ != leaf_depth + 1) {
+      return Status::Internal("height ", height_, " but leaves at depth ",
+                              leaf_depth);
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Node {
+    bool is_leaf = false;
+    int count = 0;  // number of keys
+  };
+
+  struct LeafNode : Node {
+    LeafNode() { this->is_leaf = true; }
+    Key keys[kLeafCapacity];
+    LeafNode* next = nullptr;
+  };
+
+  struct InternalNode : Node {
+    InternalNode() { this->is_leaf = false; }
+    Key keys[kInternalCapacity];
+    Node* children[kInternalCapacity + 1];
+  };
+
+  static_assert(sizeof(Key) == 4, "tracker keys are 32-bit positions");
+
+  static bool IsFull(const Node* node) {
+    return node->is_leaf ? node->count == kLeafCapacity
+                         : node->count == kInternalCapacity;
+  }
+
+  // First index i in keys[0..count) with key < keys[i] routes to child i;
+  // keys >= keys[i] route right of separator i.
+  static int ChildIndex(const InternalNode* node, Key key) {
+    int idx = 0;
+    while (idx < node->count && key >= node->keys[idx]) {
+      ++idx;
+    }
+    return idx;
+  }
+
+  static int LowerBound(const Key* keys, int count, Key key) {
+    return static_cast<int>(std::lower_bound(keys, keys + count, key) - keys);
+  }
+
+  // Splits the full child at `child_index` of `parent`. The parent must not be
+  // full. Leaf split: upper half moves to a new right leaf, separator is the
+  // right leaf's first key (which stays in the leaf). Internal split: middle
+  // key moves up as separator.
+  void SplitChild(InternalNode* parent, int child_index) {
+    assert(parent->count < kInternalCapacity);
+    Node* child = parent->children[child_index];
+    Key separator;
+    Node* right_node;
+    if (child->is_leaf) {
+      LeafNode* leaf = static_cast<LeafNode*>(child);
+      LeafNode* right = new LeafNode();
+      const int mid = leaf->count / 2;
+      right->count = leaf->count - mid;
+      for (int i = 0; i < right->count; ++i) {
+        right->keys[i] = leaf->keys[mid + i];
+      }
+      leaf->count = mid;
+      right->next = leaf->next;
+      leaf->next = right;
+      separator = right->keys[0];
+      right_node = right;
+    } else {
+      InternalNode* internal = static_cast<InternalNode*>(child);
+      InternalNode* right = new InternalNode();
+      const int mid = internal->count / 2;
+      separator = internal->keys[mid];
+      right->count = internal->count - mid - 1;
+      for (int i = 0; i < right->count; ++i) {
+        right->keys[i] = internal->keys[mid + 1 + i];
+      }
+      for (int i = 0; i <= right->count; ++i) {
+        right->children[i] = internal->children[mid + 1 + i];
+      }
+      internal->count = mid;
+      right_node = right;
+    }
+    // Shift parent separators/children to make room at child_index.
+    for (int i = parent->count; i > child_index; --i) {
+      parent->keys[i] = parent->keys[i - 1];
+      parent->children[i + 1] = parent->children[i];
+    }
+    parent->keys[child_index] = separator;
+    parent->children[child_index + 1] = right_node;
+    ++parent->count;
+  }
+
+  const LeafNode* DescendToLeaf(Key key) const {
+    const Node* node = root_;
+    if (node == nullptr) {
+      return nullptr;
+    }
+    while (!node->is_leaf) {
+      const InternalNode* internal = static_cast<const InternalNode*>(node);
+      node = internal->children[ChildIndex(internal, key)];
+    }
+    return static_cast<const LeafNode*>(node);
+  }
+
+  void FreeNode(Node* node) {
+    if (node->is_leaf) {
+      delete static_cast<LeafNode*>(node);
+      return;
+    }
+    InternalNode* internal = static_cast<InternalNode*>(node);
+    for (int i = 0; i <= internal->count; ++i) {
+      FreeNode(internal->children[i]);
+    }
+    delete internal;
+  }
+
+  Status CheckNode(const Node* node, int depth, bool is_root, const Key* lo,
+                   const Key* hi, int* leaf_depth) const {
+    // Key ordering within the node and bounds from ancestor separators:
+    // all keys must lie in [lo, hi).
+    const Key* keys =
+        node->is_leaf ? static_cast<const LeafNode*>(node)->keys
+                      : static_cast<const InternalNode*>(node)->keys;
+    for (int i = 0; i < node->count; ++i) {
+      if (i > 0 && keys[i - 1] >= keys[i]) {
+        return Status::Internal("node keys not strictly ascending");
+      }
+      if (lo != nullptr && keys[i] < *lo) {
+        return Status::Internal("key ", keys[i], " below subtree bound ", *lo);
+      }
+      if (hi != nullptr && keys[i] >= *hi) {
+        return Status::Internal("key ", keys[i], " above subtree bound ", *hi);
+      }
+    }
+    if (node->is_leaf) {
+      if (*leaf_depth == -1) {
+        *leaf_depth = depth;
+      } else if (*leaf_depth != depth) {
+        return Status::Internal("leaves at different depths: ", *leaf_depth,
+                                " vs ", depth);
+      }
+      if (!is_root && node->count < kLeafCapacity / 2) {
+        return Status::Internal("non-root leaf underfull: ", node->count);
+      }
+      if (node->count == 0 && !is_root) {
+        return Status::Internal("empty non-root leaf");
+      }
+      return Status::OK();
+    }
+    const InternalNode* internal = static_cast<const InternalNode*>(node);
+    if (internal->count == 0) {
+      return Status::Internal("internal node without separators");
+    }
+    // Splitting a full internal node leaves the right half with
+    // C - C/2 - 1 separators (the middle key moves up); with no deletes, that
+    // is the lower bound for any non-root internal node.
+    constexpr int kMinInternalKeys =
+        kInternalCapacity - kInternalCapacity / 2 - 1;
+    if (!is_root && internal->count < kMinInternalKeys) {
+      return Status::Internal("non-root internal node underfull: ",
+                              internal->count);
+    }
+    for (int i = 0; i <= internal->count; ++i) {
+      const Key* child_lo = (i == 0) ? lo : &internal->keys[i - 1];
+      const Key* child_hi = (i == internal->count) ? hi : &internal->keys[i];
+      TOPK_CHECK_STATUS(CheckNode(internal->children[i], depth + 1,
+                                  /*is_root=*/false, child_lo, child_hi,
+                                  leaf_depth));
+    }
+    return Status::OK();
+  }
+
+  Node* root_ = nullptr;
+  LeafNode* head_leaf_ = nullptr;
+  size_t size_ = 0;
+  int height_ = 0;
+};
+
+/// Default-fanout B+tree used by the tracker.
+using BPlusTree = BPlusTreeT<>;
+
+}  // namespace topk
+
+#undef TOPK_CHECK_STATUS
+
+#endif  // TOPK_TRACKER_BPLUS_TREE_H_

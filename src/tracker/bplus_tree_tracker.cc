@@ -1,0 +1,37 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "tracker/bplus_tree_tracker.h"
+
+#include <cassert>
+
+namespace topk {
+
+void BPlusTreeTracker::MarkSeen(Position position) {
+  assert(position >= 1 && position <= list_size_);
+  if (!tree_.Insert(position)) {
+    return;  // already seen
+  }
+  if (position != best_position_ + 1) {
+    return;  // the gap right after bp is still open
+  }
+  // Paper 5.2.2: advance bp along the leaf chain while successor positions
+  // stay consecutive.
+  best_position_ = position;
+  BPlusTree::Iterator it = tree_.Seek(best_position_ + 1);
+  while (it.Valid() && it.key() == best_position_ + 1) {
+    ++best_position_;
+    it.Next();
+  }
+}
+
+bool BPlusTreeTracker::IsSeen(Position position) const {
+  assert(position >= 1 && position <= list_size_);
+  return position <= best_position_ || tree_.Contains(position);
+}
+
+void BPlusTreeTracker::Reset() {
+  tree_.Clear();
+  best_position_ = 0;
+}
+
+}  // namespace topk

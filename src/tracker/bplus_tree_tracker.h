@@ -1,0 +1,39 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// B+tree best-position management (paper, Section 5.2.2): seen positions are
+// stored in a B+tree whose leaves are chained in key order; the best-position
+// cursor walks the chain while successor keys stay consecutive. Insertion is
+// O(log u) and the cursor walk is O(u) total, so the amortized cost per access
+// is O(log u) — cheaper than the bit array when n >> u.
+
+#ifndef TOPK_TRACKER_BPLUS_TREE_TRACKER_H_
+#define TOPK_TRACKER_BPLUS_TREE_TRACKER_H_
+
+#include "tracker/best_position_tracker.h"
+#include "tracker/bplus_tree.h"
+
+namespace topk {
+
+class BPlusTreeTracker : public BestPositionTracker {
+ public:
+  explicit BPlusTreeTracker(size_t list_size) : list_size_(list_size) {}
+
+  void MarkSeen(Position position) override;
+  Position best_position() const override { return best_position_; }
+  bool IsSeen(Position position) const override;
+  size_t seen_count() const override { return tree_.size(); }
+  void Reset() override;
+  std::string name() const override { return "b+tree"; }
+
+  /// Underlying tree (exposed for structural tests).
+  const BPlusTree& tree() const { return tree_; }
+
+ private:
+  size_t list_size_;
+  BPlusTree tree_;
+  Position best_position_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TRACKER_BPLUS_TREE_TRACKER_H_

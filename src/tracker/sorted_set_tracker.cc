@@ -1,0 +1,30 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "tracker/sorted_set_tracker.h"
+
+#include <cassert>
+
+namespace topk {
+
+void SortedSetTracker::MarkSeen(Position position) {
+  assert(position >= 1 && position <= list_size_);
+  if (!seen_.insert(position).second) {
+    return;
+  }
+  if (position != best_position_ + 1) {
+    return;
+  }
+  best_position_ = position;
+  auto it = seen_.upper_bound(best_position_);
+  while (it != seen_.end() && *it == best_position_ + 1) {
+    ++best_position_;
+    ++it;
+  }
+}
+
+void SortedSetTracker::Reset() {
+  seen_.clear();
+  best_position_ = 0;
+}
+
+}  // namespace topk

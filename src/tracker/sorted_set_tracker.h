@@ -1,0 +1,37 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reference best-position tracker backed by std::set. Used as the test oracle
+// for the bit-array and B+tree implementations and as a baseline in the
+// Section 5.2 ablation benchmark.
+
+#ifndef TOPK_TRACKER_SORTED_SET_TRACKER_H_
+#define TOPK_TRACKER_SORTED_SET_TRACKER_H_
+
+#include <set>
+
+#include "tracker/best_position_tracker.h"
+
+namespace topk {
+
+class SortedSetTracker : public BestPositionTracker {
+ public:
+  explicit SortedSetTracker(size_t list_size) : list_size_(list_size) {}
+
+  void MarkSeen(Position position) override;
+  Position best_position() const override { return best_position_; }
+  bool IsSeen(Position position) const override {
+    return seen_.count(position) > 0;
+  }
+  size_t seen_count() const override { return seen_.size(); }
+  void Reset() override;
+  std::string name() const override { return "sorted-set"; }
+
+ private:
+  size_t list_size_;
+  std::set<Position> seen_;
+  Position best_position_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TRACKER_SORTED_SET_TRACKER_H_

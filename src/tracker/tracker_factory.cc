@@ -1,0 +1,35 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "tracker/best_position_tracker.h"
+#include "tracker/bitarray_tracker.h"
+#include "tracker/bplus_tree_tracker.h"
+#include "tracker/sorted_set_tracker.h"
+
+namespace topk {
+
+std::string ToString(TrackerKind kind) {
+  switch (kind) {
+    case TrackerKind::kBitArray:
+      return "bit-array";
+    case TrackerKind::kBPlusTree:
+      return "b+tree";
+    case TrackerKind::kSortedSet:
+      return "sorted-set";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<BestPositionTracker> MakeTracker(TrackerKind kind,
+                                                 size_t list_size) {
+  switch (kind) {
+    case TrackerKind::kBitArray:
+      return std::make_unique<BitArrayTracker>(list_size);
+    case TrackerKind::kBPlusTree:
+      return std::make_unique<BPlusTreeTracker>(list_size);
+    case TrackerKind::kSortedSet:
+      return std::make_unique<SortedSetTracker>(list_size);
+  }
+  return nullptr;
+}
+
+}  // namespace topk

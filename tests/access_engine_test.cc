@@ -1,0 +1,142 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/access_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "lists/access_stats.h"
+#include "lists/database.h"
+
+namespace topk {
+namespace {
+
+Database SmallDb() {
+  // 4 items, 2 lists.
+  return Database::FromScoreMatrix({{4.0, 1.0},
+                                    {3.0, 2.0},
+                                    {2.0, 3.0},
+                                    {1.0, 4.0}})
+      .ValueOrDie();
+}
+
+TEST(AccessEngineTest, SortedAccessWalksDescending) {
+  Database db = SmallDb();
+  AccessEngine engine(db);
+  const AccessedEntry e1 = engine.SortedAccess(0);
+  EXPECT_EQ(e1.item, 0u);
+  EXPECT_DOUBLE_EQ(e1.score, 4.0);
+  EXPECT_EQ(e1.position, 1u);
+  const AccessedEntry e2 = engine.SortedAccess(0);
+  EXPECT_EQ(e2.item, 1u);
+  EXPECT_EQ(e2.position, 2u);
+  EXPECT_EQ(engine.stats().sorted_accesses, 2u);
+}
+
+TEST(AccessEngineTest, CursorsAreIndependentPerList) {
+  Database db = SmallDb();
+  AccessEngine engine(db);
+  engine.SortedAccess(0);
+  engine.SortedAccess(0);
+  engine.SortedAccess(1);
+  EXPECT_EQ(engine.SortedDepth(0), 2u);
+  EXPECT_EQ(engine.SortedDepth(1), 1u);
+  EXPECT_EQ(engine.MaxSortedDepth(), 2u);
+}
+
+TEST(AccessEngineTest, SortedExhaustion) {
+  Database db = SmallDb();
+  AccessEngine engine(db);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(engine.SortedExhausted(0));
+    engine.SortedAccess(0);
+  }
+  EXPECT_TRUE(engine.SortedExhausted(0));
+  EXPECT_FALSE(engine.SortedExhausted(1));
+}
+
+TEST(AccessEngineTest, RandomAccessCountsAndReturns) {
+  Database db = SmallDb();
+  AccessEngine engine(db);
+  const ItemLookup lookup = engine.RandomAccess(1, 0);
+  EXPECT_DOUBLE_EQ(lookup.score, 1.0);
+  EXPECT_EQ(lookup.position, 4u);
+  EXPECT_EQ(engine.stats().random_accesses, 1u);
+  EXPECT_EQ(engine.stats().sorted_accesses, 0u);
+}
+
+TEST(AccessEngineTest, DirectAccessCountsAndReturns) {
+  Database db = SmallDb();
+  AccessEngine engine(db);
+  const AccessedEntry e = engine.DirectAccess(1, 2);
+  EXPECT_EQ(e.item, 2u);
+  EXPECT_DOUBLE_EQ(e.score, 3.0);
+  EXPECT_EQ(e.position, 2u);
+  EXPECT_EQ(engine.stats().direct_accesses, 1u);
+}
+
+TEST(AccessEngineTest, AuditCountsTouches) {
+  Database db = SmallDb();
+  AccessEngine engine(db, /*audit=*/true);
+  engine.SortedAccess(0);            // touches list 0 pos 1
+  engine.DirectAccess(0, 1);         // touches list 0 pos 1 again
+  engine.RandomAccess(0, 0);         // item 0 is at pos 1 in list 0
+  EXPECT_EQ(engine.TouchCount(0, 1), 3u);
+  EXPECT_EQ(engine.TouchCount(0, 2), 0u);
+  EXPECT_EQ(engine.MaxTouchCount(0), 3u);
+  EXPECT_EQ(engine.MaxTouchCount(1), 0u);
+}
+
+TEST(AccessEngineTest, StatsAggregate) {
+  Database db = SmallDb();
+  AccessEngine engine(db);
+  engine.SortedAccess(0);
+  engine.RandomAccess(1, 2);
+  engine.RandomAccess(1, 3);
+  engine.DirectAccess(0, 4);
+  const AccessStats& stats = engine.stats();
+  EXPECT_EQ(stats.sorted_accesses, 1u);
+  EXPECT_EQ(stats.random_accesses, 2u);
+  EXPECT_EQ(stats.direct_accesses, 1u);
+  EXPECT_EQ(stats.TotalAccesses(), 4u);
+}
+
+TEST(AccessStatsTest, CostModelPaperDefault) {
+  const CostModel model = CostModel::PaperDefault(1 << 16);
+  EXPECT_DOUBLE_EQ(model.sorted_cost, 1.0);
+  EXPECT_DOUBLE_EQ(model.random_cost, 16.0);  // log2(65536)
+  AccessStats stats;
+  stats.sorted_accesses = 10;
+  stats.random_accesses = 3;
+  stats.direct_accesses = 2;  // billed like random accesses
+  EXPECT_DOUBLE_EQ(model.ExecutionCost(stats), 10.0 + 5 * 16.0);
+}
+
+TEST(AccessStatsTest, UnitCostModelCountsAccesses) {
+  const CostModel model = CostModel::Unit();
+  AccessStats stats;
+  stats.sorted_accesses = 4;
+  stats.random_accesses = 5;
+  stats.direct_accesses = 6;
+  EXPECT_DOUBLE_EQ(model.ExecutionCost(stats), 15.0);
+}
+
+TEST(AccessStatsTest, AdditionAndEquality) {
+  AccessStats a{1, 2, 3};
+  AccessStats b{10, 20, 30};
+  AccessStats c = a + b;
+  EXPECT_EQ(c, (AccessStats{11, 22, 33}));
+  c += a;
+  EXPECT_EQ(c, (AccessStats{12, 24, 36}));
+}
+
+TEST(AccessStatsTest, ToStringMentionsAllCounters) {
+  AccessStats stats{1, 2, 3};
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("sorted=1"), std::string::npos);
+  EXPECT_NE(s.find("random=2"), std::string::npos);
+  EXPECT_NE(s.find("direct=3"), std::string::npos);
+  EXPECT_NE(s.find("total=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topk

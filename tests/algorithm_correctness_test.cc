@@ -1,0 +1,233 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Cross-algorithm equivalence sweep: every algorithm must return the same
+// top-k overall-score multiset as the naive full scan over a grid of
+// {database family} x {m} x {n} x {k} x {scoring function}.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+struct GridCase {
+  DatabaseKind db_kind;
+  size_t m;
+  size_t n;
+  size_t k;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<GridCase>& info) {
+  const GridCase& c = info.param;
+  return ToString(c.db_kind) + "_m" + std::to_string(c.m) + "_n" +
+         std::to_string(c.n) + "_k" + std::to_string(c.k);
+}
+
+Database MakeDb(const GridCase& c, uint64_t seed) {
+  switch (c.db_kind) {
+    case DatabaseKind::kUniform:
+      return MakeUniformDatabase(c.n, c.m, seed);
+    case DatabaseKind::kGaussian:
+      return MakeGaussianDatabase(c.n, c.m, seed);
+    case DatabaseKind::kCorrelated: {
+      CorrelatedConfig config;
+      config.n = c.n;
+      config.m = c.m;
+      config.alpha = 0.05;
+      config.seed = seed;
+      return MakeCorrelatedDatabase(config).ValueOrDie();
+    }
+  }
+  return Database();
+}
+
+double DbFloor(const Database& db) {
+  double floor = 0.0;
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    floor = std::min(floor, db.list(i).MinScore());
+  }
+  return floor;
+}
+
+class CorrectnessTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CorrectnessTest, AllAlgorithmsMatchNaiveScores) {
+  const GridCase& c = GetParam();
+  const Database db = MakeDb(c, /*seed=*/1234 + c.m * 31 + c.n);
+
+  std::vector<std::unique_ptr<Scorer>> scorers;
+  scorers.push_back(std::make_unique<SumScorer>());
+  scorers.push_back(std::make_unique<MinScorer>());
+  scorers.push_back(std::make_unique<MaxScorer>());
+  scorers.push_back(std::make_unique<AverageScorer>());
+  {
+    std::vector<double> weights(c.m);
+    for (size_t i = 0; i < c.m; ++i) {
+      weights[i] = 0.25 + static_cast<double>(i);
+    }
+    scorers.push_back(std::make_unique<WeightedSumScorer>(
+        WeightedSumScorer::Make(std::move(weights)).ValueOrDie()));
+  }
+
+  AlgorithmOptions options;
+  options.score_floor = DbFloor(db);
+
+  for (const auto& scorer : scorers) {
+    const TopKQuery query{c.k, scorer.get()};
+    const TopKResult naive = MakeAlgorithm(AlgorithmKind::kNaive, options)
+                                 ->Execute(db, query)
+                                 .ValueOrDie();
+    ASSERT_EQ(naive.items.size(), c.k);
+
+    for (AlgorithmKind kind : AllAlgorithmKinds()) {
+      if (kind == AlgorithmKind::kTput && scorer->name() != "sum") {
+        continue;  // TPUT is sum-only by design (validated separately)
+      }
+      auto algorithm = MakeAlgorithm(kind, options);
+      const Result<TopKResult> result = algorithm->Execute(db, query);
+      ASSERT_TRUE(result.ok()) << ToString(kind) << "/" << scorer->name()
+                               << ": " << result.status().ToString();
+      const std::vector<Score> got = result.ValueUnsafe().Scores();
+      const std::vector<Score> want = naive.Scores();
+      ASSERT_EQ(got.size(), want.size()) << ToString(kind);
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_DOUBLE_EQ(got[i], want[i])
+            << ToString(kind) << "/" << scorer->name() << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CorrectnessTest,
+    ::testing::Values(
+        GridCase{DatabaseKind::kUniform, 2, 50, 1},
+        GridCase{DatabaseKind::kUniform, 2, 200, 5},
+        GridCase{DatabaseKind::kUniform, 3, 200, 10},
+        GridCase{DatabaseKind::kUniform, 5, 500, 5},
+        GridCase{DatabaseKind::kUniform, 8, 500, 20},
+        GridCase{DatabaseKind::kUniform, 4, 1000, 3},
+        GridCase{DatabaseKind::kGaussian, 2, 200, 5},
+        GridCase{DatabaseKind::kGaussian, 5, 500, 10},
+        GridCase{DatabaseKind::kGaussian, 8, 300, 20},
+        GridCase{DatabaseKind::kCorrelated, 3, 200, 5},
+        GridCase{DatabaseKind::kCorrelated, 5, 500, 20},
+        GridCase{DatabaseKind::kCorrelated, 8, 400, 10}),
+    CaseName);
+
+// Edge cases around k.
+TEST(CorrectnessEdgeTest, KEqualsOne) {
+  const Database db = MakeUniformDatabase(100, 4, 7);
+  SumScorer sum;
+  const TopKQuery query{1, &sum};
+  const Score want = MakeAlgorithm(AlgorithmKind::kNaive)
+                         ->Execute(db, query)
+                         .ValueOrDie()
+                         .items[0]
+                         .score;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const TopKResult result =
+        MakeAlgorithm(kind)->Execute(db, query).ValueOrDie();
+    EXPECT_DOUBLE_EQ(result.items[0].score, want) << ToString(kind);
+  }
+}
+
+TEST(CorrectnessEdgeTest, KEqualsN) {
+  const Database db = MakeUniformDatabase(40, 3, 11);
+  SumScorer sum;
+  const TopKQuery query{40, &sum};
+  const std::vector<Score> want = MakeAlgorithm(AlgorithmKind::kNaive)
+                                      ->Execute(db, query)
+                                      .ValueOrDie()
+                                      .Scores();
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const std::vector<Score> got =
+        MakeAlgorithm(kind)->Execute(db, query).ValueOrDie().Scores();
+    ASSERT_EQ(got.size(), want.size()) << ToString(kind);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_DOUBLE_EQ(got[i], want[i]) << ToString(kind) << " rank " << i;
+    }
+  }
+}
+
+TEST(CorrectnessEdgeTest, SingleList) {
+  // m = 1: the top-k are simply the first k entries of the list.
+  const Database db = MakeUniformDatabase(100, 1, 13);
+  SumScorer sum;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const TopKResult result =
+        MakeAlgorithm(kind)->Execute(db, TopKQuery{5, &sum}).ValueOrDie();
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(result.items[i].item, db.list(0).EntryAt(i + 1).item)
+          << ToString(kind);
+    }
+  }
+}
+
+TEST(CorrectnessEdgeTest, SingleItem) {
+  const Database db = MakeUniformDatabase(1, 4, 17);
+  SumScorer sum;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const TopKResult result =
+        MakeAlgorithm(kind)->Execute(db, TopKQuery{1, &sum}).ValueOrDie();
+    EXPECT_EQ(result.items[0].item, 0u) << ToString(kind);
+  }
+}
+
+TEST(CorrectnessEdgeTest, DuplicateScoresEverywhere) {
+  // All items tie in every list; any k-subset is a valid answer, and all
+  // algorithms must return the same (maximal) score multiset.
+  const Database db =
+      Database::FromScoreMatrix(std::vector<std::vector<Score>>(
+                                    20, std::vector<Score>(3, 1.0)))
+          .ValueOrDie();
+  SumScorer sum;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const TopKResult result =
+        MakeAlgorithm(kind)->Execute(db, TopKQuery{4, &sum}).ValueOrDie();
+    for (const ResultItem& item : result.items) {
+      EXPECT_DOUBLE_EQ(item.score, 3.0) << ToString(kind);
+    }
+  }
+}
+
+TEST(CorrectnessEdgeTest, ValidationRejectsBadQueries) {
+  const Database db = MakeUniformDatabase(10, 2, 19);
+  SumScorer sum;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    auto algorithm = MakeAlgorithm(kind);
+    EXPECT_TRUE(
+        algorithm->Execute(db, TopKQuery{0, &sum}).status().IsInvalid())
+        << ToString(kind);
+    EXPECT_TRUE(
+        algorithm->Execute(db, TopKQuery{11, &sum}).status().IsInvalid())
+        << ToString(kind);
+    EXPECT_TRUE(
+        algorithm->Execute(db, TopKQuery{1, nullptr}).status().IsInvalid())
+        << ToString(kind);
+  }
+}
+
+TEST(CorrectnessEdgeTest, ResultMetadataFilled) {
+  const Database db = MakeUniformDatabase(200, 4, 23);
+  SumScorer sum;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const TopKResult result =
+        MakeAlgorithm(kind)->Execute(db, TopKQuery{5, &sum}).ValueOrDie();
+    EXPECT_GT(result.stats.TotalAccesses(), 0u) << ToString(kind);
+    EXPECT_GT(result.execution_cost, 0.0) << ToString(kind);
+    EXPECT_GE(result.elapsed_ms, 0.0) << ToString(kind);
+    EXPECT_GT(result.stop_position, 0u) << ToString(kind);
+  }
+}
+
+}  // namespace
+}  // namespace topk

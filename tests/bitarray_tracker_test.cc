@@ -1,0 +1,102 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "tracker/bitarray_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace topk {
+namespace {
+
+TEST(BitArrayTrackerTest, InitiallyEmpty) {
+  BitArrayTracker tracker(10);
+  EXPECT_EQ(tracker.best_position(), 0u);
+  EXPECT_EQ(tracker.seen_count(), 0u);
+  EXPECT_FALSE(tracker.IsSeen(1));
+}
+
+TEST(BitArrayTrackerTest, MarkFirstPositionAdvances) {
+  BitArrayTracker tracker(10);
+  tracker.MarkSeen(1);
+  EXPECT_EQ(tracker.best_position(), 1u);
+  EXPECT_TRUE(tracker.IsSeen(1));
+}
+
+TEST(BitArrayTrackerTest, GapBlocksAdvance) {
+  BitArrayTracker tracker(10);
+  tracker.MarkSeen(2);
+  tracker.MarkSeen(3);
+  EXPECT_EQ(tracker.best_position(), 0u);
+  tracker.MarkSeen(1);
+  EXPECT_EQ(tracker.best_position(), 3u);  // jumps over the filled run
+}
+
+TEST(BitArrayTrackerTest, PaperExample3Positions) {
+  // Example 3, list L1 after step 1: seen {1, 4, 9} -> bp = 1.
+  BitArrayTracker tracker(14);
+  tracker.MarkSeen(1);
+  tracker.MarkSeen(4);
+  tracker.MarkSeen(9);
+  EXPECT_EQ(tracker.best_position(), 1u);
+  // After step 2: seen += {2, 7, 8} -> bp = 2.
+  tracker.MarkSeen(2);
+  tracker.MarkSeen(7);
+  tracker.MarkSeen(8);
+  EXPECT_EQ(tracker.best_position(), 2u);
+  // After step 3: seen += {3, 5, 6} -> all of 1..9 seen -> bp = 9.
+  tracker.MarkSeen(3);
+  tracker.MarkSeen(5);
+  tracker.MarkSeen(6);
+  EXPECT_EQ(tracker.best_position(), 9u);
+}
+
+TEST(BitArrayTrackerTest, IdempotentMarks) {
+  BitArrayTracker tracker(5);
+  tracker.MarkSeen(1);
+  tracker.MarkSeen(1);
+  tracker.MarkSeen(1);
+  EXPECT_EQ(tracker.seen_count(), 1u);
+  EXPECT_EQ(tracker.best_position(), 1u);
+}
+
+TEST(BitArrayTrackerTest, FullListReachesN) {
+  const size_t n = 100;
+  BitArrayTracker tracker(n);
+  for (Position p = n; p >= 1; --p) {
+    tracker.MarkSeen(p);
+  }
+  EXPECT_EQ(tracker.best_position(), n);
+  EXPECT_EQ(tracker.seen_count(), n);
+}
+
+TEST(BitArrayTrackerTest, ResetClearsState) {
+  BitArrayTracker tracker(8);
+  tracker.MarkSeen(1);
+  tracker.MarkSeen(2);
+  tracker.Reset();
+  EXPECT_EQ(tracker.best_position(), 0u);
+  EXPECT_EQ(tracker.seen_count(), 0u);
+  EXPECT_FALSE(tracker.IsSeen(1));
+  tracker.MarkSeen(1);
+  EXPECT_EQ(tracker.best_position(), 1u);
+}
+
+TEST(BitArrayTrackerTest, WordBoundaries) {
+  // Positions spanning the 64-bit word boundary.
+  BitArrayTracker tracker(200);
+  for (Position p = 1; p <= 130; ++p) {
+    tracker.MarkSeen(p);
+  }
+  EXPECT_EQ(tracker.best_position(), 130u);
+  EXPECT_TRUE(tracker.IsSeen(64));
+  EXPECT_TRUE(tracker.IsSeen(65));
+  EXPECT_TRUE(tracker.IsSeen(128));
+  EXPECT_FALSE(tracker.IsSeen(131));
+}
+
+TEST(BitArrayTrackerTest, Name) {
+  BitArrayTracker tracker(1);
+  EXPECT_EQ(tracker.name(), "bit-array");
+}
+
+}  // namespace
+}  // namespace topk

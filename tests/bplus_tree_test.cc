@@ -1,0 +1,202 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "tracker/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topk {
+namespace {
+
+using SmallTree = BPlusTreeT<4, 4>;  // tiny fanout to force deep trees
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_FALSE(tree.Contains(1));
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.Seek(0).Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, SingleInsert) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(5));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Contains(5));
+  EXPECT_FALSE(tree.Contains(4));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(5));
+  EXPECT_FALSE(tree.Insert(5));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, LeafSplitGrowsHeight) {
+  SmallTree tree;
+  for (uint32_t k = 1; k <= 4; ++k) {
+    tree.Insert(k);
+  }
+  EXPECT_EQ(tree.height(), 1);
+  tree.Insert(5);  // forces a root split
+  EXPECT_EQ(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (uint32_t k = 1; k <= 5; ++k) {
+    EXPECT_TRUE(tree.Contains(k));
+  }
+}
+
+TEST(BPlusTreeTest, SequentialAscendingInserts) {
+  SmallTree tree;
+  const uint32_t n = 1000;
+  for (uint32_t k = 1; k <= n; ++k) {
+    ASSERT_TRUE(tree.Insert(k));
+  }
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  for (uint32_t k = 1; k <= n; ++k) {
+    ASSERT_TRUE(tree.Contains(k));
+  }
+  EXPECT_FALSE(tree.Contains(0));
+  EXPECT_FALSE(tree.Contains(n + 1));
+  EXPECT_GE(tree.height(), 4);  // fanout 4 over 1000 keys must be deep
+}
+
+TEST(BPlusTreeTest, SequentialDescendingInserts) {
+  SmallTree tree;
+  const uint32_t n = 1000;
+  for (uint32_t k = n; k >= 1; --k) {
+    ASSERT_TRUE(tree.Insert(k));
+  }
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  uint32_t expected = 1;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.key(), expected++);
+  }
+  EXPECT_EQ(expected, n + 1);
+}
+
+TEST(BPlusTreeTest, RandomInsertsMatchStdSet) {
+  SmallTree tree;
+  std::set<uint32_t> oracle;
+  Rng rng(2024);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(2000));
+    const bool inserted_tree = tree.Insert(key);
+    const bool inserted_set = oracle.insert(key).second;
+    ASSERT_EQ(inserted_tree, inserted_set) << "key " << key;
+  }
+  ASSERT_EQ(tree.size(), oracle.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  // Iteration equals the oracle's order.
+  auto oit = oracle.begin();
+  for (auto it = tree.Begin(); it.Valid(); it.Next(), ++oit) {
+    ASSERT_NE(oit, oracle.end());
+    ASSERT_EQ(it.key(), *oit);
+  }
+  EXPECT_EQ(oit, oracle.end());
+  // Contains agrees on hits and misses.
+  for (uint32_t key = 0; key < 2000; ++key) {
+    ASSERT_EQ(tree.Contains(key), oracle.count(key) > 0) << "key " << key;
+  }
+}
+
+TEST(BPlusTreeTest, SeekSemantics) {
+  SmallTree tree;
+  for (uint32_t k : {10u, 20u, 30u, 40u, 50u}) {
+    tree.Insert(k);
+  }
+  EXPECT_EQ(tree.Seek(10).key(), 10u);
+  EXPECT_EQ(tree.Seek(11).key(), 20u);
+  EXPECT_EQ(tree.Seek(0).key(), 10u);
+  EXPECT_EQ(tree.Seek(50).key(), 50u);
+  EXPECT_FALSE(tree.Seek(51).Valid());
+}
+
+TEST(BPlusTreeTest, SeekAgreesWithOracleLowerBound) {
+  SmallTree tree;
+  std::set<uint32_t> oracle;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(5000));
+    tree.Insert(key);
+    oracle.insert(key);
+  }
+  for (uint32_t probe = 0; probe < 5100; probe += 13) {
+    auto it = tree.Seek(probe);
+    auto oit = oracle.lower_bound(probe);
+    if (oit == oracle.end()) {
+      ASSERT_FALSE(it.Valid()) << "probe " << probe;
+    } else {
+      ASSERT_TRUE(it.Valid()) << "probe " << probe;
+      ASSERT_EQ(it.key(), *oit) << "probe " << probe;
+    }
+  }
+}
+
+TEST(BPlusTreeTest, IteratorWalksLeafChainAcrossSplits) {
+  SmallTree tree;
+  // Insert in an order designed to split leaves repeatedly.
+  for (uint32_t k = 0; k < 200; k += 2) {
+    tree.Insert(k);
+  }
+  for (uint32_t k = 1; k < 200; k += 2) {
+    tree.Insert(k);
+  }
+  uint32_t expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.key(), expected++);
+  }
+  EXPECT_EQ(expected, 200u);
+}
+
+TEST(BPlusTreeTest, ClearResets) {
+  SmallTree tree;
+  for (uint32_t k = 1; k <= 100; ++k) {
+    tree.Insert(k);
+  }
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Insert(1));
+  EXPECT_TRUE(tree.Contains(1));
+}
+
+TEST(BPlusTreeTest, MoveConstruction) {
+  SmallTree tree;
+  for (uint32_t k = 1; k <= 50; ++k) {
+    tree.Insert(k);
+  }
+  SmallTree moved(std::move(tree));
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_TRUE(moved.Contains(25));
+  EXPECT_TRUE(moved.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, DefaultFanoutLargeScale) {
+  BPlusTree tree;
+  const uint32_t n = 200000;
+  for (uint32_t k = 0; k < n; ++k) {
+    // Insert in a scrambled but deterministic order.
+    tree.Insert((k * 2654435761u) % n);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_LE(tree.height(), 4);  // fanout 64: 64^3 >> 200k
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,144 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/database_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/database_generator.h"
+
+namespace topk {
+namespace {
+
+void ExpectSameDatabase(const Database& a, const Database& b) {
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.num_lists(), b.num_lists());
+  for (size_t li = 0; li < a.num_lists(); ++li) {
+    for (Position p = 1; p <= a.num_items(); ++p) {
+      ASSERT_EQ(a.list(li).EntryAt(p), b.list(li).EntryAt(p))
+          << "list " << li << " position " << p;
+    }
+  }
+}
+
+TEST(DatabaseIoTest, CsvRoundTrip) {
+  const Database db = MakeUniformDatabase(50, 3, 11);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCsv(db, buffer).ok());
+  Result<Database> loaded = ReadCsv(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabase(db, loaded.ValueUnsafe());
+}
+
+TEST(DatabaseIoTest, CsvRoundTripNegativeScores) {
+  const Database db = MakeGaussianDatabase(30, 2, 12);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCsv(db, buffer).ok());
+  Result<Database> loaded = ReadCsv(buffer);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameDatabase(db, loaded.ValueUnsafe());
+}
+
+TEST(DatabaseIoTest, CsvAcceptsShuffledRows) {
+  std::stringstream in(
+      "item,list0,list1\n"
+      "2,3.0,1.0\n"
+      "0,1.0,3.0\n"
+      "1,2.0,2.0\n");
+  Result<Database> loaded = ReadCsv(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueUnsafe().num_items(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.ValueUnsafe().list(0).ScoreOf(2), 3.0);
+}
+
+TEST(DatabaseIoTest, CsvRejectsBadHeader) {
+  std::stringstream in("id,list0\n0,1.0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsEmpty) {
+  std::stringstream in("");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsNoColumns) {
+  std::stringstream in("item\n0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsDuplicateItem) {
+  std::stringstream in("item,list0\n0,1.0\n0,2.0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsMissingItem) {
+  std::stringstream in("item,list0\n0,1.0\n2,2.0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsRaggedRow) {
+  std::stringstream in("item,list0,list1\n0,1.0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsExtraColumns) {
+  std::stringstream in("item,list0\n0,1.0,2.0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, CsvRejectsBadNumbers) {
+  std::stringstream in("item,list0\nzero,1.0\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalid());
+  std::stringstream in2("item,list0\n0,one\n");
+  EXPECT_TRUE(ReadCsv(in2).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, BinaryRoundTrip) {
+  const Database db = MakeUniformDatabase(200, 5, 13);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteBinary(db, buffer).ok());
+  Result<Database> loaded = ReadBinary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabase(db, loaded.ValueUnsafe());
+}
+
+TEST(DatabaseIoTest, BinaryRejectsBadMagic) {
+  std::stringstream buffer("not a database at all");
+  EXPECT_TRUE(ReadBinary(buffer).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, BinaryRejectsTruncated) {
+  const Database db = MakeUniformDatabase(20, 2, 14);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteBinary(db, buffer).ok());
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_TRUE(ReadBinary(cut).status().IsInvalid());
+}
+
+TEST(DatabaseIoTest, FileRoundTrip) {
+  const Database db = MakeUniformDatabase(40, 2, 15);
+  const std::string csv_path = ::testing::TempDir() + "/topk_io_test.csv";
+  const std::string bin_path = ::testing::TempDir() + "/topk_io_test.bin";
+  ASSERT_TRUE(WriteCsvFile(db, csv_path).ok());
+  ASSERT_TRUE(WriteBinaryFile(db, bin_path).ok());
+  Result<Database> from_csv = ReadCsvFile(csv_path);
+  Result<Database> from_bin = ReadBinaryFile(bin_path);
+  ASSERT_TRUE(from_csv.ok());
+  ASSERT_TRUE(from_bin.ok());
+  ExpectSameDatabase(db, from_csv.ValueUnsafe());
+  ExpectSameDatabase(db, from_bin.ValueUnsafe());
+}
+
+TEST(DatabaseIoTest, MissingFilesFail) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv").ok());
+  EXPECT_FALSE(ReadBinaryFile("/nonexistent/path.bin").ok());
+  const Database db = MakeUniformDatabase(5, 2, 16);
+  EXPECT_FALSE(WriteCsvFile(db, "/nonexistent/dir/out.csv").ok());
+  EXPECT_FALSE(WriteBinaryFile(db, "/nonexistent/dir/out.bin").ok());
+}
+
+}  // namespace
+}  // namespace topk

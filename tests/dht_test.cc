@@ -1,0 +1,158 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "dist/dht.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+TEST(DhtRingTest, RejectsEmptyRing) {
+  EXPECT_TRUE(DhtRing::Make(0, 1).status().IsInvalid());
+}
+
+TEST(DhtRingTest, SingleNodeOwnsEverything) {
+  const DhtRing ring = DhtRing::Make(1, 7).ValueOrDie();
+  EXPECT_EQ(ring.OwnerOf(0), 0u);
+  EXPECT_EQ(ring.OwnerOf(UINT64_MAX), 0u);
+  const auto route = ring.Route(0, 12345);
+  EXPECT_EQ(route.node_index, 0u);
+  EXPECT_EQ(route.hops, 0u);
+}
+
+TEST(DhtRingTest, OwnerIsSuccessor) {
+  const DhtRing ring = DhtRing::Make(16, 11).ValueOrDie();
+  // Key exactly at a node id belongs to that node.
+  for (size_t i = 0; i < ring.num_nodes(); ++i) {
+    EXPECT_EQ(ring.OwnerOf(ring.node_id(i)), i);
+  }
+  // Key one past a node id belongs to the next node (mod wrap).
+  for (size_t i = 0; i + 1 < ring.num_nodes(); ++i) {
+    EXPECT_EQ(ring.OwnerOf(ring.node_id(i) + 1), i + 1);
+  }
+  EXPECT_EQ(ring.OwnerOf(ring.node_id(ring.num_nodes() - 1) + 1), 0u);
+}
+
+TEST(DhtRingTest, RoutingFindsTheOwnerFromEveryStart) {
+  const DhtRing ring = DhtRing::Make(64, 13).ValueOrDie();
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t key = rng.NextUint64();
+    const size_t owner = ring.OwnerOf(key);
+    const size_t start = static_cast<size_t>(rng.NextBounded(64));
+    const auto route = ring.Route(start, key);
+    ASSERT_EQ(route.node_index, owner) << "key " << key;
+    ASSERT_LE(route.hops, DhtRing::kHopLimit);
+  }
+}
+
+TEST(DhtRingTest, HopsAreLogarithmic) {
+  // Chord guarantee: O(log N) hops. Check the empirical mean is well under
+  // 2*log2(N) for a large ring.
+  const size_t n = 1024;
+  const DhtRing ring = DhtRing::Make(n, 17).ValueOrDie();
+  Rng rng(5);
+  double total_hops = 0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t key = rng.NextUint64();
+    const size_t start = static_cast<size_t>(rng.NextBounded(n));
+    total_hops += static_cast<double>(ring.Route(start, key).hops);
+  }
+  const double mean = total_hops / kTrials;
+  EXPECT_LT(mean, 2.0 * std::log2(static_cast<double>(n)));
+  EXPECT_GT(mean, 1.0);  // routing does real work on a 1024-node ring
+}
+
+TEST(DhtRingTest, HashKeyIsDeterministicAndSpread) {
+  EXPECT_EQ(DhtRing::HashKey(3), DhtRing::HashKey(3));
+  EXPECT_NE(DhtRing::HashKey(3), DhtRing::HashKey(4));
+}
+
+class DhtTopKTest : public ::testing::Test {
+ protected:
+  DhtTopKTest() : db_(MakeUniformDatabase(400, 4, 55)), query_{10, &sum_} {
+    options_.num_nodes = 32;
+    options_.ring_seed = 3;
+  }
+
+  Database db_;
+  SumScorer sum_;
+  TopKQuery query_;
+  DhtTopKOptions options_;
+};
+
+TEST_F(DhtTopKTest, Bpa2OverDhtMatchesCentralized) {
+  const auto central =
+      MakeAlgorithm(AlgorithmKind::kBpa2)->Execute(db_, query_).ValueOrDie();
+  const auto dht = RunDhtBpa2(db_, query_, options_).ValueOrDie();
+  EXPECT_EQ(dht.access_stats, central.stats);
+  ASSERT_EQ(dht.items.size(), central.items.size());
+  for (size_t i = 0; i < central.items.size(); ++i) {
+    EXPECT_EQ(dht.items[i].item, central.items[i].item);
+    EXPECT_DOUBLE_EQ(dht.items[i].score, central.items[i].score);
+  }
+}
+
+TEST_F(DhtTopKTest, RoutingCostIsChargedOncePerList) {
+  const auto dht = RunDhtBpa2(db_, query_, options_).ValueOrDie();
+  // At most kHopLimit per list, typically ~log2(32) each; and messages equal
+  // hops (one forward per hop).
+  EXPECT_LE(dht.routing_hops, db_.num_lists() * DhtRing::kHopLimit);
+  EXPECT_EQ(dht.routing_messages, dht.routing_hops);
+}
+
+TEST_F(DhtTopKTest, GatherAllMatchesAnswersButMovesTheWholeLists) {
+  const auto gather = RunDhtGatherAll(db_, query_, options_).ValueOrDie();
+  const auto bpa2 = RunDhtBpa2(db_, query_, options_).ValueOrDie();
+  ASSERT_EQ(gather.items.size(), bpa2.items.size());
+  for (size_t i = 0; i < gather.items.size(); ++i) {
+    EXPECT_DOUBLE_EQ(gather.items[i].score, bpa2.items[i].score);
+  }
+  // The strawman reads every entry; BPA2 reads a fraction.
+  EXPECT_EQ(gather.access_stats.sorted_accesses,
+            db_.num_items() * db_.num_lists());
+  EXPECT_LT(bpa2.access_stats.TotalAccesses(),
+            gather.access_stats.sorted_accesses);
+  // ... and the strawman's payload dwarfs BPA2's on this database.
+  EXPECT_GT(gather.network.bytes, 0u);
+}
+
+TEST_F(DhtTopKTest, ValidationErrors) {
+  EXPECT_TRUE(RunDhtBpa2(db_, TopKQuery{0, &sum_}, options_)
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(RunDhtBpa2(db_, TopKQuery{1, nullptr}, options_)
+                  .status()
+                  .IsInvalid());
+  DhtTopKOptions bad = options_;
+  bad.num_nodes = 0;
+  EXPECT_TRUE(RunDhtBpa2(db_, query_, bad).status().IsInvalid());
+}
+
+TEST_F(DhtTopKTest, DeterministicPerRingSeed) {
+  const auto a = RunDhtBpa2(db_, query_, options_).ValueOrDie();
+  const auto b = RunDhtBpa2(db_, query_, options_).ValueOrDie();
+  EXPECT_EQ(a.routing_hops, b.routing_hops);
+  EXPECT_EQ(a.network.messages, b.network.messages);
+}
+
+TEST_F(DhtTopKTest, MoreNodesMoreRoutingWork) {
+  DhtTopKOptions big = options_;
+  big.num_nodes = 1024;
+  const auto small_ring = RunDhtBpa2(db_, query_, options_).ValueOrDie();
+  const auto big_ring = RunDhtBpa2(db_, query_, big).ValueOrDie();
+  // Protocol traffic is ring-size independent; only routing grows.
+  EXPECT_EQ(small_ring.network.messages, big_ring.network.messages);
+  EXPECT_GE(big_ring.routing_hops, small_ring.routing_hops);
+}
+
+}  // namespace
+}  // namespace topk

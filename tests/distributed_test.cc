@@ -1,0 +1,153 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "dist/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  DistributedTest() : db_(MakeUniformDatabase(500, 4, 77)), query_{10, &sum_} {}
+
+  Database db_;
+  SumScorer sum_;
+  TopKQuery query_;
+  DistributedOptions options_;
+};
+
+TEST_F(DistributedTest, TaMatchesCentralized) {
+  const auto central =
+      MakeAlgorithm(AlgorithmKind::kTa)->Execute(db_, query_).ValueOrDie();
+  const auto dist = RunDistributedTa(db_, query_, options_).ValueOrDie();
+  EXPECT_EQ(dist.stop_position, central.stop_position);
+  EXPECT_EQ(dist.access_stats, central.stats);
+  ASSERT_EQ(dist.items.size(), central.items.size());
+  for (size_t i = 0; i < central.items.size(); ++i) {
+    EXPECT_EQ(dist.items[i].item, central.items[i].item);
+    EXPECT_DOUBLE_EQ(dist.items[i].score, central.items[i].score);
+  }
+}
+
+TEST_F(DistributedTest, BpaMatchesCentralized) {
+  const auto central =
+      MakeAlgorithm(AlgorithmKind::kBpa)->Execute(db_, query_).ValueOrDie();
+  const auto dist = RunDistributedBpa(db_, query_, options_).ValueOrDie();
+  EXPECT_EQ(dist.stop_position, central.stop_position);
+  EXPECT_EQ(dist.access_stats, central.stats);
+  for (size_t i = 0; i < central.items.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dist.items[i].score, central.items[i].score);
+  }
+}
+
+TEST_F(DistributedTest, Bpa2MatchesCentralized) {
+  const auto central =
+      MakeAlgorithm(AlgorithmKind::kBpa2)->Execute(db_, query_).ValueOrDie();
+  const auto dist = RunDistributedBpa2(db_, query_, options_).ValueOrDie();
+  EXPECT_EQ(dist.stop_position, central.stop_position);
+  EXPECT_EQ(dist.access_stats, central.stats);
+  for (size_t i = 0; i < central.items.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dist.items[i].score, central.items[i].score);
+  }
+}
+
+TEST_F(DistributedTest, TputMatchesCentralizedAnswers) {
+  const auto central =
+      MakeAlgorithm(AlgorithmKind::kNaive)->Execute(db_, query_).ValueOrDie();
+  const auto dist = RunDistributedTput(db_, query_, options_).ValueOrDie();
+  ASSERT_EQ(dist.items.size(), query_.k);
+  for (size_t i = 0; i < query_.k; ++i) {
+    EXPECT_DOUBLE_EQ(dist.items[i].score, central.items[i].score);
+  }
+}
+
+TEST_F(DistributedTest, MessagesProportionalToAccesses) {
+  // Per-access protocols: one request + one response per access (Section 6.1:
+  // "the number of messages ... is proportional to the number of accesses").
+  for (auto* run :
+       {&RunDistributedTa, &RunDistributedBpa, &RunDistributedBpa2}) {
+    const auto dist = run(db_, query_, options_).ValueOrDie();
+    EXPECT_EQ(dist.network.messages, 2 * dist.access_stats.TotalAccesses());
+  }
+}
+
+TEST_F(DistributedTest, Bpa2FewerMessagesThanBpaThanTa) {
+  const auto ta = RunDistributedTa(db_, query_, options_).ValueOrDie();
+  const auto bpa = RunDistributedBpa(db_, query_, options_).ValueOrDie();
+  const auto bpa2 = RunDistributedBpa2(db_, query_, options_).ValueOrDie();
+  EXPECT_LE(bpa.network.messages, ta.network.messages);
+  EXPECT_LE(bpa2.network.messages, bpa.network.messages);
+}
+
+TEST_F(DistributedTest, Bpa2ShipsFewerBytesThanBpa) {
+  // BPA ships positions and keeps the seen sets at the originator; BPA2
+  // piggybacks only the best-position score. Per access BPA2 responses are
+  // slightly larger, but it does far fewer accesses; total bytes must win.
+  const auto bpa = RunDistributedBpa(db_, query_, options_).ValueOrDie();
+  const auto bpa2 = RunDistributedBpa2(db_, query_, options_).ValueOrDie();
+  EXPECT_LT(bpa2.network.bytes, bpa.network.bytes);
+}
+
+TEST_F(DistributedTest, TputUsesConstantRounds) {
+  const auto dist = RunDistributedTput(db_, query_, options_).ValueOrDie();
+  EXPECT_EQ(dist.network.rounds, 3u);  // one per phase
+  // Bulk transfers: far fewer messages than per-access protocols.
+  const auto ta = RunDistributedTa(db_, query_, options_).ValueOrDie();
+  EXPECT_LT(dist.network.messages, ta.network.messages);
+}
+
+TEST_F(DistributedTest, SimulatedLatencyAccumulatesPerRound) {
+  DistributedOptions slow;
+  slow.network.rtt_ms = 10.0;
+  const auto fast = RunDistributedBpa2(db_, query_, options_).ValueOrDie();
+  const auto slowed = RunDistributedBpa2(db_, query_, slow).ValueOrDie();
+  EXPECT_GT(slowed.network.simulated_ms, fast.network.simulated_ms);
+  EXPECT_EQ(slowed.network.rounds, fast.network.rounds);
+}
+
+TEST_F(DistributedTest, ValidationErrors) {
+  SumScorer sum;
+  EXPECT_TRUE(RunDistributedTa(db_, TopKQuery{0, &sum}, options_)
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(RunDistributedBpa(db_, TopKQuery{501, &sum}, options_)
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(RunDistributedBpa2(db_, TopKQuery{1, nullptr}, options_)
+                  .status()
+                  .IsInvalid());
+  MinScorer min;
+  EXPECT_TRUE(RunDistributedTput(db_, TopKQuery{1, &min}, options_)
+                  .status()
+                  .IsNotImplemented());
+}
+
+TEST_F(DistributedTest, PaperFigure2AccessCountsSurviveDistribution) {
+  const Database db = MakeFigure2Database();
+  SumScorer sum;
+  const TopKQuery query{3, &sum};
+  const auto bpa = RunDistributedBpa(db, query, options_).ValueOrDie();
+  const auto bpa2 = RunDistributedBpa2(db, query, options_).ValueOrDie();
+  EXPECT_EQ(bpa.access_stats.TotalAccesses(), 63u);
+  EXPECT_EQ(bpa2.access_stats.TotalAccesses(), 36u);
+}
+
+TEST_F(DistributedTest, WorksWithBPlusTreeOwners) {
+  DistributedOptions options;
+  options.tracker = TrackerKind::kBPlusTree;
+  const auto a = RunDistributedBpa2(db_, query_, options_).ValueOrDie();
+  const auto b = RunDistributedBpa2(db_, query_, options).ValueOrDie();
+  EXPECT_EQ(a.access_stats, b.access_stats);
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.items[i].score, b.items[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace topk

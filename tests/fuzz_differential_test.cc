@@ -1,0 +1,145 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Differential fuzzing: hundreds of small random databases with adversarial
+// properties (duplicate scores, constant lists, tiny n, extreme k, every
+// scorer) — every algorithm must return the naive scan's top-k score
+// multiset, and the BPA/TA dominance invariants must hold on every instance.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+// Random database with deliberately nasty score patterns.
+Database RandomNastyDatabase(Rng* rng) {
+  const size_t n = 1 + rng->NextBounded(40);
+  const size_t m = 1 + rng->NextBounded(6);
+  std::vector<std::vector<Score>> scores(n, std::vector<Score>(m));
+  // Score "style" per list: continuous, heavily quantized (many ties),
+  // constant, or signed.
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t style = rng->NextBounded(4);
+    for (size_t i = 0; i < n; ++i) {
+      switch (style) {
+        case 0:
+          scores[i][j] = rng->NextDouble();
+          break;
+        case 1:
+          scores[i][j] = static_cast<double>(rng->NextBounded(4));  // ties
+          break;
+        case 2:
+          scores[i][j] = 7.25;  // constant list: all positions tie
+          break;
+        default:
+          scores[i][j] = rng->NextDouble(-5.0, 5.0);  // negatives
+          break;
+      }
+    }
+  }
+  return Database::FromScoreMatrix(scores).ValueOrDie();
+}
+
+double FloorOf(const Database& db) {
+  double floor = 0.0;
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    floor = std::min(floor, db.list(i).MinScore());
+  }
+  return floor;
+}
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDifferentialTest, AllAlgorithmsMatchNaive) {
+  Rng rng(GetParam());
+  std::vector<std::unique_ptr<Scorer>> scorers;
+  scorers.push_back(std::make_unique<SumScorer>());
+  scorers.push_back(std::make_unique<MinScorer>());
+  scorers.push_back(std::make_unique<MaxScorer>());
+  scorers.push_back(std::make_unique<AverageScorer>());
+
+  for (int round = 0; round < 25; ++round) {
+    const Database db = RandomNastyDatabase(&rng);
+    const size_t n = db.num_items();
+    const size_t k = 1 + rng.NextBounded(n);  // anywhere in [1, n]
+    AlgorithmOptions options;
+    options.score_floor = FloorOf(db);
+
+    for (const auto& scorer : scorers) {
+      const TopKQuery query{k, scorer.get()};
+      const std::vector<Score> want =
+          MakeAlgorithm(AlgorithmKind::kNaive, options)
+              ->Execute(db, query)
+              .ValueOrDie()
+              .Scores();
+      for (AlgorithmKind kind : AllAlgorithmKinds()) {
+        if (kind == AlgorithmKind::kTput && scorer->name() != "sum") {
+          continue;
+        }
+        const Result<TopKResult> result =
+            MakeAlgorithm(kind, options)->Execute(db, query);
+        ASSERT_TRUE(result.ok())
+            << ToString(kind) << " n=" << n << " k=" << k << " scorer "
+            << scorer->name() << ": " << result.status().ToString();
+        const std::vector<Score> got = result.ValueUnsafe().Scores();
+        ASSERT_EQ(got.size(), want.size()) << ToString(kind);
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_NEAR(got[i], want[i], 1e-9)
+              << ToString(kind) << " rank " << i << " n=" << n << " k=" << k
+              << " m=" << db.num_lists() << " scorer " << scorer->name();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FuzzDifferentialTest, DominanceInvariantsHold) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  SumScorer sum;
+  for (int round = 0; round < 25; ++round) {
+    const Database db = RandomNastyDatabase(&rng);
+    const size_t k = 1 + rng.NextBounded(db.num_items());
+    const TopKQuery query{k, &sum};
+    const TopKResult ta =
+        MakeAlgorithm(AlgorithmKind::kTa)->Execute(db, query).ValueOrDie();
+    const TopKResult bpa =
+        MakeAlgorithm(AlgorithmKind::kBpa)->Execute(db, query).ValueOrDie();
+    const TopKResult bpa2 =
+        MakeAlgorithm(AlgorithmKind::kBpa2)->Execute(db, query).ValueOrDie();
+    ASSERT_LE(bpa.stats.sorted_accesses, ta.stats.sorted_accesses);
+    ASSERT_LE(bpa.execution_cost, ta.execution_cost);
+    ASSERT_LE(bpa2.stats.TotalAccesses(), bpa.stats.TotalAccesses());
+  }
+}
+
+TEST_P(FuzzDifferentialTest, Bpa2NeverReaccessesUnderFuzz) {
+  Rng rng(GetParam() ^ 0x123456);
+  SumScorer sum;
+  AlgorithmOptions options;
+  options.audit_accesses = true;
+  for (int round = 0; round < 15; ++round) {
+    const Database db = RandomNastyDatabase(&rng);
+    const size_t k = 1 + rng.NextBounded(db.num_items());
+    const TopKResult result = MakeAlgorithm(AlgorithmKind::kBpa2, options)
+                                  ->Execute(db, TopKQuery{k, &sum})
+                                  .ValueOrDie();
+    for (uint32_t touches : result.max_touches_per_list) {
+      ASSERT_LE(touches, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace topk

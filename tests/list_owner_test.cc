@@ -1,0 +1,108 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "dist/list_owner.h"
+
+#include <gtest/gtest.h>
+
+#include "lists/sorted_list.h"
+
+namespace topk {
+namespace {
+
+SortedList FiveItems() {
+  // Sorted order: item 4 (50), 3 (40), 2 (30), 1 (20), 0 (10).
+  return SortedList::FromScores({10.0, 20.0, 30.0, 40.0, 50.0});
+}
+
+TEST(ListOwnerTest, SortedNextWalksTheList) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBitArray);
+  const OwnerEntry first = owner.SortedNext();
+  EXPECT_EQ(first.item, 4u);
+  EXPECT_DOUBLE_EQ(first.score, 50.0);
+  EXPECT_EQ(first.position, 1u);
+  const OwnerEntry second = owner.SortedNext();
+  EXPECT_EQ(second.item, 3u);
+  EXPECT_EQ(second.position, 2u);
+  EXPECT_EQ(owner.stats().sorted_accesses, 2u);
+  EXPECT_FALSE(owner.SortedExhausted());
+}
+
+TEST(ListOwnerTest, SortedExhaustion) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBitArray);
+  for (int i = 0; i < 5; ++i) {
+    owner.SortedNext();
+  }
+  EXPECT_TRUE(owner.SortedExhausted());
+}
+
+TEST(ListOwnerTest, RandomCountsAndReturnsLookup) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBitArray);
+  const ItemLookup lookup = owner.Random(0);
+  EXPECT_DOUBLE_EQ(lookup.score, 10.0);
+  EXPECT_EQ(lookup.position, 5u);
+  EXPECT_EQ(owner.stats().random_accesses, 1u);
+}
+
+TEST(ListOwnerTest, BestPositionStartsAtZeroWithTopScore) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBitArray);
+  EXPECT_EQ(owner.best_position(), 0u);
+  EXPECT_DOUBLE_EQ(owner.BestPositionScore(), 50.0);  // valid upper bound
+  EXPECT_FALSE(owner.BestPositionAtEnd());
+}
+
+TEST(ListOwnerTest, DirectNextAlwaysHitsSmallestUnseenPosition) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBitArray);
+  const auto r1 = owner.DirectNext();
+  EXPECT_EQ(r1.position, 1u);
+  EXPECT_EQ(r1.best_position, 1u);
+  EXPECT_DOUBLE_EQ(r1.best_position_score, 50.0);
+  // A random access marking position 2 advances bp; the next direct access
+  // skips to position 3.
+  const auto rand = owner.RandomWithBestPosition(3);  // item 3 at position 2
+  EXPECT_EQ(rand.best_position, 2u);
+  EXPECT_DOUBLE_EQ(rand.best_position_score, 40.0);
+  const auto r2 = owner.DirectNext();
+  EXPECT_EQ(r2.position, 3u);
+  EXPECT_EQ(r2.item, 2u);
+  EXPECT_EQ(r2.best_position, 3u);
+  EXPECT_EQ(owner.stats().direct_accesses, 2u);
+  EXPECT_EQ(owner.stats().random_accesses, 1u);
+}
+
+TEST(ListOwnerTest, RandomBeyondGapDoesNotAdvanceBestPosition) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBitArray);
+  const auto rand = owner.RandomWithBestPosition(0);  // position 5
+  EXPECT_EQ(rand.best_position, 0u);
+  EXPECT_DOUBLE_EQ(rand.best_position_score, 50.0);
+}
+
+TEST(ListOwnerTest, BestPositionAtEndAfterFullCoverage) {
+  const SortedList list = FiveItems();
+  ListOwnerNode owner(&list, TrackerKind::kBPlusTree);
+  while (!owner.BestPositionAtEnd()) {
+    owner.DirectNext();
+  }
+  EXPECT_EQ(owner.best_position(), 5u);
+  EXPECT_EQ(owner.stats().direct_accesses, 5u);
+  EXPECT_DOUBLE_EQ(owner.BestPositionScore(), 10.0);
+}
+
+TEST(ListOwnerTest, WorksWithEveryTrackerKind) {
+  const SortedList list = FiveItems();
+  for (TrackerKind kind : {TrackerKind::kBitArray, TrackerKind::kBPlusTree,
+                           TrackerKind::kSortedSet}) {
+    ListOwnerNode owner(&list, kind);
+    owner.DirectNext();
+    owner.RandomWithBestPosition(3);
+    EXPECT_EQ(owner.best_position(), 2u) << ToString(kind);
+  }
+}
+
+}  // namespace
+}  // namespace topk

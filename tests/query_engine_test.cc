@@ -1,0 +1,133 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : db_(MakeUniformDatabase(600, 4, 2718)) {}
+
+  std::vector<TopKQuery> MakeQueries(size_t count) {
+    std::vector<TopKQuery> queries;
+    for (size_t i = 0; i < count; ++i) {
+      queries.push_back(TopKQuery{1 + (i % 25), &sum_});
+    }
+    return queries;
+  }
+
+  Database db_;
+  SumScorer sum_;
+};
+
+TEST_F(QueryEngineTest, InlineBatchMatchesDirectExecution) {
+  QueryEngine engine(&db_);
+  const auto queries = MakeQueries(8);
+  const auto batch = engine.ExecuteBatch(AlgorithmKind::kBpa, queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  auto algorithm = MakeAlgorithm(AlgorithmKind::kBpa);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i;
+    const TopKResult direct =
+        algorithm->Execute(db_, queries[i]).ValueOrDie();
+    ASSERT_EQ(batch[i].ValueUnsafe().items.size(), direct.items.size());
+    for (size_t r = 0; r < direct.items.size(); ++r) {
+      EXPECT_EQ(batch[i].ValueUnsafe().items[r].item, direct.items[r].item);
+    }
+    EXPECT_EQ(batch[i].ValueUnsafe().stats, direct.stats);
+  }
+}
+
+TEST_F(QueryEngineTest, ParallelMatchesInline) {
+  QueryEngine engine(&db_);
+  const auto queries = MakeQueries(40);
+  const auto inline_results =
+      engine.ExecuteBatch(AlgorithmKind::kBpa2, queries, 1);
+  const auto parallel_results =
+      engine.ExecuteBatch(AlgorithmKind::kBpa2, queries, 8);
+  ASSERT_EQ(inline_results.size(), parallel_results.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(inline_results[i].ok());
+    ASSERT_TRUE(parallel_results[i].ok());
+    const auto& a = inline_results[i].ValueUnsafe();
+    const auto& b = parallel_results[i].ValueUnsafe();
+    EXPECT_EQ(a.stats, b.stats) << "query " << i;
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t r = 0; r < a.items.size(); ++r) {
+      EXPECT_EQ(a.items[r].item, b.items[r].item);
+      EXPECT_DOUBLE_EQ(a.items[r].score, b.items[r].score);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, PerQueryFailuresDoNotAbortTheBatch) {
+  QueryEngine engine(&db_);
+  std::vector<TopKQuery> queries = MakeQueries(3);
+  queries.push_back(TopKQuery{db_.num_items() + 1, &sum_});  // invalid k
+  queries.push_back(TopKQuery{5, nullptr});                  // missing scorer
+  const auto results = engine.ExecuteBatch(AlgorithmKind::kTa, queries, 4);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[3].status().IsInvalid());
+  EXPECT_TRUE(results[4].status().IsInvalid());
+}
+
+TEST_F(QueryEngineTest, EmptyBatch) {
+  QueryEngine engine(&db_);
+  const auto results = engine.ExecuteBatch(AlgorithmKind::kTa, {}, 4);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(engine.last_batch_stats().TotalAccesses(), 0u);
+}
+
+TEST_F(QueryEngineTest, MoreThreadsThanQueries) {
+  QueryEngine engine(&db_);
+  const auto queries = MakeQueries(2);
+  const auto results = engine.ExecuteBatch(AlgorithmKind::kNaive, queries, 64);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+}
+
+TEST_F(QueryEngineTest, BatchStatsAggregate) {
+  QueryEngine engine(&db_);
+  const auto queries = MakeQueries(4);
+  const auto results = engine.ExecuteBatch(AlgorithmKind::kTa, queries, 2);
+  uint64_t expected = 0;
+  for (const auto& r : results) {
+    expected += r.ValueOrDie().stats.TotalAccesses();
+  }
+  EXPECT_EQ(engine.last_batch_stats().TotalAccesses(), expected);
+}
+
+TEST_F(QueryEngineTest, MixedScorersInOneBatch) {
+  MinScorer min;
+  MaxScorer max;
+  QueryEngine engine(&db_);
+  std::vector<TopKQuery> queries = {TopKQuery{5, &sum_}, TopKQuery{5, &min},
+                                    TopKQuery{5, &max}};
+  const auto results = engine.ExecuteBatch(AlgorithmKind::kBpa, queries, 3);
+  auto naive = MakeAlgorithm(AlgorithmKind::kNaive);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    const TopKResult want = naive->Execute(db_, queries[i]).ValueOrDie();
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_DOUBLE_EQ(results[i].ValueUnsafe().items[r].score,
+                       want.items[r].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

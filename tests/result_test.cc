@@ -1,0 +1,93 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace topk {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueUnsafe(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Invalid("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> err(Status::Invalid("x"));
+  EXPECT_EQ(err.ValueOr(42), 42);
+  Result<int> ok(3);
+  EXPECT_EQ(ok.ValueOr(42), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueUnsafe();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*p, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return Status::Invalid(x, " is odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TOPK_ASSIGN_OR_RETURN(int h, Half(x));
+  TOPK_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesSuccess) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueUnsafe(), 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesFirstError) {
+  Result<int> r = Quarter(7);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "7 is odd");
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesNestedError) {
+  Result<int> r = Quarter(6);  // 6 -> 3 -> odd
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "3 is odd");
+}
+
+Status UseReturnNotOk(bool fail) {
+  TOPK_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOk) {
+  EXPECT_TRUE(UseReturnNotOk(false).ok());
+  EXPECT_TRUE(UseReturnNotOk(true).IsInternal());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,174 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace topk {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(13);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(19);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(23);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(31);
+  const int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.NextGaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(37);
+  const uint32_t n = 1000;
+  std::vector<uint32_t> perm = rng.Permutation(n);
+  ASSERT_EQ(perm.size(), n);
+  std::vector<bool> seen(n, false);
+  for (uint32_t v : perm) {
+    ASSERT_LT(v, n);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, PermutationIsShuffled) {
+  Rng rng(41);
+  std::vector<uint32_t> perm = rng.Permutation(1000);
+  // The identity permutation would have every element in place; a random one
+  // has ~1 fixed point on average. Tolerate up to 50.
+  int fixed = 0;
+  for (uint32_t i = 0; i < perm.size(); ++i) {
+    fixed += (perm[i] == i);
+  }
+  EXPECT_LT(fixed, 50);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(47);
+  int heads = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    heads += rng.NextBool(0.25);
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,96 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "lists/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topk {
+namespace {
+
+TEST(ScorerTest, Sum) {
+  SumScorer sum;
+  EXPECT_DOUBLE_EQ(sum.Combine({1.0, 2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(sum.Combine({-1.0, 1.0}), 0.0);
+  EXPECT_EQ(sum.name(), "sum");
+}
+
+TEST(ScorerTest, Min) {
+  MinScorer min;
+  EXPECT_DOUBLE_EQ(min.Combine({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_EQ(min.name(), "min");
+}
+
+TEST(ScorerTest, Max) {
+  MaxScorer max;
+  EXPECT_DOUBLE_EQ(max.Combine({3.0, 1.0, 2.0}), 3.0);
+  EXPECT_EQ(max.name(), "max");
+}
+
+TEST(ScorerTest, Average) {
+  AverageScorer avg;
+  EXPECT_DOUBLE_EQ(avg.Combine({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(avg.name(), "average");
+}
+
+TEST(ScorerTest, WeightedSum) {
+  WeightedSumScorer w =
+      WeightedSumScorer::Make({0.5, 2.0, 0.0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(w.Combine({2.0, 3.0, 100.0}), 7.0);
+  EXPECT_EQ(w.name(), "weighted-sum");
+  EXPECT_EQ(w.weights().size(), 3u);
+}
+
+TEST(ScorerTest, WeightedSumRejectsNegativeWeights) {
+  Result<WeightedSumScorer> r = WeightedSumScorer::Make({0.5, -1.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+}
+
+TEST(ScorerTest, WeightedSumRejectsEmpty) {
+  EXPECT_FALSE(WeightedSumScorer::Make({}).ok());
+}
+
+TEST(ScorerTest, FunctionScorer) {
+  FunctionScorer f("euclid-ish", [](const Score* s, size_t n) {
+    Score acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += s[i] * s[i];
+    }
+    return acc;
+  });
+  EXPECT_DOUBLE_EQ(f.Combine({3.0, 4.0}), 25.0);
+  EXPECT_EQ(f.name(), "euclid-ish");
+}
+
+// Monotonicity property: raising any coordinate never lowers the output.
+TEST(ScorerTest, BuiltinScorersAreMonotonic) {
+  std::vector<std::unique_ptr<Scorer>> scorers;
+  scorers.push_back(std::make_unique<SumScorer>());
+  scorers.push_back(std::make_unique<MinScorer>());
+  scorers.push_back(std::make_unique<MaxScorer>());
+  scorers.push_back(std::make_unique<AverageScorer>());
+  scorers.push_back(std::make_unique<WeightedSumScorer>(
+      WeightedSumScorer::Make({0.3, 1.5, 0.0, 2.0}).ValueOrDie()));
+
+  Rng rng(123);
+  const size_t m = 4;
+  for (const auto& scorer : scorers) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<Score> lo(m), hi(m);
+      for (size_t i = 0; i < m; ++i) {
+        lo[i] = rng.NextDouble(-10.0, 10.0);
+        hi[i] = lo[i] + rng.NextDouble(0.0, 5.0);  // hi >= lo coordinate-wise
+      }
+      ASSERT_LE(scorer->Combine(lo), scorer->Combine(hi))
+          << scorer->name() << " is not monotonic";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

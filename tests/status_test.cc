@@ -1,0 +1,90 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace topk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidCarriesMessage) {
+  Status st = Status::Invalid("bad k = ", 42);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalid());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k = 42");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad k = 42");
+}
+
+TEST(StatusTest, KeyError) {
+  Status st = Status::KeyError("item ", 7, " missing");
+  EXPECT_TRUE(st.IsKeyError());
+  EXPECT_EQ(st.message(), "item 7 missing");
+}
+
+TEST(StatusTest, OutOfRange) {
+  Status st = Status::OutOfRange("position 0");
+  EXPECT_TRUE(st.IsOutOfRange());
+}
+
+TEST(StatusTest, NotImplemented) {
+  Status st = Status::NotImplemented("nope");
+  EXPECT_TRUE(st.IsNotImplemented());
+}
+
+TEST(StatusTest, Internal) {
+  Status st = Status::Internal("bug");
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status st = Status::Invalid("x");
+  Status copy = st;
+  EXPECT_EQ(st, copy);
+  EXPECT_TRUE(copy.IsInvalid());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("a"), Status::Invalid("a"));
+  EXPECT_NE(Status::Invalid("a"), Status::Invalid("b"));
+  EXPECT_NE(Status::Invalid("a"), Status::KeyError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream oss;
+  oss << Status::OutOfRange("pos 9");
+  EXPECT_EQ(oss.str(), "Out of range: pos 9");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "Invalid argument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kKeyError), "Key error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotImplemented),
+            "Not implemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+TEST(StatusTest, AbortOnOkIsNoop) {
+  Status::OK().Abort();  // must not abort
+}
+
+}  // namespace
+}  // namespace topk

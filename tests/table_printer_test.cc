@@ -1,0 +1,70 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace topk {
+namespace {
+
+TEST(TablePrinterTest, FormatsIntegers) {
+  EXPECT_EQ(TablePrinter::FormatCell(42), "42");
+  EXPECT_EQ(TablePrinter::FormatCell(uint64_t{7}), "7");
+  EXPECT_EQ(TablePrinter::FormatCell(int64_t{-3}), "-3");
+}
+
+TEST(TablePrinterTest, FormatsIntegralDoublesWithoutFraction) {
+  EXPECT_EQ(TablePrinter::FormatCell(3.0), "3");
+  EXPECT_EQ(TablePrinter::FormatCell(-12.0), "-12");
+}
+
+TEST(TablePrinterTest, FormatsFractionalDoubles) {
+  EXPECT_EQ(TablePrinter::FormatCell(2.5), "2.5");
+  EXPECT_EQ(TablePrinter::FormatCell(0.125), "0.125");
+}
+
+TEST(TablePrinterTest, FormatsNan) {
+  EXPECT_EQ(TablePrinter::FormatCell(std::nan("")), "nan");
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table("T");
+  table.AddRow("m", "TA", "BPA");
+  table.AddRow(2, 10.0, 5.0);
+  std::ostringstream oss;
+  table.PrintCsv(oss);
+  EXPECT_EQ(oss.str(), "# T\nm,TA,BPA\n2,10,5\n");
+}
+
+TEST(TablePrinterTest, AlignedOutputContainsAllCells) {
+  TablePrinter table;
+  table.AddRow("col_a", "b");
+  table.AddRow(1, 22222);
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);  // header separator
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsTitleOnly) {
+  TablePrinter table("only title");
+  std::ostringstream oss;
+  table.Print(oss);
+  EXPECT_EQ(oss.str(), "only title\n");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table;
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow("h");
+  table.AddRow(1);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,167 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Reproduces Lemma 3 / Theorem 3 *exactly*: over the adversarial family of
+// gen/adversarial.h, BPA stops at position u while TA scans to (m-1)*u, so
+// BPA's sorted and random access counts (and execution cost) are exactly
+// (m-1) times lower.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/algorithms.h"
+#include "gen/adversarial.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+struct SeparationCase {
+  size_t m;
+  size_t u;
+  size_t n;
+  size_t k;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SeparationCase>& info) {
+  const SeparationCase& c = info.param;
+  std::string name = "m";
+  name += std::to_string(c.m);
+  name += "_u";
+  name += std::to_string(c.u);
+  name += "_n";
+  name += std::to_string(c.n);
+  name += "_k";
+  name += std::to_string(c.k);
+  return name;
+}
+
+class SeparationTest : public ::testing::TestWithParam<SeparationCase> {
+ protected:
+  void SetUp() override {
+    Lemma3Config config;
+    config.m = GetParam().m;
+    config.u = GetParam().u;
+    config.n = GetParam().n;
+    Result<Database> db = MakeLemma3Database(config);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).ValueUnsafe();
+    query_ = TopKQuery{GetParam().k, &sum_};
+  }
+
+  TopKResult Run(AlgorithmKind kind) {
+    return MakeAlgorithm(kind)->Execute(db_, query_).ValueOrDie();
+  }
+
+  Database db_;
+  SumScorer sum_;
+  TopKQuery query_;
+};
+
+TEST_P(SeparationTest, BpaStopsAtExactlyU) {
+  EXPECT_EQ(Run(AlgorithmKind::kBpa).stop_position, GetParam().u);
+}
+
+TEST_P(SeparationTest, TaStopsAtExactlyMMinus1TimesU) {
+  EXPECT_EQ(Run(AlgorithmKind::kTa).stop_position,
+            (GetParam().m - 1) * GetParam().u);
+}
+
+TEST_P(SeparationTest, SortedAccessRatioIsExactlyMMinus1) {
+  const TopKResult ta = Run(AlgorithmKind::kTa);
+  const TopKResult bpa = Run(AlgorithmKind::kBpa);
+  EXPECT_EQ(ta.stats.sorted_accesses,
+            bpa.stats.sorted_accesses * (GetParam().m - 1));
+  EXPECT_EQ(ta.stats.random_accesses,
+            bpa.stats.random_accesses * (GetParam().m - 1));
+}
+
+TEST_P(SeparationTest, ExecutionCostRatioIsExactlyMMinus1) {
+  const TopKResult ta = Run(AlgorithmKind::kTa);
+  const TopKResult bpa = Run(AlgorithmKind::kBpa);
+  EXPECT_DOUBLE_EQ(ta.execution_cost,
+                   bpa.execution_cost * (GetParam().m - 1));
+}
+
+TEST_P(SeparationTest, Bpa2StopsInURounds) {
+  EXPECT_EQ(Run(AlgorithmKind::kBpa2).stop_position, GetParam().u);
+}
+
+TEST_P(SeparationTest, AnswersMatchNaive) {
+  const TopKResult naive = Run(AlgorithmKind::kNaive);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kFa, AlgorithmKind::kTa, AlgorithmKind::kBpa,
+        AlgorithmKind::kBpa2, AlgorithmKind::kTput, AlgorithmKind::kNra,
+        AlgorithmKind::kCa}) {
+    const TopKResult result = Run(kind);
+    ASSERT_EQ(result.items.size(), naive.items.size()) << ToString(kind);
+    for (size_t i = 0; i < naive.items.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.items[i].score, naive.items[i].score)
+          << ToString(kind) << " rank " << i;
+    }
+  }
+}
+
+TEST_P(SeparationTest, FaStopsNoEarlierThanTa) {
+  EXPECT_GE(Run(AlgorithmKind::kFa).stop_position,
+            Run(AlgorithmKind::kTa).stop_position);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeparationTest,
+    ::testing::Values(SeparationCase{3, 1, 50, 1},
+                      SeparationCase{3, 3, 100, 3},
+                      SeparationCase{3, 10, 200, 20},
+                      SeparationCase{4, 3, 100, 5},
+                      SeparationCase{4, 7, 150, 10},
+                      SeparationCase{5, 3, 120, 8},
+                      SeparationCase{5, 5, 200, 25},
+                      SeparationCase{6, 4, 150, 6},
+                      SeparationCase{8, 3, 200, 10},
+                      SeparationCase{8, 6, 400, 24},
+                      SeparationCase{9, 4, 300, 12}),
+    CaseName);
+
+TEST(Lemma3ConfigTest, RejectsDegenerateParameters) {
+  Lemma3Config config;
+  config.m = 2;
+  config.u = 3;
+  config.n = 100;
+  EXPECT_TRUE(MakeLemma3Database(config).status().IsInvalid());
+  config.m = 3;
+  config.u = 0;
+  EXPECT_TRUE(MakeLemma3Database(config).status().IsInvalid());
+  config.u = 5;
+  config.n = 15;  // < m*u + 1 = 16
+  EXPECT_TRUE(MakeLemma3Database(config).status().IsInvalid());
+}
+
+TEST(Lemma3ConfigTest, MinimumNAccepted) {
+  Lemma3Config config;
+  config.m = 3;
+  config.u = 2;
+  config.n = 7;  // exactly m*u + 1
+  EXPECT_TRUE(MakeLemma3Database(config).ok())
+      << MakeLemma3Database(config).status().ToString();
+}
+
+TEST(Lemma3ConfigTest, GeneratedDatabaseIsValidAndNonNegative) {
+  Lemma3Config config;
+  config.m = 5;
+  config.u = 4;
+  config.n = 60;
+  const Database db = MakeLemma3Database(config).ValueOrDie();
+  EXPECT_EQ(db.num_lists(), 5u);
+  EXPECT_EQ(db.num_items(), 60u);
+  EXPECT_TRUE(db.AllScoresNonNegative());
+  for (size_t li = 0; li < db.num_lists(); ++li) {
+    for (Position p = 2; p <= db.num_items(); ++p) {
+      ASSERT_GT(db.list(li).EntryAt(p - 1).score, db.list(li).EntryAt(p).score)
+          << "list " << li << " position " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,125 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/topk_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace topk {
+namespace {
+
+TEST(TopKBufferTest, FillsUpToK) {
+  TopKBuffer buffer(2);
+  EXPECT_FALSE(buffer.full());
+  buffer.Offer(0, 1.0);
+  EXPECT_EQ(buffer.size(), 1u);
+  buffer.Offer(1, 2.0);
+  EXPECT_TRUE(buffer.full());
+  EXPECT_DOUBLE_EQ(buffer.KthScore(), 1.0);
+}
+
+TEST(TopKBufferTest, EvictsWeakest) {
+  TopKBuffer buffer(2);
+  buffer.Offer(0, 1.0);
+  buffer.Offer(1, 2.0);
+  buffer.Offer(2, 3.0);
+  EXPECT_FALSE(buffer.Contains(0));
+  EXPECT_TRUE(buffer.Contains(1));
+  EXPECT_TRUE(buffer.Contains(2));
+  EXPECT_DOUBLE_EQ(buffer.KthScore(), 2.0);
+}
+
+TEST(TopKBufferTest, RejectsWeakerThanKth) {
+  TopKBuffer buffer(2);
+  buffer.Offer(0, 5.0);
+  buffer.Offer(1, 4.0);
+  buffer.Offer(2, 1.0);
+  EXPECT_FALSE(buffer.Contains(2));
+  EXPECT_DOUBLE_EQ(buffer.KthScore(), 4.0);
+}
+
+TEST(TopKBufferTest, ReofferingMemberIsNoop) {
+  TopKBuffer buffer(2);
+  buffer.Offer(0, 5.0);
+  buffer.Offer(0, 5.0);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(TopKBufferTest, TieBreakPrefersSmallerItemId) {
+  TopKBuffer buffer(2);
+  buffer.Offer(5, 1.0);
+  buffer.Offer(3, 1.0);
+  buffer.Offer(1, 1.0);  // same score, smaller id: evicts item 5
+  EXPECT_TRUE(buffer.Contains(1));
+  EXPECT_TRUE(buffer.Contains(3));
+  EXPECT_FALSE(buffer.Contains(5));
+}
+
+TEST(TopKBufferTest, ReofferEvictedSameScoreStaysOut) {
+  TopKBuffer buffer(1);
+  buffer.Offer(2, 1.0);
+  buffer.Offer(1, 1.0);  // evicts 2 under tie-break
+  EXPECT_TRUE(buffer.Contains(1));
+  buffer.Offer(2, 1.0);  // weaker under tie-break: rejected
+  EXPECT_TRUE(buffer.Contains(1));
+  EXPECT_FALSE(buffer.Contains(2));
+}
+
+TEST(TopKBufferTest, HasKAtLeast) {
+  TopKBuffer buffer(2);
+  buffer.Offer(0, 5.0);
+  EXPECT_FALSE(buffer.HasKAtLeast(1.0));  // not full yet
+  buffer.Offer(1, 4.0);
+  EXPECT_TRUE(buffer.HasKAtLeast(4.0));
+  EXPECT_TRUE(buffer.HasKAtLeast(3.9));
+  EXPECT_FALSE(buffer.HasKAtLeast(4.1));
+}
+
+TEST(TopKBufferTest, ToSortedItemsDescending) {
+  TopKBuffer buffer(3);
+  buffer.Offer(0, 1.0);
+  buffer.Offer(1, 3.0);
+  buffer.Offer(2, 2.0);
+  const std::vector<ResultItem> items = buffer.ToSortedItems();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].item, 1u);
+  EXPECT_EQ(items[1].item, 2u);
+  EXPECT_EQ(items[2].item, 0u);
+}
+
+TEST(TopKBufferTest, ToSortedItemsTieOrder) {
+  TopKBuffer buffer(3);
+  buffer.Offer(7, 2.0);
+  buffer.Offer(3, 2.0);
+  buffer.Offer(5, 9.0);
+  const std::vector<ResultItem> items = buffer.ToSortedItems();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].item, 5u);
+  EXPECT_EQ(items[1].item, 3u);  // ties ascending by id
+  EXPECT_EQ(items[2].item, 7u);
+}
+
+TEST(TopKBufferTest, ZeroKIsAlwaysEmpty) {
+  TopKBuffer buffer(0);
+  buffer.Offer(0, 1.0);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.full());  // vacuously
+}
+
+TEST(TopKBufferTest, ManyOffersKeepExactlyTopK) {
+  const size_t k = 10;
+  TopKBuffer buffer(k);
+  for (ItemId item = 0; item < 1000; ++item) {
+    buffer.Offer(item, static_cast<Score>((item * 37) % 1000));
+  }
+  const std::vector<ResultItem> items = buffer.ToSortedItems();
+  ASSERT_EQ(items.size(), k);
+  // (item * 37) % 1000 hits 999 for some item; top-10 scores are 990..999.
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(items[i].score, 999.0 - static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace topk

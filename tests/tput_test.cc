@@ -1,0 +1,148 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/tput_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+TEST(TputTest, MatchesNaiveOnUniform) {
+  const Database db = MakeUniformDatabase(500, 5, 99);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+  const auto naive =
+      MakeAlgorithm(AlgorithmKind::kNaive)->Execute(db, query).ValueOrDie();
+  const auto tput =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+  for (size_t i = 0; i < query.k; ++i) {
+    EXPECT_DOUBLE_EQ(tput.items[i].score, naive.items[i].score);
+  }
+}
+
+TEST(TputTest, MatchesNaiveOnCorrelated) {
+  CorrelatedConfig config;
+  config.n = 400;
+  config.m = 4;
+  config.alpha = 0.01;
+  config.seed = 5;
+  const Database db = MakeCorrelatedDatabase(config).ValueOrDie();
+  SumScorer sum;
+  const TopKQuery query{20, &sum};
+  const auto naive =
+      MakeAlgorithm(AlgorithmKind::kNaive)->Execute(db, query).ValueOrDie();
+  const auto tput =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+  for (size_t i = 0; i < query.k; ++i) {
+    EXPECT_DOUBLE_EQ(tput.items[i].score, naive.items[i].score);
+  }
+}
+
+TEST(TputTest, RejectsNonSumScorer) {
+  const Database db = MakeUniformDatabase(50, 3, 1);
+  MinScorer min;
+  const auto status =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, TopKQuery{3, &min})
+          .status();
+  EXPECT_TRUE(status.IsNotImplemented());
+}
+
+TEST(TputTest, RejectsScoresBelowFloor) {
+  const Database db = MakeGaussianDatabase(50, 3, 1);  // has negatives
+  SumScorer sum;
+  const auto status =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, TopKQuery{3, &sum})
+          .status();
+  EXPECT_TRUE(status.IsInvalid());
+}
+
+TEST(TputTest, AcceptsGaussianWithExplicitFloor) {
+  const Database db = MakeGaussianDatabase(200, 3, 2);
+  double floor = 0.0;
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    floor = std::min(floor, db.list(i).MinScore());
+  }
+  AlgorithmOptions options;
+  options.score_floor = floor;
+  SumScorer sum;
+  const TopKQuery query{5, &sum};
+  const auto naive =
+      MakeAlgorithm(AlgorithmKind::kNaive)->Execute(db, query).ValueOrDie();
+  const auto tput = MakeAlgorithm(AlgorithmKind::kTput, options)
+                        ->Execute(db, query)
+                        .ValueOrDie();
+  for (size_t i = 0; i < query.k; ++i) {
+    EXPECT_DOUBLE_EQ(tput.items[i].score, naive.items[i].score);
+  }
+}
+
+TEST(TputTest, UsesThreePhaseAccessPattern) {
+  const Database db = MakeUniformDatabase(1000, 4, 3);
+  SumScorer sum;
+  const auto result =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, TopKQuery{10, &sum})
+          .ValueOrDie();
+  // Phase 1+2 do sorted accesses; phase 3 does random accesses.
+  EXPECT_GT(result.stats.sorted_accesses, 0u);
+  EXPECT_EQ(result.stats.direct_accesses, 0u);
+  // Phase 1 reads at least k rows in every list.
+  EXPECT_GE(result.stats.sorted_accesses, 4u * 10u);
+}
+
+TEST(TputTest, WorksOnPaperFigure1) {
+  const Database db = MakeFigure1Database();
+  SumScorer sum;
+  const auto result =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, TopKQuery{3, &sum})
+          .ValueOrDie();
+  EXPECT_EQ(result.items[0].item, 7u);  // d8
+  EXPECT_DOUBLE_EQ(result.items[0].score, 71.0);
+}
+
+TEST(TputTest, KEqualsNReturnsEverything) {
+  const Database db = MakeUniformDatabase(30, 3, 4);
+  SumScorer sum;
+  const auto result =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, TopKQuery{30, &sum})
+          .ValueOrDie();
+  EXPECT_EQ(result.items.size(), 30u);
+}
+
+// The paper's Section 7 remark: a list full of values just above TPUT's
+// threshold forces TPUT to fetch (nearly) the whole list, while BPA2 stays
+// adaptive. Construct such an adversarial database.
+TEST(TputTest, AdversarialFlatListForcesDeepScan) {
+  const size_t n = 500;
+  const size_t m = 3;
+  std::vector<std::vector<Score>> scores(n, std::vector<Score>(m));
+  Rng rng(12);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i][0] = rng.NextDouble();       // normal list
+    scores[i][1] = rng.NextDouble();       // normal list
+    scores[i][2] = 0.90 + 1e-6 * i;        // flat list, all above τ1/m
+  }
+  const Database db = Database::FromScoreMatrix(scores).ValueOrDie();
+  SumScorer sum;
+  const TopKQuery query{5, &sum};
+  const auto tput =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+  const auto bpa2 =
+      MakeAlgorithm(AlgorithmKind::kBpa2)->Execute(db, query).ValueOrDie();
+  // Correct on both, but TPUT pays far more accesses.
+  const auto naive =
+      MakeAlgorithm(AlgorithmKind::kNaive)->Execute(db, query).ValueOrDie();
+  for (size_t i = 0; i < query.k; ++i) {
+    EXPECT_DOUBLE_EQ(tput.items[i].score, naive.items[i].score);
+    EXPECT_DOUBLE_EQ(bpa2.items[i].score, naive.items[i].score);
+  }
+  EXPECT_GT(tput.stats.TotalAccesses(), bpa2.stats.TotalAccesses());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,145 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Execution-trace tests: replay the paper's threshold tables exactly.
+//  * Figure 1.b lists TA's threshold at positions 1..10 as
+//    88, 84, 80, 75, 72, 63, 52, 42, 36, 33 — TA stops at 6, so its trace is
+//    the first six values.
+//  * Example 3 walks BPA's best-positions overall score λ through
+//    88 (bp=1,1,1), 84 (bp=2,2,2), 43 (bp=9,9,6).
+//  * Figure 2's threshold column is 88, 84, 80, 77, 74, 71, 52.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+TopKResult RunTraced(const Database& db, AlgorithmKind kind, size_t k = 3) {
+  AlgorithmOptions options;
+  options.collect_trace = true;
+  SumScorer sum;
+  return MakeAlgorithm(kind, options)->Execute(db, TopKQuery{k, &sum})
+      .ValueOrDie();
+}
+
+TEST(TraceTest, Figure1TaThresholdColumn) {
+  const TopKResult result = RunTraced(MakeFigure1Database(),
+                                      AlgorithmKind::kTa);
+  const std::vector<double> expected = {88, 84, 80, 75, 72, 63};
+  ASSERT_EQ(result.trace.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.trace[i].position, i + 1);
+    EXPECT_DOUBLE_EQ(result.trace[i].threshold, expected[i]) << "row " << i;
+  }
+  // The buffer is full (k = 3 items) from the very first row.
+  for (const StopRuleTrace& row : result.trace) {
+    EXPECT_EQ(row.buffer_size, 3u);
+    EXPECT_FALSE(std::isnan(row.kth_score));
+  }
+  // Y's k-th score at the stop row meets the threshold.
+  EXPECT_GE(result.trace.back().kth_score, result.trace.back().threshold);
+}
+
+TEST(TraceTest, Figure1BpaLambdaSequenceFromExample3) {
+  const TopKResult result = RunTraced(MakeFigure1Database(),
+                                      AlgorithmKind::kBpa);
+  const std::vector<double> expected = {88, 84, 43};
+  ASSERT_EQ(result.trace.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.trace[i].threshold, expected[i]) << "row " << i;
+  }
+  // Example 3's best positions at the stop: bp1 = 9, bp2 = 9, bp3 = 6.
+  EXPECT_EQ(result.trace.back().min_best_position, 6u);
+  // Before the stop the best position equals the scan depth.
+  EXPECT_EQ(result.trace[0].min_best_position, 1u);
+  EXPECT_EQ(result.trace[1].min_best_position, 2u);
+}
+
+TEST(TraceTest, Figure1Bpa2LambdaPerRound) {
+  const TopKResult result = RunTraced(MakeFigure1Database(),
+                                      AlgorithmKind::kBpa2);
+  const std::vector<double> expected = {88, 84, 43};
+  ASSERT_EQ(result.trace.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.trace[i].threshold, expected[i]) << "round " << i;
+  }
+}
+
+TEST(TraceTest, Figure2TaThresholdColumn) {
+  const TopKResult result = RunTraced(MakeFigure2Database(),
+                                      AlgorithmKind::kTa);
+  const std::vector<double> expected = {88, 84, 80, 77, 74, 71, 52};
+  ASSERT_EQ(result.trace.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.trace[i].threshold, expected[i]) << "row " << i;
+  }
+}
+
+TEST(TraceTest, Figure2BpaLambdaPlateausThenDrops) {
+  const TopKResult result = RunTraced(MakeFigure2Database(),
+                                      AlgorithmKind::kBpa);
+  const std::vector<double> expected = {88, 84, 71, 71, 71, 71, 33};
+  ASSERT_EQ(result.trace.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.trace[i].threshold, expected[i]) << "row " << i;
+  }
+}
+
+TEST(TraceTest, Figure2Bpa2FourRounds) {
+  const TopKResult result = RunTraced(MakeFigure2Database(),
+                                      AlgorithmKind::kBpa2);
+  const std::vector<double> expected = {88, 84, 71, 33};
+  ASSERT_EQ(result.trace.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.trace[i].threshold, expected[i]) << "round " << i;
+  }
+}
+
+TEST(TraceTest, LambdaNeverExceedsDeltaAtEqualDepth) {
+  // Lemma 1's inner inequality λ <= δ, checked row by row on a random
+  // database (BPA and TA scan identical prefixes row-for-row).
+  const Database db = MakeUniformDatabase(500, 5, 321);
+  const TopKResult ta = RunTraced(db, AlgorithmKind::kTa, 10);
+  const TopKResult bpa = RunTraced(db, AlgorithmKind::kBpa, 10);
+  const size_t rows = std::min(ta.trace.size(), bpa.trace.size());
+  ASSERT_GT(rows, 0u);
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_LE(bpa.trace[i].threshold, ta.trace[i].threshold + 1e-12)
+        << "row " << i;
+  }
+}
+
+TEST(TraceTest, ThresholdsAreNonIncreasingForTa) {
+  const Database db = MakeUniformDatabase(400, 4, 654);
+  const TopKResult ta = RunTraced(db, AlgorithmKind::kTa, 5);
+  for (size_t i = 1; i < ta.trace.size(); ++i) {
+    ASSERT_LE(ta.trace[i].threshold, ta.trace[i - 1].threshold);
+  }
+}
+
+TEST(TraceTest, TraceDisabledByDefault) {
+  SumScorer sum;
+  const TopKResult result = MakeAlgorithm(AlgorithmKind::kTa)
+                                ->Execute(MakeFigure1Database(),
+                                          TopKQuery{3, &sum})
+                                .ValueOrDie();
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(TraceTest, TraceLengthMatchesStopPosition) {
+  const Database db = MakeUniformDatabase(300, 3, 987);
+  for (AlgorithmKind kind : {AlgorithmKind::kTa, AlgorithmKind::kBpa}) {
+    const TopKResult result = RunTraced(db, kind, 5);
+    EXPECT_EQ(result.trace.size(), result.stop_position) << ToString(kind);
+  }
+}
+
+}  // namespace
+}  // namespace topk

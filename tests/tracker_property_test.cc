@@ -1,0 +1,161 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Property tests: every tracker implementation must agree with a straightfor-
+// ward reference model on arbitrary access streams, and the B+tree tracker's
+// underlying tree must keep its structural invariants throughout.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tracker/best_position_tracker.h"
+#include "tracker/bplus_tree_tracker.h"
+
+namespace topk {
+namespace {
+
+// Reference model: linear scan over a bool vector.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(size_t n) : seen_(n + 1, false) {}
+
+  void MarkSeen(Position p) { seen_[p] = true; }
+
+  Position best_position() const {
+    Position bp = 0;
+    while (bp + 1 < seen_.size() && seen_[bp + 1]) {
+      ++bp;
+    }
+    return bp;
+  }
+
+  bool IsSeen(Position p) const { return seen_[p]; }
+
+  size_t seen_count() const {
+    size_t count = 0;
+    for (bool b : seen_) {
+      count += b;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<bool> seen_;
+};
+
+class TrackerPropertyTest : public ::testing::TestWithParam<TrackerKind> {};
+
+TEST_P(TrackerPropertyTest, NameMatchesKind) {
+  auto tracker = MakeTracker(GetParam(), 4);
+  EXPECT_EQ(tracker->name(), ToString(GetParam()));
+}
+
+TEST_P(TrackerPropertyTest, AgreesWithModelOnRandomStreams) {
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextBounded(300);
+    auto tracker = MakeTracker(GetParam(), n);
+    ReferenceModel model(n);
+    const int accesses = 1 + static_cast<int>(rng.NextBounded(3 * n));
+    for (int a = 0; a < accesses; ++a) {
+      const Position p = static_cast<Position>(1 + rng.NextBounded(n));
+      tracker->MarkSeen(p);
+      model.MarkSeen(p);
+      ASSERT_EQ(tracker->best_position(), model.best_position())
+          << "trial " << trial << " after marking " << p;
+      ASSERT_EQ(tracker->seen_count(), model.seen_count());
+    }
+    for (Position p = 1; p <= n; ++p) {
+      ASSERT_EQ(tracker->IsSeen(p), model.IsSeen(p)) << "position " << p;
+    }
+  }
+}
+
+TEST_P(TrackerPropertyTest, SortedScanReachesEveryPrefix) {
+  const size_t n = 128;
+  auto tracker = MakeTracker(GetParam(), n);
+  for (Position p = 1; p <= n; ++p) {
+    tracker->MarkSeen(p);
+    ASSERT_EQ(tracker->best_position(), p);
+  }
+}
+
+TEST_P(TrackerPropertyTest, ReverseScanAdvancesOnlyAtTheEnd) {
+  const size_t n = 64;
+  auto tracker = MakeTracker(GetParam(), n);
+  for (Position p = n; p >= 2; --p) {
+    tracker->MarkSeen(p);
+    ASSERT_EQ(tracker->best_position(), 0u);
+  }
+  tracker->MarkSeen(1);
+  EXPECT_EQ(tracker->best_position(), n);
+}
+
+TEST_P(TrackerPropertyTest, InterleavedRunsMergeCorrectly) {
+  auto tracker = MakeTracker(GetParam(), 20);
+  // Runs: {5..8}, {2..3}, then 1 bridges to 3, then 4 bridges to 8.
+  for (Position p : {5, 6, 7, 8}) {
+    tracker->MarkSeen(p);
+  }
+  EXPECT_EQ(tracker->best_position(), 0u);
+  tracker->MarkSeen(2);
+  tracker->MarkSeen(3);
+  EXPECT_EQ(tracker->best_position(), 0u);
+  tracker->MarkSeen(1);
+  EXPECT_EQ(tracker->best_position(), 3u);
+  tracker->MarkSeen(4);
+  EXPECT_EQ(tracker->best_position(), 8u);
+}
+
+TEST_P(TrackerPropertyTest, ResetMakesTrackerReusable) {
+  auto tracker = MakeTracker(GetParam(), 10);
+  tracker->MarkSeen(1);
+  tracker->MarkSeen(2);
+  tracker->Reset();
+  EXPECT_EQ(tracker->best_position(), 0u);
+  EXPECT_EQ(tracker->seen_count(), 0u);
+  tracker->MarkSeen(1);
+  EXPECT_EQ(tracker->best_position(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrackers, TrackerPropertyTest,
+                         ::testing::Values(TrackerKind::kBitArray,
+                                           TrackerKind::kBPlusTree,
+                                           TrackerKind::kSortedSet),
+                         [](const ::testing::TestParamInfo<TrackerKind>& info) {
+                           switch (info.param) {
+                             case TrackerKind::kBitArray:
+                               return std::string("BitArray");
+                             case TrackerKind::kBPlusTree:
+                               return std::string("BPlusTree");
+                             case TrackerKind::kSortedSet:
+                               return std::string("SortedSet");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(BPlusTreeTrackerTest, TreeInvariantsHoldUnderRandomMarks) {
+  Rng rng(31337);
+  BPlusTreeTracker tracker(5000);
+  for (int i = 0; i < 20000; ++i) {
+    tracker.MarkSeen(static_cast<Position>(1 + rng.NextBounded(5000)));
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(tracker.tree().CheckInvariants().ok())
+          << tracker.tree().CheckInvariants().ToString();
+    }
+  }
+  ASSERT_TRUE(tracker.tree().CheckInvariants().ok());
+}
+
+TEST(TrackerFactoryTest, KindNames) {
+  EXPECT_EQ(ToString(TrackerKind::kBitArray), "bit-array");
+  EXPECT_EQ(ToString(TrackerKind::kBPlusTree), "b+tree");
+  EXPECT_EQ(ToString(TrackerKind::kSortedSet), "sorted-set");
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,301 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// topk — command-line front end for the library.
+//
+// Generate a database:
+//   topk gen --kind uniform --n 10000 --m 4 --seed 7 --out db.csv
+//   topk gen --kind correlated --alpha 0.01 --n 10000 --m 4 --out db.bin
+//
+// Run a query:
+//   topk query --db db.csv --k 10 --algo bpa2 --scorer sum
+//   topk query --db db.bin --k 5 --algo ta --scorer weighted
+//              --weights 1,2,0.5,1 --tracker btree --verbose
+//
+// Compare all algorithms on a database:
+//   topk compare --db db.csv --k 10
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/table_printer.h"
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/database_io.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace cli {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  topk gen     --kind uniform|gaussian|correlated --n N --m M\n"
+      "               [--alpha A] [--theta T] [--seed S] --out FILE[.csv|.bin]\n"
+      "  topk query   --db FILE --k K [--algo ALGO] [--scorer SCORER]\n"
+      "               [--weights w1,w2,...] [--tracker KIND] [--verbose]\n"
+      "  topk compare --db FILE --k K [--scorer SCORER] [--weights ...]\n"
+      "\n"
+      "algos:    naive fa ta bpa bpa2 tput nra ca   (default bpa2)\n"
+      "scorers:  sum min max average weighted       (default sum)\n"
+      "trackers: bitarray btree set                 (default bitarray)\n";
+  return 2;
+}
+
+// --flag value parser; returns map and positional command.
+bool ParseArgs(int argc, char** argv, std::string* command,
+               std::map<std::string, std::string>* flags) {
+  if (argc < 2) {
+    return false;
+  }
+  *command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return false;
+    }
+    arg = arg.substr(2);
+    if (arg == "verbose") {
+      (*flags)["verbose"] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return false;
+    }
+    (*flags)[arg] = argv[++i];
+  }
+  return true;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<AlgorithmKind> ParseAlgo(const std::string& name) {
+  static const std::map<std::string, AlgorithmKind> kMap = {
+      {"naive", AlgorithmKind::kNaive}, {"fa", AlgorithmKind::kFa},
+      {"ta", AlgorithmKind::kTa},       {"bpa", AlgorithmKind::kBpa},
+      {"bpa2", AlgorithmKind::kBpa2},   {"tput", AlgorithmKind::kTput},
+      {"nra", AlgorithmKind::kNra},     {"ca", AlgorithmKind::kCa}};
+  auto it = kMap.find(name);
+  if (it == kMap.end()) {
+    return Status::Invalid("unknown algorithm '", name, "'");
+  }
+  return it->second;
+}
+
+Result<TrackerKind> ParseTracker(const std::string& name) {
+  if (name == "bitarray") {
+    return TrackerKind::kBitArray;
+  }
+  if (name == "btree") {
+    return TrackerKind::kBPlusTree;
+  }
+  if (name == "set") {
+    return TrackerKind::kSortedSet;
+  }
+  return Status::Invalid("unknown tracker '", name, "'");
+}
+
+Result<std::unique_ptr<Scorer>> ParseScorer(const std::string& name,
+                                            const std::string& weights) {
+  if (name == "sum") {
+    return std::unique_ptr<Scorer>(new SumScorer());
+  }
+  if (name == "min") {
+    return std::unique_ptr<Scorer>(new MinScorer());
+  }
+  if (name == "max") {
+    return std::unique_ptr<Scorer>(new MaxScorer());
+  }
+  if (name == "average") {
+    return std::unique_ptr<Scorer>(new AverageScorer());
+  }
+  if (name == "weighted") {
+    std::vector<double> w;
+    std::stringstream ss(weights);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        w.push_back(std::stod(cell));
+      } catch (...) {
+        return Status::Invalid("bad weight '", cell, "'");
+      }
+    }
+    TOPK_ASSIGN_OR_RETURN(WeightedSumScorer scorer,
+                          WeightedSumScorer::Make(std::move(w)));
+    return std::unique_ptr<Scorer>(new WeightedSumScorer(std::move(scorer)));
+  }
+  return Status::Invalid("unknown scorer '", name, "'");
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<Database> LoadDb(const std::string& path) {
+  if (EndsWith(path, ".bin")) {
+    return ReadBinaryFile(path);
+  }
+  return ReadCsvFile(path);
+}
+
+Status SaveDb(const Database& db, const std::string& path) {
+  if (EndsWith(path, ".bin")) {
+    return WriteBinaryFile(db, path);
+  }
+  return WriteCsvFile(db, path);
+}
+
+Status RunGen(const std::map<std::string, std::string>& flags) {
+  const std::string kind = FlagOr(flags, "kind", "uniform");
+  const size_t n = std::stoul(FlagOr(flags, "n", "10000"));
+  const size_t m = std::stoul(FlagOr(flags, "m", "4"));
+  const uint64_t seed = std::stoull(FlagOr(flags, "seed", "42"));
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) {
+    return Status::Invalid("gen requires --out FILE");
+  }
+  Database db;
+  if (kind == "uniform") {
+    db = MakeUniformDatabase(n, m, seed);
+  } else if (kind == "gaussian") {
+    db = MakeGaussianDatabase(n, m, seed);
+  } else if (kind == "correlated") {
+    CorrelatedConfig config;
+    config.n = n;
+    config.m = m;
+    config.alpha = std::stod(FlagOr(flags, "alpha", "0.01"));
+    config.zipf_theta = std::stod(FlagOr(flags, "theta", "0.7"));
+    config.seed = seed;
+    TOPK_ASSIGN_OR_RETURN(db, MakeCorrelatedDatabase(config));
+  } else {
+    return Status::Invalid("unknown database kind '", kind, "'");
+  }
+  TOPK_RETURN_NOT_OK(SaveDb(db, out));
+  std::cout << "wrote " << kind << " database (n=" << db.num_items()
+            << ", m=" << db.num_lists() << ") to " << out << "\n";
+  return Status::OK();
+}
+
+Status RunQuery(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "db", "");
+  if (path.empty()) {
+    return Status::Invalid("query requires --db FILE");
+  }
+  TOPK_ASSIGN_OR_RETURN(Database db, LoadDb(path));
+  TOPK_ASSIGN_OR_RETURN(AlgorithmKind algo,
+                        ParseAlgo(FlagOr(flags, "algo", "bpa2")));
+  TOPK_ASSIGN_OR_RETURN(
+      std::unique_ptr<Scorer> scorer,
+      ParseScorer(FlagOr(flags, "scorer", "sum"), FlagOr(flags, "weights", "")));
+  AlgorithmOptions options;
+  TOPK_ASSIGN_OR_RETURN(options.tracker,
+                        ParseTracker(FlagOr(flags, "tracker", "bitarray")));
+  // A permissive floor lets NRA/CA/TPUT run on negative-score databases.
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    options.score_floor = std::min(options.score_floor, db.list(i).MinScore());
+  }
+  const size_t k = std::stoul(FlagOr(flags, "k", "10"));
+  auto algorithm = MakeAlgorithm(algo, options);
+  TOPK_ASSIGN_OR_RETURN(TopKResult result,
+                        algorithm->Execute(db, TopKQuery{k, scorer.get()}));
+
+  TablePrinter table("top-" + std::to_string(k) + " by " + scorer->name() +
+                     " (" + algorithm->name() + ")");
+  table.AddRow("rank", "item", "score");
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    table.AddRow(i + 1, static_cast<uint64_t>(result.items[i].item),
+                 result.items[i].score);
+  }
+  table.Print(std::cout);
+  if (flags.count("verbose")) {
+    std::cout << "\naccesses: " << result.stats.ToString()
+              << "\nexecution cost: " << result.execution_cost
+              << "\nstop position:  " << result.stop_position
+              << "\nelapsed:        " << result.elapsed_ms << " ms\n";
+  }
+  return Status::OK();
+}
+
+Status RunCompare(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "db", "");
+  if (path.empty()) {
+    return Status::Invalid("compare requires --db FILE");
+  }
+  TOPK_ASSIGN_OR_RETURN(Database db, LoadDb(path));
+  TOPK_ASSIGN_OR_RETURN(
+      std::unique_ptr<Scorer> scorer,
+      ParseScorer(FlagOr(flags, "scorer", "sum"), FlagOr(flags, "weights", "")));
+  const size_t k = std::stoul(FlagOr(flags, "k", "10"));
+  AlgorithmOptions options;
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    options.score_floor = std::min(options.score_floor, db.list(i).MinScore());
+  }
+  TablePrinter table("algorithm comparison (k=" + std::to_string(k) + ", " +
+                     scorer->name() + ", n=" + std::to_string(db.num_items()) +
+                     ", m=" + std::to_string(db.num_lists()) + ")");
+  table.AddRow("algorithm", "stop", "sorted", "random", "direct", "cost",
+               "ms");
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    auto algorithm = MakeAlgorithm(kind, options);
+    const Result<TopKResult> result =
+        algorithm->Execute(db, TopKQuery{k, scorer.get()});
+    if (!result.ok()) {
+      table.AddRow(algorithm->name(), std::string("-"), std::string("-"),
+                   std::string("-"), std::string("-"),
+                   result.status().ToString(), std::string("-"));
+      continue;
+    }
+    const TopKResult& r = result.ValueUnsafe();
+    table.AddRow(algorithm->name(), static_cast<uint64_t>(r.stop_position),
+                 r.stats.sorted_accesses, r.stats.random_accesses,
+                 r.stats.direct_accesses, r.execution_cost, r.elapsed_ms);
+  }
+  table.Print(std::cout);
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  if (!ParseArgs(argc, argv, &command, &flags)) {
+    return Usage();
+  }
+  Status status;
+  try {
+    if (command == "gen") {
+      status = RunGen(flags);
+    } else if (command == "query") {
+      status = RunQuery(flags);
+    } else if (command == "compare") {
+      status = RunCompare(flags);
+    } else {
+      return Usage();
+    }
+  } catch (const std::exception& e) {
+    // Numeric flag parsing (std::stoul/stod) throws on malformed input.
+    std::cerr << "error: bad flag value (" << e.what() << ")\n";
+    return 2;
+  }
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace topk
+
+int main(int argc, char** argv) { return topk::cli::Main(argc, argv); }
