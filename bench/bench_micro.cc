@@ -4,13 +4,22 @@
 // best-position trackers (the Section 5.2 data-structure trade-off at the
 // operation level), B+tree inserts, sorted-list access primitives, the top-k
 // buffer, workload generators, and small end-to-end algorithm executions.
+//
+// Besides the google-benchmark suite, `bench_micro --json[=path]` runs the
+// batch throughput benchmark (1000 BPA queries, uniform n=10k m=5 k=20) in
+// two modes — a fresh ExecutionContext per query (the pre-PR1 per-query
+// allocation path) vs one reused context — and emits the measurements as
+// JSON (default path: BENCH_PR1.json) to track the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/algorithms.h"
 #include "gen/database_generator.h"
 #include "lists/scorer.h"
@@ -200,7 +209,117 @@ BENCHMARK(BM_TaEndToEnd);
 BENCHMARK(BM_BpaEndToEnd);
 BENCHMARK(BM_Bpa2EndToEnd);
 
+// --- batch throughput mode (--json) ---
+
+// Runs `queries` BPA executions and returns wall milliseconds. `reuse_context`
+// selects between the zero-allocation reused-context path and a fresh context
+// (plus result) per query, which reproduces the per-query allocation behavior
+// of the seed implementation.
+double MeasureBatchMillis(const TopKAlgorithm& algorithm, const Database& db,
+                          const TopKQuery& query, int queries,
+                          bool reuse_context, Score* checksum) {
+  *checksum = 0.0;
+  if (reuse_context) {
+    ExecutionContext context;
+    TopKResult result;
+    for (int i = 0; i < 3; ++i) {  // warm-up
+      algorithm.ExecuteInto(db, query, &context, &result).Abort("warm-up");
+    }
+    Timer timer;
+    for (int i = 0; i < queries; ++i) {
+      algorithm.ExecuteInto(db, query, &context, &result).Abort("bench query");
+      *checksum += result.items.front().score;
+    }
+    return timer.ElapsedMillis();
+  }
+  Timer timer;
+  for (int i = 0; i < queries; ++i) {
+    ExecutionContext context;
+    const TopKResult result =
+        algorithm.Execute(db, query, &context).ValueOrDie();
+    *checksum += result.items.front().score;
+  }
+  return timer.ElapsedMillis();
+}
+
+int RunThroughputMode(const std::string& json_path) {
+  const size_t n = 10000;
+  const size_t m = 5;
+  const size_t k = 20;
+  const int queries = 1000;
+  const Database db = MakeUniformDatabase(n, m, 11);
+  SumScorer sum;
+  const TopKQuery query{k, &sum};
+  const auto algorithm = MakeAlgorithm(AlgorithmKind::kBpa);
+
+  // Access counts are deterministic per query; probe them once.
+  const TopKResult probe = algorithm->Execute(db, query).ValueOrDie();
+
+  Score fresh_checksum = 0.0;
+  Score reused_checksum = 0.0;
+  const double fresh_ms = MeasureBatchMillis(*algorithm, db, query, queries,
+                                             /*reuse_context=*/false,
+                                             &fresh_checksum);
+  const double reused_ms = MeasureBatchMillis(*algorithm, db, query, queries,
+                                              /*reuse_context=*/true,
+                                              &reused_checksum);
+  if (fresh_checksum != reused_checksum) {
+    std::fprintf(stderr, "checksum mismatch: %f vs %f\n", fresh_checksum,
+                 reused_checksum);
+    return 1;
+  }
+
+  const double fresh_qps = 1000.0 * queries / fresh_ms;
+  const double reused_qps = 1000.0 * queries / reused_ms;
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"benchmark\": \"bpa_batch_throughput\",\n"
+      "  \"workload\": {\"algorithm\": \"BPA\", \"distribution\": \"uniform\","
+      " \"n\": %zu, \"m\": %zu, \"k\": %zu, \"queries\": %d},\n"
+      "  \"per_query_accesses\": {\"sorted\": %llu, \"random\": %llu,"
+      " \"direct\": %llu, \"total\": %llu},\n"
+      "  \"fresh_context_per_query\": {\"wall_ms\": %.3f,"
+      " \"queries_per_sec\": %.1f},\n"
+      "  \"reused_context\": {\"wall_ms\": %.3f, \"queries_per_sec\": %.1f},\n"
+      "  \"speedup_reused_vs_fresh\": %.3f\n"
+      "}\n",
+      n, m, k, queries,
+      static_cast<unsigned long long>(probe.stats.sorted_accesses),
+      static_cast<unsigned long long>(probe.stats.random_accesses),
+      static_cast<unsigned long long>(probe.stats.direct_accesses),
+      static_cast<unsigned long long>(probe.stats.TotalAccesses()), fresh_ms,
+      fresh_qps, reused_ms, reused_qps, fresh_ms / reused_ms);
+  std::fputs(json, stdout);
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace topk
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      return topk::RunThroughputMode("BENCH_PR1.json");
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      return topk::RunThroughputMode(arg.substr(7));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

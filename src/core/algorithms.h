@@ -8,6 +8,7 @@
 #include "core/bpa2_algorithm.h"
 #include "core/bpa_algorithm.h"
 #include "core/ca_algorithm.h"
+#include "core/execution_context.h"
 #include "core/fa_algorithm.h"
 #include "core/naive_algorithm.h"
 #include "core/nra_algorithm.h"

@@ -4,27 +4,42 @@
 
 #include <algorithm>
 #include <limits>
-#include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "core/list_io.h"
 #include "core/topk_buffer.h"
+#include "tracker/bitarray_tracker.h"
 
 namespace topk {
+namespace {
 
-Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
-                          AccessEngine* engine, TopKResult* result) const {
+// Templated like BPA's loop (see bpa_algorithm.cc): the default
+// configuration devirtualizes and inlines all per-access work.
+template <typename IoT, typename TrackerT, typename ScorerT>
+Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
+                   const TopKQuery& query, ExecutionContext* context, IoT io,
+                   TopKResult* result) {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
+  const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
-  TopKBuffer buffer(query.k);
-  std::vector<std::unique_ptr<BestPositionTracker>> trackers;
-  trackers.reserve(m);
-  for (size_t i = 0; i < m; ++i) {
-    trackers.push_back(MakeTracker(options().tracker, n));
-  }
+  TopKBuffer& buffer = context->buffer();
+  std::vector<Score>& local = context->local_scores();
+  BitArrayTracker* const bit_trackers = context->bitarray_trackers();
+  const auto tracker = [context, bit_trackers](size_t i) -> TrackerT& {
+    if constexpr (std::is_same_v<TrackerT, BitArrayTracker>) {
+      return bit_trackers[i];  // contiguous, no pointer chase
+    } else {
+      return static_cast<TrackerT&>(context->tracker(i));
+    }
+  };
 
-  std::vector<Score> local(m, 0.0);
   uint64_t rounds = 0;
+  // λ cache: best positions only ever grow, so the bp sum is an exact
+  // change signature — λ is recomputed only on rounds where some bp advanced.
+  uint64_t bp_signature = ~uint64_t{0};
+  Score lambda = 0.0;
   for (;;) {
     // One round: per list, direct access to the smallest unseen position
     // (bpi + 1 evaluated *now*, so random accesses earlier in this round that
@@ -32,23 +47,40 @@ Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
     // (m-1) random accesses for the revealed item.
     bool any_access = false;
     for (size_t i = 0; i < m; ++i) {
-      const Position bp = trackers[i]->best_position();
+      const Position bp = tracker(i).best_position();
       if (bp >= n) {
         continue;  // list fully seen
       }
-      const AccessedEntry entry = engine->DirectAccess(i, bp + 1);
-      trackers[i]->MarkSeen(entry.position);
+      const AccessedEntry entry = io.Direct(i, bp + 1);
+      tracker(i).MarkSeen(entry.position);
       any_access = true;
-      for (size_t j = 0; j < m; ++j) {
-        if (j == i) {
-          local[j] = entry.score;
-          continue;
+      Score overall;
+      if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+        // Summation needs no per-list score vector: accumulate in a register
+        // (identical addition order to SumScorer::Combine over local[]).
+        overall = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          if (j == i) {
+            overall += entry.score;
+            continue;
+          }
+          const ItemLookup lookup = io.Random(j, entry.item);
+          tracker(j).MarkSeen(lookup.position);
+          overall += lookup.score;
         }
-        const ItemLookup lookup = engine->RandomAccess(j, entry.item);
-        trackers[j]->MarkSeen(lookup.position);
-        local[j] = lookup.score;
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          if (j == i) {
+            local[j] = entry.score;
+            continue;
+          }
+          const ItemLookup lookup = io.Random(j, entry.item);
+          tracker(j).MarkSeen(lookup.position);
+          local[j] = lookup.score;
+        }
+        overall = scorer.Combine(local.data(), m);
       }
-      buffer.Offer(entry.item, query.scorer->Combine(local.data(), m));
+      buffer.Offer(entry.item, overall);
     }
     if (!any_access) {
       break;  // every position of every list has been seen
@@ -56,15 +88,21 @@ Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
     ++rounds;
     // λ over the best-position scores; the owners return si(bpi) alongside
     // accesses (paper step 3), so no extra charged access is needed.
+    uint64_t signature = 0;
     for (size_t i = 0; i < m; ++i) {
-      const Position bp = trackers[i]->best_position();
-      local[i] = db.list(i).EntryAt(bp).score;
+      signature += tracker(i).best_position();
     }
-    const Score lambda = query.scorer->Combine(local.data(), m);
-    if (options().collect_trace) {
+    if (signature != bp_signature) {
+      bp_signature = signature;
+      for (size_t i = 0; i < m; ++i) {
+        local[i] = db.list(i).ScoreAtPosition(tracker(i).best_position());
+      }
+      lambda = scorer.Combine(local.data(), m);
+    }
+    if (options.collect_trace) {
       Position min_bp = static_cast<Position>(n);
-      for (const auto& tracker : trackers) {
-        min_bp = std::min(min_bp, tracker->best_position());
+      for (size_t i = 0; i < m; ++i) {
+        min_bp = std::min(min_bp, tracker(i).best_position());
       }
       result->trace.push_back(StopRuleTrace{
           static_cast<Position>(rounds), lambda,
@@ -76,15 +114,47 @@ Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
       break;
     }
   }
+  io.Flush();
 
-  result->items = buffer.ToSortedItems();
+  buffer.AppendSortedItems(&result->items);
   result->stop_position = static_cast<Position>(rounds);
   Position min_bp = static_cast<Position>(n);
-  for (const auto& tracker : trackers) {
-    min_bp = std::min(min_bp, tracker->best_position());
+  for (size_t i = 0; i < m; ++i) {
+    min_bp = std::min(min_bp, tracker(i).best_position());
   }
   result->min_best_position = min_bp;
   return Status::OK();
+}
+
+template <typename IoT>
+Status DispatchBpa2(const AlgorithmOptions& options, const Database& db,
+                    const TopKQuery& query, ExecutionContext* context, IoT io,
+                    TopKResult* result) {
+  const bool sum = dynamic_cast<const SumScorer*>(query.scorer) != nullptr;
+  if (options.tracker == TrackerKind::kBitArray) {
+    return sum ? RunBpa2Loop<IoT, BitArrayTracker, SumScorer>(
+                     options, db, query, context, io, result)
+               : RunBpa2Loop<IoT, BitArrayTracker, Scorer>(
+                     options, db, query, context, io, result);
+  }
+  return sum ? RunBpa2Loop<IoT, BestPositionTracker, SumScorer>(
+                   options, db, query, context, io, result)
+             : RunBpa2Loop<IoT, BestPositionTracker, Scorer>(
+                   options, db, query, context, io, result);
+}
+
+}  // namespace
+
+Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
+                          ExecutionContext* context,
+                          TopKResult* result) const {
+  context->PrepareTrackers(options().tracker, db.num_items(), db.num_lists());
+  if (options().audit_accesses) {
+    return DispatchBpa2(options(), db, query, context,
+                        EngineIo(&context->engine()), result);
+  }
+  return DispatchBpa2(options(), db, query, context,
+                      RawListIo(&db, &context->engine()), result);
 }
 
 }  // namespace topk

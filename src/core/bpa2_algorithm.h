@@ -24,8 +24,8 @@ class Bpa2Algorithm : public TopKAlgorithm {
   std::string name() const override { return "BPA2"; }
 
  protected:
-  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
-             TopKResult* result) const override;
+  Status Run(const Database& db, const TopKQuery& query,
+             ExecutionContext* context, TopKResult* result) const override;
 };
 
 }  // namespace topk

@@ -4,71 +4,111 @@
 
 #include <algorithm>
 #include <limits>
-#include <memory>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
+#include "core/list_io.h"
 #include "core/topk_buffer.h"
+#include "tracker/bitarray_tracker.h"
 
 namespace topk {
+namespace {
 
-Status BpaAlgorithm::Run(const Database& db, const TopKQuery& query,
-                         AccessEngine* engine, TopKResult* result) const {
+// The run loop is templated on the access policy, the concrete tracker and
+// the concrete scorer. Tracker and scorer classes are `final`, so for the
+// default configuration (raw list reads, bit-array tracker, summation
+// scoring) every per-access call devirtualizes and inlines down to a handful
+// of loads; the generic instantiations keep virtual dispatch for the other
+// configurations.
+template <typename IoT, typename TrackerT, typename ScorerT>
+Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
+                  const TopKQuery& query, ExecutionContext* context, IoT io,
+                  TopKResult* result) {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
-  const bool memoize = options().memoize_seen_items;
+  const bool memoize = options.memoize_seen_items;
+  const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
-  TopKBuffer buffer(query.k);
-  std::vector<std::unique_ptr<BestPositionTracker>> trackers;
-  trackers.reserve(m);
-  for (size_t i = 0; i < m; ++i) {
-    trackers.push_back(MakeTracker(options().tracker, n));
-  }
-
-  std::vector<Score> local(m, 0.0);
-  std::unordered_map<ItemId, Score> resolved;  // used only when memoizing
+  TopKBuffer& buffer = context->buffer();
+  std::vector<Score>& local = context->local_scores();
+  ScoreMemo* resolved = memoize ? &context->PrepareMemo(n) : nullptr;
+  BitArrayTracker* const bit_trackers = context->bitarray_trackers();
+  const auto tracker = [context, bit_trackers](size_t i) -> TrackerT& {
+    if constexpr (std::is_same_v<TrackerT, BitArrayTracker>) {
+      return bit_trackers[i];  // contiguous, no pointer chase
+    } else {
+      return static_cast<TrackerT&>(context->tracker(i));
+    }
+  };
 
   Position depth = 0;
   bool stopped = false;
+  // λ cache: best positions only ever grow, so the bp sum is an exact
+  // change signature — λ is recomputed only on rows where some bp advanced.
+  uint64_t bp_signature = ~uint64_t{0};
+  Score lambda = 0.0;
   while (!stopped && depth < n) {
     ++depth;
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = engine->SortedAccess(i);
-      trackers[i]->MarkSeen(entry.position);
-      if (memoize) {
-        auto it = resolved.find(entry.item);
-        if (it != resolved.end()) {
-          // Positions of this item were already recorded in every list the
-          // first time it was resolved; only the buffer offer remains.
-          buffer.Offer(entry.item, it->second);
-          continue;
-        }
+      const AccessedEntry entry = io.Sorted(i, depth);
+      if (depth < n) {
+        PrefetchItemRows(db, db.list(i).items()[depth], m);
       }
-      for (size_t j = 0; j < m; ++j) {
-        if (j == i) {
-          local[j] = entry.score;
-          continue;
-        }
-        const ItemLookup lookup = engine->RandomAccess(j, entry.item);
-        trackers[j]->MarkSeen(lookup.position);
-        local[j] = lookup.score;
+      tracker(i).MarkSeen(entry.position);
+      if (memoize && resolved->Contains(entry.item)) {
+        // Positions of this item were already recorded in every list the
+        // first time it was resolved; only the buffer offer remains.
+        buffer.Offer(entry.item, resolved->Get(entry.item));
+        continue;
       }
-      const Score overall = query.scorer->Combine(local.data(), m);
+      Score overall;
+      if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+        // Summation needs no per-list score vector: accumulate in a register
+        // (identical addition order to SumScorer::Combine over local[]).
+        overall = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          if (j == i) {
+            overall += entry.score;
+            continue;
+          }
+          const ItemLookup lookup = io.Random(j, entry.item);
+          tracker(j).MarkSeen(lookup.position);
+          overall += lookup.score;
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          if (j == i) {
+            local[j] = entry.score;
+            continue;
+          }
+          const ItemLookup lookup = io.Random(j, entry.item);
+          tracker(j).MarkSeen(lookup.position);
+          local[j] = lookup.score;
+        }
+        overall = scorer.Combine(local.data(), m);
+      }
       if (memoize) {
-        resolved.emplace(entry.item, overall);
+        resolved->Put(entry.item, overall);
       }
       buffer.Offer(entry.item, overall);
     }
     // Best positions overall score λ. Reading si(bpi) is not a charged list
     // access: the entry at the best position was necessarily seen already.
+    uint64_t signature = 0;
     for (size_t i = 0; i < m; ++i) {
-      local[i] = db.list(i).EntryAt(trackers[i]->best_position()).score;
+      signature += tracker(i).best_position();
     }
-    const Score lambda = query.scorer->Combine(local.data(), m);
-    if (options().collect_trace) {
+    if (signature != bp_signature) {
+      bp_signature = signature;
+      for (size_t i = 0; i < m; ++i) {
+        local[i] = db.list(i).ScoreAtPosition(tracker(i).best_position());
+      }
+      lambda = scorer.Combine(local.data(), m);
+    }
+    if (options.collect_trace) {
       Position min_bp = static_cast<Position>(n);
-      for (const auto& tracker : trackers) {
-        min_bp = std::min(min_bp, tracker->best_position());
+      for (size_t i = 0; i < m; ++i) {
+        min_bp = std::min(min_bp, tracker(i).best_position());
       }
       result->trace.push_back(StopRuleTrace{
           depth, lambda,
@@ -80,15 +120,46 @@ Status BpaAlgorithm::Run(const Database& db, const TopKQuery& query,
       stopped = true;
     }
   }
+  io.Flush();
 
-  result->items = buffer.ToSortedItems();
+  buffer.AppendSortedItems(&result->items);
   result->stop_position = depth;
   Position min_bp = static_cast<Position>(n);
-  for (const auto& tracker : trackers) {
-    min_bp = std::min(min_bp, tracker->best_position());
+  for (size_t i = 0; i < m; ++i) {
+    min_bp = std::min(min_bp, tracker(i).best_position());
   }
   result->min_best_position = min_bp;
   return Status::OK();
+}
+
+template <typename IoT>
+Status DispatchBpa(const AlgorithmOptions& options, const Database& db,
+                   const TopKQuery& query, ExecutionContext* context, IoT io,
+                   TopKResult* result) {
+  const bool sum = dynamic_cast<const SumScorer*>(query.scorer) != nullptr;
+  if (options.tracker == TrackerKind::kBitArray) {
+    return sum ? RunBpaLoop<IoT, BitArrayTracker, SumScorer>(
+                     options, db, query, context, io, result)
+               : RunBpaLoop<IoT, BitArrayTracker, Scorer>(options, db, query,
+                                                          context, io, result);
+  }
+  return sum ? RunBpaLoop<IoT, BestPositionTracker, SumScorer>(
+                   options, db, query, context, io, result)
+             : RunBpaLoop<IoT, BestPositionTracker, Scorer>(
+                   options, db, query, context, io, result);
+}
+
+}  // namespace
+
+Status BpaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                         ExecutionContext* context, TopKResult* result) const {
+  context->PrepareTrackers(options().tracker, db.num_items(), db.num_lists());
+  if (options().audit_accesses) {
+    return DispatchBpa(options(), db, query, context,
+                       EngineIo(&context->engine()), result);
+  }
+  return DispatchBpa(options(), db, query, context,
+                     RawListIo(&db, &context->engine()), result);
 }
 
 }  // namespace topk

@@ -24,8 +24,8 @@ class BpaAlgorithm : public TopKAlgorithm {
   std::string name() const override { return "BPA"; }
 
  protected:
-  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
-             TopKResult* result) const override;
+  Status Run(const Database& db, const TopKQuery& query,
+             ExecutionContext* context, TopKResult* result) const override;
 };
 
 }  // namespace topk

@@ -40,11 +40,13 @@ Status CaAlgorithm::ValidateFor(const Database& db,
 }
 
 Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
-                        AccessEngine* engine, TopKResult* result) const {
+                        ExecutionContext* context, TopKResult* result) const {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
   const Score floor = options().score_floor;
   const Scorer& f = *query.scorer;
+
+  AccessEngine* engine = &context->engine();
 
   const CostModel model =
       options().cost_model.value_or(CostModel::PaperDefault(n));
@@ -54,8 +56,8 @@ Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
 
   std::unordered_map<ItemId, Candidate> candidates;
   candidates.reserve(1024);
-  std::vector<Score> last_scores(m, 0.0);
-  std::vector<Score> tmp(m, 0.0);
+  std::vector<Score>& last_scores = context->last_scores();
+  std::vector<Score>& tmp = context->bound_scores();
 
   auto bound = [&](const Candidate& c, bool upper) {
     for (size_t i = 0; i < m; ++i) {
@@ -74,7 +76,7 @@ Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
     }
   };
 
-  std::vector<ItemId> winners;
+  std::vector<ItemId>& winners = context->ClearedItems();
   Position depth = 0;
   while (depth < n) {
     ++depth;
@@ -114,7 +116,7 @@ Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
     if (depth % resolve_every != 0 && depth != n) {
       continue;
     }
-    TopKBuffer lower_k(query.k);
+    TopKBuffer& lower_k = context->ScratchBuffer(query.k);
     for (const auto& [item, cand] : candidates) {
       lower_k.Offer(item, bound(cand, /*upper=*/false));
     }
@@ -150,7 +152,7 @@ Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
   }
 
   if (winners.empty()) {
-    TopKBuffer buffer(query.k);
+    TopKBuffer& buffer = context->buffer();
     for (const auto& [item, cand] : candidates) {
       buffer.Offer(item, bound(cand, /*upper=*/false));
     }

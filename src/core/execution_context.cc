@@ -1,0 +1,58 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/execution_context.h"
+
+#include <algorithm>
+
+namespace topk {
+
+void ScoreMemo::Reset(size_t n) {
+  if (stamps_.size() < n) {
+    stamps_.resize(n, epoch_);  // grown entries start stale (== old epoch)
+    scores_.resize(n, 0.0);
+  }
+  if (++epoch_ == 0) {
+    std::fill(stamps_.begin(), stamps_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+void ExecutionContext::Prepare(const Database& db, bool audit, size_t k) {
+  engine_.Reset(db, audit);
+  buffer_.Reset(k);
+  local_scores_.assign(db.num_lists(), 0.0);
+  last_scores_.assign(db.num_lists(), 0.0);
+  bound_scores_.assign(db.num_lists(), 0.0);
+}
+
+void ExecutionContext::PrepareTrackers(TrackerKind kind, size_t n, size_t m) {
+  active_tracker_kind_ = kind;
+  if (kind == TrackerKind::kBitArray) {
+    if (n != bit_tracker_list_size_) {
+      bit_trackers_.clear();
+      bit_tracker_list_size_ = n;
+    }
+    const size_t reused = std::min(m, bit_trackers_.size());
+    for (size_t i = 0; i < reused; ++i) {
+      bit_trackers_[i].Reset();
+    }
+    while (bit_trackers_.size() < m) {
+      bit_trackers_.emplace_back(n);
+    }
+    return;
+  }
+  if (kind != generic_tracker_kind_ || n != generic_tracker_list_size_) {
+    generic_trackers_.clear();
+    generic_tracker_kind_ = kind;
+    generic_tracker_list_size_ = n;
+  }
+  const size_t reused = std::min(m, generic_trackers_.size());
+  for (size_t i = 0; i < reused; ++i) {
+    generic_trackers_[i]->Reset();
+  }
+  while (generic_trackers_.size() < m) {
+    generic_trackers_.push_back(MakeTracker(kind, n));
+  }
+}
+
+}  // namespace topk

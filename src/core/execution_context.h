@@ -1,0 +1,173 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// ExecutionContext: the reusable per-query scratch state of one algorithm
+// execution — the access engine, best-position trackers, top-k buffer, score
+// scratch vectors and the memoization table. Algorithms borrow a context per
+// Run(); callers that execute many queries (QueryEngine workers, benchmarks,
+// servers) keep one context per thread and reuse it, which makes the hot path
+// allocation-free after warm-up: every structure resets in O(1) or O(k)/O(m)
+// writes into storage that is retained across queries and only ever grows.
+
+#ifndef TOPK_CORE_EXECUTION_CONTEXT_H_
+#define TOPK_CORE_EXECUTION_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/topk_buffer.h"
+#include "lists/access_engine.h"
+#include "lists/database.h"
+#include "lists/types.h"
+#include "tracker/best_position_tracker.h"
+#include "tracker/bitarray_tracker.h"
+
+namespace topk {
+
+/// Epoch-stamped memo of resolved overall scores, keyed by dense item id.
+/// Replaces the per-query unordered_map of the TA/BPA memoization ablation:
+/// one flat array touch per lookup, no hashing, no node allocations, and an
+/// O(1) per-query reset (epoch bump instead of clearing n entries).
+class ScoreMemo {
+ public:
+  /// Forgets all entries and guarantees capacity for items 0..n-1. O(1)
+  /// except when capacity grows or the 32-bit epoch wraps (every 2^32 resets,
+  /// which falls back to one eager clear).
+  void Reset(size_t n);
+
+  bool Contains(ItemId item) const { return stamps_[item] == epoch_; }
+
+  /// Memoized overall score of `item`; requires Contains(item).
+  Score Get(ItemId item) const { return scores_[item]; }
+
+  void Put(ItemId item, Score score) {
+    stamps_[item] = epoch_;
+    scores_[item] = score;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;  // stamps_[item] == epoch_ <=> entry valid
+  std::vector<Score> scores_;
+  uint32_t epoch_ = 0;
+};
+
+/// Reusable execution state borrowed by TopKAlgorithm::Run. Not thread-safe;
+/// use one context per concurrent execution. A context adapts to whatever
+/// database/query shape it is prepared for, so one instance can serve mixed
+/// workloads (different n, m, k, algorithms) back to back.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Called by TopKAlgorithm::ExecuteInto before Run: rebinds the access
+  /// engine, resets the top-k buffer to `k` and zero-fills the per-list score
+  /// scratch. Tracker/memo/matrix scratch is prepared lazily by the
+  /// algorithms that need it.
+  void Prepare(const Database& db, bool audit, size_t k);
+
+  /// The counted access layer, bound to the database of the last Prepare.
+  AccessEngine& engine() { return engine_; }
+
+  /// The paper's set Y, reset to the k of the last Prepare.
+  TopKBuffer& buffer() { return buffer_; }
+
+  // --- per-list score scratch, sized m and zero-filled by Prepare ---
+
+  std::vector<Score>& local_scores() { return local_scores_; }
+  std::vector<Score>& last_scores() { return last_scores_; }
+  std::vector<Score>& bound_scores() { return bound_scores_; }
+
+  // --- lazily prepared scratch ---
+
+  /// Ensures m reset trackers of `kind` for lists of n positions. Existing
+  /// trackers are reused via Reset() (O(1) for the bit array); instances are
+  /// only (re)created when the kind or list size changes.
+  void PrepareTrackers(TrackerKind kind, size_t n, size_t m);
+
+  /// Tracker for list `i`; requires a preceding PrepareTrackers with m > i.
+  BestPositionTracker& tracker(size_t i) {
+    if (active_tracker_kind_ == TrackerKind::kBitArray) {
+      return bit_trackers_[i];
+    }
+    return *generic_trackers_[i];
+  }
+
+  /// Contiguous bit-array trackers — the devirtualized fast path of BPA/BPA2.
+  /// Valid after PrepareTrackers(TrackerKind::kBitArray, ...); indexing it
+  /// avoids the per-access pointer chase of the virtual tracker pool.
+  BitArrayTracker* bitarray_trackers() { return bit_trackers_.data(); }
+
+  /// The memo table for the memoize_seen_items ablation, reset for items
+  /// 0..n-1.
+  ScoreMemo& PrepareMemo(size_t n) {
+    memo_.Reset(n);
+    return memo_;
+  }
+
+  /// A secondary top-k buffer reset to `k` on every call (NRA/CA evaluate
+  /// their stop rule against a fresh buffer per check).
+  TopKBuffer& ScratchBuffer(size_t k) {
+    scratch_buffer_.Reset(k);
+    return scratch_buffer_;
+  }
+
+  /// Zero-filled scratch of `count` scores (FA/naive gather matrices).
+  std::vector<Score>& ZeroedScoreMatrix(size_t count) {
+    score_matrix_.assign(count, 0.0);
+    return score_matrix_;
+  }
+
+  /// Zero-filled byte flags of length `count`.
+  std::vector<uint8_t>& ZeroedFlags(size_t count) {
+    flags_.assign(count, 0);
+    return flags_;
+  }
+
+  /// Zero-filled uint16 counters of length `count`.
+  std::vector<uint16_t>& ZeroedCounts(size_t count) {
+    counts_.assign(count, 0);
+    return counts_;
+  }
+
+  /// Emptied (capacity-retaining) item-id scratch.
+  std::vector<ItemId>& ClearedItems() {
+    item_scratch_.clear();
+    return item_scratch_;
+  }
+
+  /// Emptied (capacity-retaining) score scratch.
+  std::vector<Score>& ClearedScores() {
+    score_scratch_.clear();
+    return score_scratch_;
+  }
+
+ private:
+  AccessEngine engine_;
+  TopKBuffer buffer_;
+  TopKBuffer scratch_buffer_;
+  std::vector<Score> local_scores_;
+  std::vector<Score> last_scores_;
+  std::vector<Score> bound_scores_;
+
+  // Bit-array trackers live contiguously (fast path); other kinds go through
+  // the polymorphic pool. Each pool remembers the list size it was built for.
+  std::vector<BitArrayTracker> bit_trackers_;
+  size_t bit_tracker_list_size_ = 0;
+  std::vector<std::unique_ptr<BestPositionTracker>> generic_trackers_;
+  TrackerKind generic_tracker_kind_ = TrackerKind::kSortedSet;
+  size_t generic_tracker_list_size_ = 0;
+  TrackerKind active_tracker_kind_ = TrackerKind::kBitArray;
+
+  ScoreMemo memo_;
+  std::vector<Score> score_matrix_;
+  std::vector<uint8_t> flags_;
+  std::vector<uint16_t> counts_;
+  std::vector<ItemId> item_scratch_;
+  std::vector<Score> score_scratch_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_EXECUTION_CONTEXT_H_

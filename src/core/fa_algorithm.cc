@@ -9,16 +9,18 @@
 namespace topk {
 
 Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
-                        AccessEngine* engine, TopKResult* result) const {
+                        ExecutionContext* context, TopKResult* result) const {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
+
+  AccessEngine* engine = &context->engine();
 
   // Phase 1: sorted access in parallel until >= k items are seen in all lists.
   // seen_lists[d] counts the lists where d was seen under sorted access;
   // local[d*m + i] caches the local score revealed by that access.
-  std::vector<uint16_t> seen_lists(n, 0);
-  std::vector<Score> local(n * m, 0.0);
-  std::vector<bool> known(n * m, false);
+  std::vector<uint16_t>& seen_lists = context->ZeroedCounts(n);
+  std::vector<Score>& local = context->ZeroedScoreMatrix(n * m);
+  std::vector<uint8_t>& known = context->ZeroedFlags(n * m);
 
   size_t fully_seen = 0;
   Position depth = 0;
@@ -28,7 +30,7 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
       const AccessedEntry entry = engine->SortedAccess(i);
       const size_t cell = static_cast<size_t>(entry.item) * m + i;
       local[cell] = entry.score;
-      known[cell] = true;
+      known[cell] = 1;
       if (++seen_lists[entry.item] == m) {
         ++fully_seen;
       }
@@ -37,8 +39,8 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
 
   // Phase 2: for every item seen somewhere, resolve missing local scores via
   // random access, aggregate, and keep the k best.
-  TopKBuffer buffer(query.k);
-  std::vector<Score> scores(m);
+  TopKBuffer& buffer = context->buffer();
+  std::vector<Score>& scores = context->local_scores();
   for (ItemId item = 0; item < n; ++item) {
     if (seen_lists[item] == 0) {
       continue;
@@ -54,7 +56,7 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
     buffer.Offer(item, query.scorer->Combine(scores.data(), m));
   }
 
-  result->items = buffer.ToSortedItems();
+  buffer.AppendSortedItems(&result->items);
   result->stop_position = depth;
   return Status::OK();
 }

@@ -1,0 +1,97 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Access policies for the algorithm run loops. Both provide the same three
+// primitives as AccessEngine and are drop-in template parameters for the
+// loops in ta/bpa/bpa2_algorithm.cc:
+//
+//  * EngineIo routes every access through the AccessEngine — per-access
+//    cursors, counters and the optional audit trail. Required whenever the
+//    access pattern itself is observed (audit mode) or the engine's cursor
+//    state matters.
+//  * RawListIo reads the sorted lists directly and counts accesses into a
+//    stack-resident AccessStats that is flushed into the engine once at the
+//    end of the run. The counts are identical to EngineIo's by construction
+//    (one increment per primitive call); what disappears is the per-access
+//    read-modify-write traffic through the shared engine object, which the
+//    optimizer cannot keep in registers. Only valid with audit mode off.
+
+#ifndef TOPK_CORE_LIST_IO_H_
+#define TOPK_CORE_LIST_IO_H_
+
+#include "lists/access_engine.h"
+#include "lists/database.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// Pulls `item`'s item-major score/position rows toward the cache. The
+/// TA/BPA row loops call this one row ahead of use (the next sorted items
+/// are known: list prefixes are sequential). Both row ends are prefetched —
+/// a row may straddle two cache lines.
+inline void PrefetchItemRows(const Database& db, ItemId item, size_t m) {
+  const char* scores_row =
+      reinterpret_cast<const char*>(db.ItemScoresRow(item));
+  __builtin_prefetch(scores_row);
+  __builtin_prefetch(scores_row + sizeof(Score) * m - 1);
+  const char* positions_row =
+      reinterpret_cast<const char*>(db.ItemPositionsRow(item));
+  __builtin_prefetch(positions_row);
+  __builtin_prefetch(positions_row + sizeof(Position) * m - 1);
+}
+
+/// Faithful policy: every access goes through the counted engine.
+class EngineIo {
+ public:
+  explicit EngineIo(AccessEngine* engine) : engine_(engine) {}
+
+  AccessedEntry Sorted(size_t list_index, Position /*position*/) {
+    return engine_->SortedAccess(list_index);
+  }
+  ItemLookup Random(size_t list_index, ItemId item) {
+    return engine_->RandomAccess(list_index, item);
+  }
+  AccessedEntry Direct(size_t list_index, Position position) {
+    return engine_->DirectAccess(list_index, position);
+  }
+  void Flush() {}
+
+ private:
+  AccessEngine* engine_;
+};
+
+/// Fast policy: direct list reads, registers-only counting, one flush.
+/// The caller passes the sorted position explicitly (the loops know their
+/// depth), so no cursor state is maintained; the engine's cursors stay at 0.
+class RawListIo {
+ public:
+  RawListIo(const Database* db, AccessEngine* engine)
+      : db_(db), engine_(engine) {}
+
+  AccessedEntry Sorted(size_t list_index, Position position) {
+    ++stats_.sorted_accesses;
+    const ListEntry entry = db_->list(list_index).EntryAt(position);
+    return AccessedEntry{entry.item, entry.score, position};
+  }
+  ItemLookup Random(size_t list_index, ItemId item) {
+    ++stats_.random_accesses;
+    // Item-major mirror: the (m-1) random accesses an algorithm issues for
+    // one item hit the same one or two cache lines instead of m arrays.
+    return ItemLookup{db_->ItemScoresRow(item)[list_index],
+                      db_->ItemPositionsRow(item)[list_index]};
+  }
+  AccessedEntry Direct(size_t list_index, Position position) {
+    ++stats_.direct_accesses;
+    const ListEntry entry = db_->list(list_index).EntryAt(position);
+    return AccessedEntry{entry.item, entry.score, position};
+  }
+  void Flush() { engine_->AddStats(stats_); }
+
+ private:
+  const Database* db_;
+  AccessEngine* engine_;
+  AccessStats stats_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_LIST_IO_H_

@@ -9,12 +9,15 @@
 namespace topk {
 
 Status NaiveAlgorithm::Run(const Database& db, const TopKQuery& query,
-                           AccessEngine* engine, TopKResult* result) const {
+                           ExecutionContext* context,
+                           TopKResult* result) const {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
 
+  AccessEngine* engine = &context->engine();
+
   // One full sorted scan per list; local scores are gathered per item.
-  std::vector<Score> local(n * m, 0.0);
+  std::vector<Score>& local = context->ZeroedScoreMatrix(n * m);
   for (size_t i = 0; i < m; ++i) {
     for (size_t p = 0; p < n; ++p) {
       const AccessedEntry entry = engine->SortedAccess(i);
@@ -22,12 +25,12 @@ Status NaiveAlgorithm::Run(const Database& db, const TopKQuery& query,
     }
   }
 
-  TopKBuffer buffer(query.k);
+  TopKBuffer& buffer = context->buffer();
   for (ItemId item = 0; item < n; ++item) {
     buffer.Offer(item, query.scorer->Combine(&local[item * m], m));
   }
 
-  result->items = buffer.ToSortedItems();
+  buffer.AppendSortedItems(&result->items);
   result->stop_position = static_cast<Position>(n);
   return Status::OK();
 }

@@ -20,8 +20,8 @@ class NaiveAlgorithm : public TopKAlgorithm {
   std::string name() const override { return "Naive"; }
 
  protected:
-  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
-             TopKResult* result) const override;
+  Status Run(const Database& db, const TopKQuery& query,
+             ExecutionContext* context, TopKResult* result) const override;
 };
 
 }  // namespace topk

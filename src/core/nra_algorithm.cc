@@ -38,11 +38,13 @@ Status NraAlgorithm::ValidateFor(const Database& db,
 }
 
 Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
-                         AccessEngine* engine, TopKResult* result) const {
+                         ExecutionContext* context, TopKResult* result) const {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
   const Score floor = options().score_floor;
   const Scorer& f = *query.scorer;
+
+  AccessEngine* engine = &context->engine();
 
   // Stop-rule evaluation is O(#candidates); amortize it by evaluating every
   // kCheckInterval rows (correct — checking less often can only delay the
@@ -51,8 +53,8 @@ Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
 
   std::unordered_map<ItemId, Candidate> candidates;
   candidates.reserve(1024);
-  std::vector<Score> last_scores(m, 0.0);
-  std::vector<Score> tmp(m, 0.0);
+  std::vector<Score>& last_scores = context->last_scores();
+  std::vector<Score>& tmp = context->bound_scores();
 
   auto bound = [&](const Candidate& c, bool upper) {
     for (size_t i = 0; i < m; ++i) {
@@ -61,7 +63,7 @@ Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
     return f.Combine(tmp.data(), m);
   };
 
-  std::vector<ItemId> winners;
+  std::vector<ItemId>& winners = context->ClearedItems();
   Position depth = 0;
   while (depth < n) {
     ++depth;
@@ -80,7 +82,7 @@ Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
     }
 
     // k-th best lower bound across candidates.
-    TopKBuffer lower_k(query.k);
+    TopKBuffer& lower_k = context->ScratchBuffer(query.k);
     for (const auto& [item, cand] : candidates) {
       lower_k.Offer(item, bound(cand, /*upper=*/false));
     }
@@ -117,20 +119,16 @@ Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
       }
     }
     if (can_stop) {
-      winners = [&lower_k] {
-        std::vector<ItemId> ids;
-        for (const ResultItem& ri : lower_k.ToSortedItems()) {
-          ids.push_back(ri.item);
-        }
-        return ids;
-      }();
+      for (const ResultItem& ri : lower_k.ToSortedItems()) {
+        winners.push_back(ri.item);
+      }
       break;
     }
   }
 
   if (winners.empty()) {
     // Scanned to the bottom: every score is known; take the exact top-k.
-    TopKBuffer buffer(query.k);
+    TopKBuffer& buffer = context->buffer();
     for (const auto& [item, cand] : candidates) {
       buffer.Offer(item, bound(cand, /*upper=*/false));
     }

@@ -8,6 +8,13 @@
 
 namespace topk {
 
+ExecutionContext* QueryEngine::ContextFor(size_t worker) const {
+  while (contexts_.size() <= worker) {
+    contexts_.push_back(std::make_unique<ExecutionContext>());
+  }
+  return contexts_[worker].get();
+}
+
 std::vector<Result<TopKResult>> QueryEngine::ExecuteBatch(
     AlgorithmKind kind, const std::vector<TopKQuery>& queries,
     size_t num_threads) const {
@@ -20,26 +27,33 @@ std::vector<Result<TopKResult>> QueryEngine::ExecuteBatch(
 
   const size_t workers =
       std::max<size_t>(1, std::min(num_threads, queries.size()));
+  // Grow the context pool before launching workers so no worker mutates the
+  // pool vector concurrently.
+  for (size_t w = 0; w < workers; ++w) {
+    ContextFor(w);
+  }
   if (workers == 1) {
     auto algorithm = MakeAlgorithm(kind, options_);
+    ExecutionContext* context = ContextFor(0);
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = algorithm->Execute(*db_, queries[i]);
+      results[i] = algorithm->Execute(*db_, queries[i], context);
     }
   } else {
     // Work stealing via a shared atomic cursor; each worker owns a private
-    // algorithm instance.
+    // algorithm instance and a private, batch-persistent execution context.
     std::atomic<size_t> next{0};
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, this] {
+      threads.emplace_back([&, this, w] {
         auto algorithm = MakeAlgorithm(kind, options_);
+        ExecutionContext* context = contexts_[w].get();
         for (;;) {
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= queries.size()) {
             return;
           }
-          results[i] = algorithm->Execute(*db_, queries[i]);
+          results[i] = algorithm->Execute(*db_, queries[i], context);
         }
       });
     }

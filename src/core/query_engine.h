@@ -2,23 +2,29 @@
 //
 // QueryEngine: batch execution of many top-k queries against one immutable
 // database, optionally across worker threads. Databases and algorithms are
-// read-only during execution, so queries parallelize without locking; each
-// worker owns a private algorithm instance (and thus private trackers,
-// buffers and counters).
+// read-only during execution, so queries parallelize without locking. The
+// engine owns one reusable ExecutionContext per worker slot; a worker drains
+// queries off an atomic work-stealing cursor and runs every one of them
+// through its private context, so steady-state batches allocate nothing per
+// query.
 
 #ifndef TOPK_CORE_QUERY_ENGINE_H_
 #define TOPK_CORE_QUERY_ENGINE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/topk_algorithm.h"
 #include "lists/database.h"
 
 namespace topk {
 
-/// Executes batches of queries against one database.
+/// Executes batches of queries against one database. Not safe for concurrent
+/// ExecuteBatch calls on the same engine (the per-worker contexts and batch
+/// stats are engine state); use one engine per batch issuer.
 class QueryEngine {
  public:
   /// \param db non-owning; must outlive the engine.
@@ -30,7 +36,8 @@ class QueryEngine {
   /// corresponding slot without aborting the batch.
   ///
   /// \param num_threads 0 or 1 = run inline on the calling thread; otherwise
-  ///        queries are sharded across min(num_threads, queries) workers.
+  ///        workers pull queries from a shared atomic cursor (work stealing),
+  ///        min(num_threads, queries) workers total.
   std::vector<Result<TopKResult>> ExecuteBatch(
       AlgorithmKind kind, const std::vector<TopKQuery>& queries,
       size_t num_threads = 0) const;
@@ -42,9 +49,15 @@ class QueryEngine {
   const Database& database() const { return *db_; }
 
  private:
+  /// Reusable context of worker slot `worker`, created on first use and kept
+  /// warm across batches.
+  ExecutionContext* ContextFor(size_t worker) const;
+
   const Database* db_;
   AlgorithmOptions options_;
   mutable AccessStats last_batch_stats_;
+  // unique_ptr keeps context addresses stable while the pool grows.
+  mutable std::vector<std::unique_ptr<ExecutionContext>> contexts_;
 };
 
 }  // namespace topk

@@ -3,51 +3,68 @@
 #include "core/ta_algorithm.h"
 
 #include <limits>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
+#include "core/list_io.h"
 #include "core/topk_buffer.h"
 
 namespace topk {
+namespace {
 
-Status TaAlgorithm::Run(const Database& db, const TopKQuery& query,
-                        AccessEngine* engine, TopKResult* result) const {
+// Templated on the access policy and the concrete scorer so the default
+// configuration (raw list reads, summation scoring) inlines the whole row
+// loop (TA has no trackers to devirtualize).
+template <typename IoT, typename ScorerT>
+Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
+                 const TopKQuery& query, ExecutionContext* context, IoT io,
+                 TopKResult* result) {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
-  const bool memoize = options().memoize_seen_items;
+  const bool memoize = options.memoize_seen_items;
+  const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
-  TopKBuffer buffer(query.k);
-  std::vector<Score> last_scores(m, 0.0);  // si: last score seen in list i
-  std::vector<Score> local(m, 0.0);
+  TopKBuffer& buffer = context->buffer();
+  std::vector<Score>& last_scores = context->last_scores();  // si per list
+  std::vector<Score>& local = context->local_scores();
   // Overall scores already resolved; used only when memoization is on (the
   // paper's accounting model re-issues the random accesses, see Lemma 2).
-  std::unordered_map<ItemId, Score> resolved;
+  ScoreMemo* resolved = memoize ? &context->PrepareMemo(n) : nullptr;
 
   Position depth = 0;
   while (depth < n) {
     ++depth;
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = engine->SortedAccess(i);
+      const AccessedEntry entry = io.Sorted(i, depth);
+      if (depth < n) {
+        PrefetchItemRows(db, db.list(i).items()[depth], m);
+      }
       last_scores[i] = entry.score;
-      if (memoize) {
-        auto it = resolved.find(entry.item);
-        if (it != resolved.end()) {
-          buffer.Offer(entry.item, it->second);
-          continue;
+      if (memoize && resolved->Contains(entry.item)) {
+        buffer.Offer(entry.item, resolved->Get(entry.item));
+        continue;
+      }
+      Score overall;
+      if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+        // Summation needs no per-list score vector: accumulate in a register
+        // (identical addition order to SumScorer::Combine over local[]).
+        overall = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          overall += (j == i) ? entry.score : io.Random(j, entry.item).score;
         }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          local[j] = (j == i) ? entry.score : io.Random(j, entry.item).score;
+        }
+        overall = scorer.Combine(local.data(), m);
       }
-      for (size_t j = 0; j < m; ++j) {
-        local[j] = (j == i) ? entry.score
-                            : engine->RandomAccess(j, entry.item).score;
-      }
-      const Score overall = query.scorer->Combine(local.data(), m);
       if (memoize) {
-        resolved.emplace(entry.item, overall);
+        resolved->Put(entry.item, overall);
       }
       buffer.Offer(entry.item, overall);
     }
-    const Score threshold = query.scorer->Combine(last_scores.data(), m);
-    if (options().collect_trace) {
+    const Score threshold = scorer.Combine(last_scores.data(), m);
+    if (options.collect_trace) {
       result->trace.push_back(StopRuleTrace{
           depth, threshold,
           buffer.full() ? buffer.KthScore()
@@ -58,10 +75,33 @@ Status TaAlgorithm::Run(const Database& db, const TopKQuery& query,
       break;
     }
   }
+  io.Flush();
 
-  result->items = buffer.ToSortedItems();
+  buffer.AppendSortedItems(&result->items);
   result->stop_position = depth;
   return Status::OK();
+}
+
+template <typename IoT>
+Status DispatchTa(const AlgorithmOptions& options, const Database& db,
+                  const TopKQuery& query, ExecutionContext* context, IoT io,
+                  TopKResult* result) {
+  if (dynamic_cast<const SumScorer*>(query.scorer) != nullptr) {
+    return RunTaLoop<IoT, SumScorer>(options, db, query, context, io, result);
+  }
+  return RunTaLoop<IoT, Scorer>(options, db, query, context, io, result);
+}
+
+}  // namespace
+
+Status TaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                        ExecutionContext* context, TopKResult* result) const {
+  if (options().audit_accesses) {
+    return DispatchTa(options(), db, query, context,
+                      EngineIo(&context->engine()), result);
+  }
+  return DispatchTa(options(), db, query, context,
+                    RawListIo(&db, &context->engine()), result);
 }
 
 }  // namespace topk

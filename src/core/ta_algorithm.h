@@ -21,8 +21,8 @@ class TaAlgorithm : public TopKAlgorithm {
   std::string name() const override { return "TA"; }
 
  protected:
-  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
-             TopKResult* result) const override;
+  Status Run(const Database& db, const TopKQuery& query,
+             ExecutionContext* context, TopKResult* result) const override;
 };
 
 }  // namespace topk

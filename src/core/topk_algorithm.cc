@@ -24,6 +24,21 @@ Status TopKAlgorithm::ValidateFor(const Database& /*db*/,
 
 Result<TopKResult> TopKAlgorithm::Execute(const Database& db,
                                           const TopKQuery& query) const {
+  ExecutionContext context;
+  return Execute(db, query, &context);
+}
+
+Result<TopKResult> TopKAlgorithm::Execute(const Database& db,
+                                          const TopKQuery& query,
+                                          ExecutionContext* context) const {
+  TopKResult result;
+  TOPK_RETURN_NOT_OK(ExecuteInto(db, query, context, &result));
+  return result;
+}
+
+Status TopKAlgorithm::ExecuteInto(const Database& db, const TopKQuery& query,
+                                  ExecutionContext* context,
+                                  TopKResult* result) const {
   if (query.scorer == nullptr) {
     return Status::Invalid("query has no scoring function");
   }
@@ -36,36 +51,37 @@ Result<TopKResult> TopKAlgorithm::Execute(const Database& db,
   }
   TOPK_RETURN_NOT_OK(ValidateFor(db, query));
 
-  AccessEngine engine(db, options_.audit_accesses);
-  TopKResult result;
+  context->Prepare(db, options_.audit_accesses, query.k);
+  result->Clear();
   Timer timer;
-  TOPK_RETURN_NOT_OK(Run(db, query, &engine, &result));
-  result.elapsed_ms = timer.ElapsedMillis();
+  TOPK_RETURN_NOT_OK(Run(db, query, context, result));
+  result->elapsed_ms = timer.ElapsedMillis();
 
-  result.stats = engine.stats();
+  const AccessEngine& engine = context->engine();
+  result->stats = engine.stats();
   const CostModel model =
       options_.cost_model.value_or(CostModel::PaperDefault(db.num_items()));
-  result.execution_cost = model.ExecutionCost(result.stats);
+  result->execution_cost = model.ExecutionCost(result->stats);
 
   if (options_.audit_accesses) {
-    result.max_touches_per_list.resize(db.num_lists());
+    result->max_touches_per_list.resize(db.num_lists());
     for (size_t i = 0; i < db.num_lists(); ++i) {
-      result.max_touches_per_list[i] = engine.MaxTouchCount(i);
+      result->max_touches_per_list[i] = engine.MaxTouchCount(i);
     }
   }
 
-  if (result.items.size() != query.k) {
-    return Status::Internal(name(), " produced ", result.items.size(),
+  if (result->items.size() != query.k) {
+    return Status::Internal(name(), " produced ", result->items.size(),
                             " items for k = ", query.k);
   }
-  std::sort(result.items.begin(), result.items.end(),
+  std::sort(result->items.begin(), result->items.end(),
             [](const ResultItem& a, const ResultItem& b) {
               if (a.score != b.score) {
                 return a.score > b.score;
               }
               return a.item < b.item;
             });
-  return result;
+  return Status::OK();
 }
 
 std::string ToString(AlgorithmKind kind) {

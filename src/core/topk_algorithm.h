@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/execution_context.h"
 #include "core/topk_result.h"
 #include "lists/access_engine.h"
 #include "lists/database.h"
@@ -65,18 +66,33 @@ class TopKAlgorithm {
 
   /// Executes the query against `db`. Fails with Status::Invalid on malformed
   /// queries (k = 0, k > n, missing scorer) or on databases an algorithm
-  /// cannot serve (e.g. TPUT with a non-sum scorer).
+  /// cannot serve (e.g. TPUT with a non-sum scorer). Convenience wrapper that
+  /// pays for a fresh ExecutionContext; batch callers should hold a context
+  /// per thread and use the overload below.
   Result<TopKResult> Execute(const Database& db, const TopKQuery& query) const;
+
+  /// Executes the query borrowing `context` for all scratch state. Reusing
+  /// one context across queries keeps the execution path allocation-free
+  /// after warm-up.
+  Result<TopKResult> Execute(const Database& db, const TopKQuery& query,
+                             ExecutionContext* context) const;
+
+  /// Lowest-level entry point: like Execute, but writes into a caller-owned
+  /// result whose capacity is reused. With a warmed-up context and result,
+  /// a query performs zero heap allocations end to end.
+  Status ExecuteInto(const Database& db, const TopKQuery& query,
+                     ExecutionContext* context, TopKResult* result) const;
 
   const AlgorithmOptions& options() const { return options_; }
 
  protected:
-  /// Algorithm body. `engine` is the counted access layer; `result` arrives
-  /// zero-initialized with its items empty. Implementations fill
-  /// result->items (any order; Execute sorts), stop_position and
-  /// min_best_position where applicable.
+  /// Algorithm body. `context` carries the counted access layer plus all
+  /// reusable scratch (prepared for this query); `result` arrives cleared
+  /// with its items empty. Implementations fill result->items (any order;
+  /// ExecuteInto sorts), stop_position and min_best_position where
+  /// applicable.
   virtual Status Run(const Database& db, const TopKQuery& query,
-                     AccessEngine* engine, TopKResult* result) const = 0;
+                     ExecutionContext* context, TopKResult* result) const = 0;
 
   /// Per-algorithm validation hook; default accepts everything Execute
   /// accepts.

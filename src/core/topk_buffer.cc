@@ -2,34 +2,123 @@
 
 #include "core/topk_buffer.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace topk {
 
-void TopKBuffer::Offer(ItemId item, Score score) {
-  if (k_ == 0 || Contains(item)) {
+namespace {
+
+// Finalizing multiplicative hash over a 32-bit item id.
+inline size_t HashItem(ItemId item) {
+  uint32_t h = item * 2654435761u;
+  h ^= h >> 16;
+  return h;
+}
+
+// Smallest power of two >= `x` (and >= 8).
+size_t TableSizeFor(size_t k) {
+  size_t size = 8;
+  while (size < 2 * k) {
+    size <<= 1;
+  }
+  return size;
+}
+
+}  // namespace
+
+void TopKBuffer::Reset(size_t k) {
+  k_ = k;
+  kth_floor_ = k == 0 ? std::numeric_limits<Score>::infinity()
+                      : -std::numeric_limits<Score>::infinity();
+  heap_.clear();
+  heap_.reserve(k);
+  // The backing vector only grows (no allocation once warmed), but only the
+  // first TableSizeFor(k) slots are cleared and addressed via slot_mask_ —
+  // a small-k reset after a large-k query stays O(k), and stale entries
+  // beyond the mask are never probed.
+  const size_t table_size = TableSizeFor(k);
+  if (slots_.size() < table_size) {
+    slots_.resize(table_size);
+  }
+  std::fill_n(slots_.begin(), table_size, kInvalidItem);
+  slot_mask_ = table_size - 1;
+}
+
+size_t TopKBuffer::ProbeSlot(ItemId item) const {
+  size_t slot = HashItem(item) & slot_mask_;
+  while (slots_[slot] != kInvalidItem && slots_[slot] != item) {
+    slot = (slot + 1) & slot_mask_;
+  }
+  return slot;
+}
+
+bool TopKBuffer::Contains(ItemId item) const {
+  return slots_[ProbeSlot(item)] == item;
+}
+
+void TopKBuffer::ProbeInsert(ItemId item) { slots_[ProbeSlot(item)] = item; }
+
+void TopKBuffer::ProbeErase(ItemId item) {
+  size_t hole = ProbeSlot(item);
+  if (slots_[hole] != item) {
     return;
   }
-  if (ordered_.size() < k_) {
-    ordered_.emplace(score, item);
-    members_.insert(item);
+  // Backward-shift deletion: keep sliding later entries of the probe chain
+  // into the hole whenever the hole lies on their probe path, so lookups
+  // never need tombstones.
+  slots_[hole] = kInvalidItem;
+  size_t cur = (hole + 1) & slot_mask_;
+  while (slots_[cur] != kInvalidItem) {
+    const size_t ideal = HashItem(slots_[cur]) & slot_mask_;
+    const size_t displacement = (cur - ideal) & slot_mask_;
+    const size_t hole_distance = (cur - hole) & slot_mask_;
+    if (displacement >= hole_distance) {
+      slots_[hole] = slots_[cur];
+      slots_[cur] = kInvalidItem;
+      hole = cur;
+    }
+    cur = (cur + 1) & slot_mask_;
+  }
+}
+
+void TopKBuffer::OfferSlow(ItemId item, Score score) {
+  const Entry candidate{score, item};
+  if (heap_.size() == k_) {
+    if (Contains(item)) {
+      return;
+    }
+    ProbeErase(heap_.front().second);
+    std::pop_heap(heap_.begin(), heap_.end(), Stronger);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), Stronger);
+    ProbeInsert(item);
+    kth_floor_ = heap_.front().first;
     return;
   }
-  const auto weakest = ordered_.begin();
-  const std::pair<Score, ItemId> candidate{score, item};
-  if (WeakerFirst{}(*weakest, candidate)) {
-    members_.erase(weakest->second);
-    ordered_.erase(weakest);
-    ordered_.insert(candidate);
-    members_.insert(item);
+  if (Contains(item)) {
+    return;
+  }
+  heap_.push_back(candidate);
+  std::push_heap(heap_.begin(), heap_.end(), Stronger);
+  ProbeInsert(item);
+  if (heap_.size() == k_) {
+    kth_floor_ = heap_.front().first;
+  }
+}
+
+void TopKBuffer::AppendSortedItems(std::vector<ResultItem>* out) const {
+  scratch_.assign(heap_.begin(), heap_.end());
+  std::sort(scratch_.begin(), scratch_.end(), Stronger);
+  for (const Entry& entry : scratch_) {
+    out->push_back(ResultItem{entry.second, entry.first});
   }
 }
 
 std::vector<ResultItem> TopKBuffer::ToSortedItems() const {
   std::vector<ResultItem> items;
-  items.reserve(ordered_.size());
-  // ordered_ is ascending weakest-first; emit in reverse for descending order.
-  for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
-    items.push_back(ResultItem{it->second, it->first});
-  }
+  items.reserve(heap_.size());
+  AppendSortedItems(&items);
   return items;
 }
 

@@ -1,12 +1,17 @@
 // Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
 //
 // TopKBuffer: the paper's set Y — the k highest-scored items seen so far.
+//
+// Flat, allocation-free after warm-up: the k entries live in a binary min-heap
+// (weakest entry at the front) backed by a small vector, and membership is a
+// linear-probing open-addressing table of item ids with backward-shift
+// deletion. No node allocations; Reset() reuses all storage, so one buffer can
+// serve an unbounded stream of queries without touching the heap allocator.
 
 #ifndef TOPK_CORE_TOPK_BUFFER_H_
 #define TOPK_CORE_TOPK_BUFFER_H_
 
-#include <set>
-#include <unordered_set>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -20,26 +25,54 @@ namespace topk {
 /// is considered stronger.
 class TopKBuffer {
  public:
-  explicit TopKBuffer(size_t k) : k_(k) {}
+  TopKBuffer() : TopKBuffer(0) {}
+  explicit TopKBuffer(size_t k) { Reset(k); }
+
+  /// Reconfigures for a new query of size `k` and forgets all offers. Storage
+  /// is reused (and only ever grows), so a reset costs O(k) writes and zero
+  /// allocations once the buffer has warmed up to the largest k seen.
+  void Reset(size_t k);
 
   /// Offers an item. No-op when the item is already buffered or is weaker
   /// than the current k-th entry of a full buffer. (Re-offering an item with
   /// its — deterministic — overall score is always a no-op.)
-  void Offer(ItemId item, Score score);
+  ///
+  /// The overwhelmingly common case — full buffer, candidate strictly weaker
+  /// than the k-th entry — is decided inline by one comparison, with no table
+  /// probe: members are all >= the k-th entry, and an already-buffered item
+  /// would re-offer its exact stored (score, item) pair.
+  void Offer(ItemId item, Score score) {
+    // kth_floor_ is the k-th score once full (-inf before, +inf for k = 0),
+    // so the single compare below rejects almost every offer of a long scan.
+    if (score < kth_floor_) {
+      return;
+    }
+    if (k_ == 0) {
+      return;
+    }
+    if (heap_.size() == k_) {
+      const Entry& weakest = heap_.front();
+      if (score < weakest.first ||
+          (score == weakest.first && item > weakest.second)) {
+        return;
+      }
+    }
+    OfferSlow(item, score);
+  }
 
   /// True iff `item` currently belongs to the buffer.
-  bool Contains(ItemId item) const { return members_.count(item) > 0; }
+  bool Contains(ItemId item) const;
 
   /// Number of buffered items (<= k).
-  size_t size() const { return ordered_.size(); }
+  size_t size() const { return heap_.size(); }
 
   /// True when k items are buffered.
-  bool full() const { return ordered_.size() == k_; }
+  bool full() const { return heap_.size() == k_; }
 
   size_t k() const { return k_; }
 
   /// Score of the weakest buffered item. Requires size() > 0.
-  Score KthScore() const { return ordered_.begin()->first; }
+  Score KthScore() const { return heap_.front().first; }
 
   /// The stopping predicate of TA/BPA/BPA2: true iff the buffer holds k items
   /// whose overall scores are all >= `threshold`.
@@ -50,22 +83,38 @@ class TopKBuffer {
   /// Buffered items sorted by descending score (ties: ascending item id).
   std::vector<ResultItem> ToSortedItems() const;
 
- private:
-  // Ascending (score, then *descending* item id), so that begin() is the
-  // weakest entry under the deterministic tie-break.
-  struct WeakerFirst {
-    bool operator()(const std::pair<Score, ItemId>& a,
-                    const std::pair<Score, ItemId>& b) const {
-      if (a.first != b.first) {
-        return a.first < b.first;
-      }
-      return a.second > b.second;
-    }
-  };
+  /// Appends the sorted items to `out` without clearing it; allocation-free
+  /// when `out` has spare capacity.
+  void AppendSortedItems(std::vector<ResultItem>* out) const;
 
-  size_t k_;
-  std::set<std::pair<Score, ItemId>, WeakerFirst> ordered_;
-  std::unordered_set<ItemId> members_;
+ private:
+  using Entry = std::pair<Score, ItemId>;
+
+  // `a` strictly weaker than `b` under the deterministic tie-break (smaller
+  // score, or equal score and larger item id).
+  static bool Weaker(const Entry& a, const Entry& b) {
+    if (a.first != b.first) {
+      return a.first < b.first;
+    }
+    return a.second > b.second;
+  }
+  // Heap comparator: std::*_heap keep the comparator's maximum at the front,
+  // so ordering by "stronger" surfaces the weakest entry there.
+  static bool Stronger(const Entry& a, const Entry& b) { return Weaker(b, a); }
+
+  /// Inserts/evicts for a candidate that survived the inline weakness check.
+  void OfferSlow(ItemId item, Score score);
+
+  size_t ProbeSlot(ItemId item) const;
+  void ProbeInsert(ItemId item);
+  void ProbeErase(ItemId item);
+
+  size_t k_ = 0;
+  Score kth_floor_ = 0.0;              // see Offer(); maintained by OfferSlow
+  std::vector<Entry> heap_;            // min-heap, weakest at front
+  std::vector<ItemId> slots_;          // open addressing; kInvalidItem = empty
+  size_t slot_mask_ = 0;               // slots_.size() - 1 (power of two)
+  mutable std::vector<Entry> scratch_;  // for sorted emission
 };
 
 }  // namespace topk

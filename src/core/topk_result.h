@@ -84,6 +84,19 @@ struct TopKResult {
   /// round). Filled only when AlgorithmOptions::collect_trace is set.
   std::vector<StopRuleTrace> trace;
 
+  /// Resets to the zero-initialized state while retaining vector capacity,
+  /// so a reused result incurs no allocations once warmed up.
+  void Clear() {
+    items.clear();
+    stats = AccessStats{};
+    execution_cost = 0.0;
+    elapsed_ms = 0.0;
+    stop_position = 0;
+    min_best_position = 0;
+    max_touches_per_list.clear();
+    trace.clear();
+  }
+
   /// The k overall scores in descending order (convenience for tests).
   std::vector<Score> Scores() const {
     std::vector<Score> scores;

@@ -21,11 +21,11 @@ struct Candidate {
   explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
 };
 
-// k-th largest value of `values` (values.size() >= k >= 1).
-Score KthLargest(std::vector<Score> values, size_t k) {
-  std::nth_element(values.begin(), values.begin() + (k - 1), values.end(),
+// k-th largest value of `values` (values.size() >= k >= 1). Reorders in place.
+Score KthLargest(std::vector<Score>* values, size_t k) {
+  std::nth_element(values->begin(), values->begin() + (k - 1), values->end(),
                    std::greater<Score>());
-  return values[k - 1];
+  return (*values)[k - 1];
 }
 
 }  // namespace
@@ -48,10 +48,13 @@ Status TputAlgorithm::ValidateFor(const Database& db,
 }
 
 Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
-                          AccessEngine* engine, TopKResult* result) const {
+                          ExecutionContext* context,
+                          TopKResult* result) const {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
   const double floor = options().score_floor;
+
+  AccessEngine* engine = &context->engine();
 
   std::unordered_map<ItemId, Candidate> candidates;
   auto record = [&](size_t list_index, const AccessedEntry& entry) {
@@ -79,17 +82,17 @@ Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
       record(i, engine->SortedAccess(i));
     }
   }
-  std::vector<Score> partial_sums;
+  std::vector<Score>& partial_sums = context->ClearedScores();
   partial_sums.reserve(candidates.size());
   for (const auto& [item, cand] : candidates) {
     partial_sums.push_back(lower_bound_sum(cand));
   }
   // Phase 1 sees >= k distinct items (k rows of one list are distinct).
-  const Score tau1 = KthLargest(partial_sums, query.k);
+  const Score tau1 = KthLargest(&partial_sums, query.k);
 
   // ---- Phase 2: drain every list down to local score >= τ1/m. ----
   const Score threshold = tau1 / static_cast<Score>(m);
-  std::vector<Score> last_scores(m, 0.0);
+  std::vector<Score>& last_scores = context->last_scores();
   {
     // The per-list scan continues from the shared phase-1 depth.
     for (size_t i = 0; i < m; ++i) {
@@ -110,7 +113,7 @@ Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
   for (const auto& [item, cand] : candidates) {
     partial_sums.push_back(lower_bound_sum(cand));
   }
-  const Score tau2 = KthLargest(partial_sums, query.k);
+  const Score tau2 = KthLargest(&partial_sums, query.k);
 
   // Upper bound: unknown lists contribute min(last seen score, threshold
   // ceiling) — after phase 2 any unseen score in list i is < max(last_scores
@@ -124,7 +127,7 @@ Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
   };
 
   // ---- Phase 3: resolve survivors exactly. ----
-  TopKBuffer buffer(query.k);
+  TopKBuffer& buffer = context->buffer();
   for (auto& [item, cand] : candidates) {
     if (upper_bound_sum(cand) < tau2) {
       continue;  // pruned: cannot reach the top-k
@@ -137,7 +140,7 @@ Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
     buffer.Offer(item, sum);
   }
 
-  result->items = buffer.ToSortedItems();
+  buffer.AppendSortedItems(&result->items);
   result->stop_position = depth;
   return Status::OK();
 }

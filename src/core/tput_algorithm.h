@@ -33,8 +33,8 @@ class TputAlgorithm : public TopKAlgorithm {
  protected:
   Status ValidateFor(const Database& db, const TopKQuery& query) const override;
 
-  Status Run(const Database& db, const TopKQuery& query, AccessEngine* engine,
-             TopKResult* result) const override;
+  Status Run(const Database& db, const TopKQuery& query,
+             ExecutionContext* context, TopKResult* result) const override;
 };
 
 }  // namespace topk

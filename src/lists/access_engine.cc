@@ -3,27 +3,22 @@
 #include "lists/access_engine.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace topk {
 
-AccessEngine::AccessEngine(const Database& db, bool audit)
-    : db_(&db),
-      cursors_(db.num_lists(), 0),
-      audit_(audit) {
+void AccessEngine::Reset(const Database& db, bool audit) {
+  db_ = &db;
+  stats_ = AccessStats{};
+  cursors_.assign(db.num_lists(), 0);
+  audit_ = audit;
   if (audit_) {
-    touch_counts_.assign(db.num_lists(),
-                         std::vector<uint32_t>(db.num_items(), 0));
+    touch_counts_.resize(db.num_lists());
+    for (auto& counts : touch_counts_) {
+      counts.assign(db.num_items(), 0);
+    }
+  } else {
+    touch_counts_.clear();
   }
-}
-
-AccessedEntry AccessEngine::SortedAccess(size_t list_index) {
-  assert(!SortedExhausted(list_index));
-  const Position pos = static_cast<Position>(++cursors_[list_index]);
-  const ListEntry& entry = db_->list(list_index).EntryAt(pos);
-  ++stats_.sorted_accesses;
-  RecordTouch(list_index, pos);
-  return AccessedEntry{entry.item, entry.score, pos};
 }
 
 Position AccessEngine::MaxSortedDepth() const {
@@ -34,22 +29,10 @@ Position AccessEngine::MaxSortedDepth() const {
   return static_cast<Position>(depth);
 }
 
-ItemLookup AccessEngine::RandomAccess(size_t list_index, ItemId item) {
-  const ItemLookup lookup = db_->list(list_index).Lookup(item);
-  ++stats_.random_accesses;
-  RecordTouch(list_index, lookup.position);
-  return lookup;
-}
-
-AccessedEntry AccessEngine::DirectAccess(size_t list_index, Position position) {
-  assert(position >= 1 && position <= db_->num_items());
-  const ListEntry& entry = db_->list(list_index).EntryAt(position);
-  ++stats_.direct_accesses;
-  RecordTouch(list_index, position);
-  return AccessedEntry{entry.item, entry.score, position};
-}
-
 uint32_t AccessEngine::MaxTouchCount(size_t list_index) const {
+  if (!audit_) {
+    return 0;
+  }
   uint32_t max_count = 0;
   for (uint32_t count : touch_counts_[list_index]) {
     max_count = std::max(max_count, count);

@@ -4,6 +4,21 @@
 
 namespace topk {
 
+Database::Database(std::vector<SortedList> lists) : lists_(std::move(lists)) {
+  const size_t m = lists_.size();
+  const size_t n = num_items();
+  item_scores_.resize(n * m);
+  item_positions_.resize(n * m);
+  for (size_t j = 0; j < m; ++j) {
+    const SortedList& list = lists_[j];
+    for (ItemId item = 0; item < n; ++item) {
+      const ItemLookup lookup = list.Lookup(item);
+      item_scores_[static_cast<size_t>(item) * m + j] = lookup.score;
+      item_positions_[static_cast<size_t>(item) * m + j] = lookup.position;
+    }
+  }
+}
+
 Result<Database> Database::Make(std::vector<SortedList> lists) {
   if (lists.empty()) {
     return Status::Invalid("a database needs at least one list");

@@ -40,6 +40,26 @@ class Database {
 
   const std::vector<SortedList>& lists() const { return lists_; }
 
+  // --- item-major random-access mirror ---
+  //
+  // The per-list SoA layout makes one Lookup one cache-line touch, but an
+  // algorithm resolving an item reads it in *every* list — m touches spread
+  // over m arrays. These mirrors store each item's m scores (and positions)
+  // contiguously, so a full per-item resolution reads 1-2 cache lines total.
+  // Costs n*m*12 bytes on top of the lists; built once at construction.
+
+  /// The m local scores of `item`, indexed by list: ItemScoresRow(d)[j]
+  /// == list(j).ScoreOf(d).
+  const Score* ItemScoresRow(ItemId item) const {
+    return &item_scores_[static_cast<size_t>(item) * lists_.size()];
+  }
+
+  /// The m 1-based positions of `item`, indexed by list:
+  /// ItemPositionsRow(d)[j] == list(j).PositionOf(d).
+  const Position* ItemPositionsRow(ItemId item) const {
+    return &item_positions_[static_cast<size_t>(item) * lists_.size()];
+  }
+
   /// True iff all local scores in all lists are non-negative (the paper's
   /// formal model; required by TPUT and by NRA's default score floor).
   bool AllScoresNonNegative() const;
@@ -56,9 +76,11 @@ class Database {
   }
 
  private:
-  explicit Database(std::vector<SortedList> lists) : lists_(std::move(lists)) {}
+  explicit Database(std::vector<SortedList> lists);
 
   std::vector<SortedList> lists_;
+  std::vector<Score> item_scores_;        // [item * m + list]
+  std::vector<Position> item_positions_;  // [item * m + list]
 };
 
 }  // namespace topk

@@ -6,14 +6,6 @@
 
 namespace topk {
 
-Score SumScorer::Combine(const Score* scores, size_t count) const {
-  Score total = 0.0;
-  for (size_t i = 0; i < count; ++i) {
-    total += scores[i];
-  }
-  return total;
-}
-
 Result<WeightedSumScorer> WeightedSumScorer::Make(std::vector<double> weights) {
   if (weights.empty()) {
     return Status::Invalid("weighted sum needs at least one weight");

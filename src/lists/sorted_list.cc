@@ -19,13 +19,12 @@ bool DescendingScoreOrder(const ListEntry& a, const ListEntry& b) {
 }  // namespace
 
 SortedList SortedList::FromScores(const std::vector<Score>& scores) {
-  SortedList list;
-  list.entries_.resize(scores.size());
+  std::vector<ListEntry> entries(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) {
-    list.entries_[i] = ListEntry{static_cast<ItemId>(i), scores[i]};
+    entries[i] = ListEntry{static_cast<ItemId>(i), scores[i]};
   }
-  std::sort(list.entries_.begin(), list.entries_.end(), DescendingScoreOrder);
-  list.BuildIndex();
+  SortedList list;
+  list.BuildFrom(std::move(entries));
   return list;
 }
 
@@ -43,32 +42,37 @@ Result<SortedList> SortedList::FromEntries(std::vector<ListEntry> entries) {
     seen[e.item] = true;
   }
   SortedList list;
-  list.entries_ = std::move(entries);
-  std::sort(list.entries_.begin(), list.entries_.end(), DescendingScoreOrder);
-  list.BuildIndex();
+  list.BuildFrom(std::move(entries));
   return list;
 }
 
 Result<ListEntry> SortedList::EntryAtChecked(Position position) const {
-  if (position == kInvalidPosition || position > entries_.size()) {
+  if (position == kInvalidPosition || position > items_.size()) {
     return Status::OutOfRange("position ", position, " not in [1, ",
-                              entries_.size(), "]");
+                              items_.size(), "]");
   }
-  return entries_[position - 1];
+  return EntryAt(position);
 }
 
 Result<ItemLookup> SortedList::LookupChecked(ItemId item) const {
-  if (item >= position_of_.size()) {
-    return Status::KeyError("item ", item, " not in list of ",
-                            position_of_.size(), " items");
+  if (item >= by_item_.size()) {
+    return Status::KeyError("item ", item, " not in list of ", by_item_.size(),
+                            " items");
   }
   return Lookup(item);
 }
 
-void SortedList::BuildIndex() {
-  position_of_.assign(entries_.size(), kInvalidPosition);
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    position_of_[entries_[i].item] = static_cast<Position>(i + 1);
+void SortedList::BuildFrom(std::vector<ListEntry> entries) {
+  std::sort(entries.begin(), entries.end(), DescendingScoreOrder);
+  const size_t n = entries.size();
+  items_.resize(n);
+  scores_.resize(n);
+  by_item_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    items_[i] = entries[i].item;
+    scores_[i] = entries[i].score;
+    by_item_[entries[i].item] =
+        PackedSlot{entries[i].score, static_cast<Position>(i + 1)};
   }
 }
 

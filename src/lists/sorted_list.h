@@ -2,6 +2,12 @@
 //
 // SortedList: one of the paper's m lists. Stores n (item, local score) pairs in
 // descending score order and an inverted index for O(1) by-item lookups.
+//
+// Storage is structure-of-arrays: the sorted order lives in two parallel
+// arrays items_[]/scores_[] (position -> item, position -> score), and random
+// access goes through a single packed {score, position} array indexed by item,
+// so Lookup touches exactly one cache line instead of chasing two dependent
+// ones (position_of_[item] then entries_[pos]).
 
 #ifndef TOPK_LISTS_SORTED_LIST_H_
 #define TOPK_LISTS_SORTED_LIST_H_
@@ -37,52 +43,69 @@ class SortedList {
   static Result<SortedList> FromEntries(std::vector<ListEntry> entries);
 
   /// Number of items in the list.
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return items_.size(); }
 
-  bool empty() const { return entries_.empty(); }
+  bool empty() const { return items_.empty(); }
 
   /// Entry at a 1-based position; position must be in [1, size()].
-  const ListEntry& EntryAt(Position position) const {
-    return entries_[position - 1];
+  ListEntry EntryAt(Position position) const {
+    const size_t i = position - 1;
+    return ListEntry{items_[i], scores_[i]};
   }
 
   /// Checked variant of EntryAt.
   Result<ListEntry> EntryAtChecked(Position position) const;
 
   /// Random access: score and 1-based position of `item`. Item must be < n.
+  /// One cache-line touch: both fields come from the same packed slot.
   ItemLookup Lookup(ItemId item) const {
-    const Position pos = position_of_[item];
-    return ItemLookup{entries_[pos - 1].score, pos};
+    const PackedSlot& slot = by_item_[item];
+    return ItemLookup{slot.score, slot.position};
   }
 
   /// Checked variant of Lookup.
   Result<ItemLookup> LookupChecked(ItemId item) const;
 
-  /// Position of `item` (1-based). Item must be < n.
-  Position PositionOf(ItemId item) const { return position_of_[item]; }
-
-  /// Local score of `item`. Item must be < n.
-  Score ScoreOf(ItemId item) const {
-    return entries_[position_of_[item] - 1].score;
+  /// Local score at a 1-based position — like EntryAt(position).score but a
+  /// single array load (the BPA/BPA2 stop rules only need the score).
+  Score ScoreAtPosition(Position position) const {
+    return scores_[position - 1];
   }
 
+  /// Position of `item` (1-based). Item must be < n.
+  Position PositionOf(ItemId item) const { return by_item_[item].position; }
+
+  /// Local score of `item`. Item must be < n.
+  Score ScoreOf(ItemId item) const { return by_item_[item].score; }
+
   /// Highest local score (score at position 1). List must be non-empty.
-  Score MaxScore() const { return entries_.front().score; }
+  Score MaxScore() const { return scores_.front(); }
 
   /// Lowest local score (score at position n). List must be non-empty.
-  Score MinScore() const { return entries_.back().score; }
+  Score MinScore() const { return scores_.back(); }
 
   /// True iff every local score is >= 0 (the paper's formal model).
   bool AllScoresNonNegative() const { return MinScore() >= 0.0; }
 
-  /// The underlying descending-ordered entries.
-  const std::vector<ListEntry>& entries() const { return entries_; }
+  /// Item ids in descending-score order (position p is items()[p-1]).
+  const std::vector<ItemId>& items() const { return items_; }
+
+  /// Local scores in descending order, parallel to items().
+  const std::vector<Score>& scores() const { return scores_; }
 
  private:
-  void BuildIndex();
+  /// The by-item slot for random access: 16 bytes, so any slot is contained
+  /// in one 64-byte cache line.
+  struct PackedSlot {
+    Score score = 0.0;
+    Position position = kInvalidPosition;
+  };
 
-  std::vector<ListEntry> entries_;       // descending (score, then item asc)
-  std::vector<Position> position_of_;    // item id -> 1-based position
+  void BuildFrom(std::vector<ListEntry> entries);
+
+  std::vector<ItemId> items_;        // position-1 -> item (descending score)
+  std::vector<Score> scores_;        // position-1 -> local score
+  std::vector<PackedSlot> by_item_;  // item -> {score, 1-based position}
 };
 
 }  // namespace topk

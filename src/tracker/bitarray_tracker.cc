@@ -2,36 +2,20 @@
 
 #include "tracker/bitarray_tracker.h"
 
-#include <cassert>
-
 namespace topk {
 
 BitArrayTracker::BitArrayTracker(size_t list_size)
-    : list_size_(list_size), words_((list_size + 63) / 64, 0) {}
-
-void BitArrayTracker::MarkSeen(Position position) {
-  assert(position >= 1 && position <= list_size_);
-  const size_t index = position - 1;
-  if (TestBit(index)) {
-    return;
-  }
-  SetBit(index);
-  ++seen_count_;
-  // Paper 5.2.1: B[j] := 1; while (bp < n and B[bp+1] = 1) bp := bp + 1.
-  while (best_position_ < list_size_ && TestBit(best_position_)) {
-    ++best_position_;
-  }
-}
-
-bool BitArrayTracker::IsSeen(Position position) const {
-  assert(position >= 1 && position <= list_size_);
-  return TestBit(position - 1);
-}
+    : list_size_(list_size), words_((list_size + 63) / 64) {}
 
 void BitArrayTracker::Reset() {
-  words_.assign(words_.size(), 0);
   best_position_ = 0;
-  seen_count_ = 0;
+  if (++epoch_ == 0) {
+    // Stamp wrap-around (once every 2^32 resets): eagerly invalidate.
+    for (Word& word : words_) {
+      word = Word{};
+    }
+    epoch_ = 1;
+  }
 }
 
 }  // namespace topk

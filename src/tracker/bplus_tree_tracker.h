@@ -14,7 +14,7 @@
 
 namespace topk {
 
-class BPlusTreeTracker : public BestPositionTracker {
+class BPlusTreeTracker final : public BestPositionTracker {
  public:
   explicit BPlusTreeTracker(size_t list_size) : list_size_(list_size) {}
 

@@ -13,7 +13,7 @@
 
 namespace topk {
 
-class SortedSetTracker : public BestPositionTracker {
+class SortedSetTracker final : public BestPositionTracker {
  public:
   explicit SortedSetTracker(size_t list_size) : list_size_(list_size) {}
 

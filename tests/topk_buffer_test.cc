@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace topk {
 namespace {
@@ -105,6 +109,111 @@ TEST(TopKBufferTest, ZeroKIsAlwaysEmpty) {
   buffer.Offer(0, 1.0);
   EXPECT_EQ(buffer.size(), 0u);
   EXPECT_TRUE(buffer.full());  // vacuously
+}
+
+// Reference model of the buffer contract, backed by an ordered set (the
+// pre-flat implementation).
+class ReferenceBuffer {
+ public:
+  explicit ReferenceBuffer(size_t k) : k_(k) {}
+
+  void Offer(ItemId item, Score score) {
+    if (k_ == 0 || Contains(item)) {
+      return;
+    }
+    if (entries_.size() < k_) {
+      entries_.emplace(score, item);
+      return;
+    }
+    const std::pair<Score, ItemId> candidate{score, item};
+    if (WeakerFirst{}(*entries_.begin(), candidate)) {
+      entries_.erase(entries_.begin());
+      entries_.insert(candidate);
+    }
+  }
+
+  bool Contains(ItemId item) const {
+    for (const auto& e : entries_) {
+      if (e.second == item) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const { return entries_.size(); }
+  Score KthScore() const { return entries_.begin()->first; }
+
+  std::vector<ResultItem> ToSortedItems() const {
+    std::vector<ResultItem> items;
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      items.push_back(ResultItem{it->second, it->first});
+    }
+    return items;
+  }
+
+ private:
+  struct WeakerFirst {
+    bool operator()(const std::pair<Score, ItemId>& a,
+                    const std::pair<Score, ItemId>& b) const {
+      if (a.first != b.first) {
+        return a.first < b.first;
+      }
+      return a.second > b.second;
+    }
+  };
+
+  size_t k_;
+  std::set<std::pair<Score, ItemId>, WeakerFirst> entries_;
+};
+
+// The flat heap + probe-table implementation must agree with the reference on
+// randomized streams full of ties, including across Reset() reuse cycles.
+TEST(TopKBufferTest, RandomizedDifferentialAgainstReference) {
+  Rng rng(20260730);
+  TopKBuffer reused(1);  // reused across all trials via Reset
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t k = rng.NextBounded(12);
+    reused.Reset(k);
+    ReferenceBuffer reference(k);
+    const size_t universe = 1 + rng.NextBounded(60);
+    const int offers = 1 + static_cast<int>(rng.NextBounded(200));
+    for (int o = 0; o < offers; ++o) {
+      const ItemId item = static_cast<ItemId>(rng.NextBounded(universe));
+      // Quantized scores force plenty of ties; keyed by item so re-offers are
+      // deterministic like real overall scores.
+      const Score score = static_cast<Score>((item * 7) % 5);
+      reused.Offer(item, score);
+      reference.Offer(item, score);
+      ASSERT_EQ(reused.size(), reference.size()) << "trial " << trial;
+      if (reused.size() > 0) {
+        ASSERT_DOUBLE_EQ(reused.KthScore(), reference.KthScore());
+      }
+      for (ItemId probe = 0; probe < universe; ++probe) {
+        ASSERT_EQ(reused.Contains(probe), reference.Contains(probe))
+            << "trial " << trial << " item " << probe;
+      }
+    }
+    const std::vector<ResultItem> got = reused.ToSortedItems();
+    const std::vector<ResultItem> want = reference.ToSortedItems();
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].item, want[i].item) << "trial " << trial << " @" << i;
+      ASSERT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(TopKBufferTest, AppendSortedItemsAppends) {
+  TopKBuffer buffer(2);
+  buffer.Offer(4, 1.0);
+  buffer.Offer(9, 3.0);
+  std::vector<ResultItem> out = {ResultItem{1, 99.0}};
+  buffer.AppendSortedItems(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].item, 1u);  // pre-existing entry untouched
+  EXPECT_EQ(out[1].item, 9u);
+  EXPECT_EQ(out[2].item, 4u);
 }
 
 TEST(TopKBufferTest, ManyOffersKeepExactlyTopK) {

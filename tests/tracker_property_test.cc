@@ -122,6 +122,40 @@ TEST_P(TrackerPropertyTest, ResetMakesTrackerReusable) {
   EXPECT_EQ(tracker->best_position(), 1u);
 }
 
+// A Reset()-then-reused tracker must be observationally identical to a
+// freshly constructed one on arbitrary MarkSeen sequences — the contract the
+// ExecutionContext pool relies on (and, for the bit array, the property that
+// makes the O(1) epoch-stamped Reset sound).
+TEST_P(TrackerPropertyTest, ResetReuseIsObservationallyFresh) {
+  Rng rng(4242);
+  const size_t n = 1 + rng.NextBounded(200);
+  auto reused = MakeTracker(GetParam(), n);
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    // Dirty the reused tracker with a random prefix, then reset it.
+    const int dirt = static_cast<int>(rng.NextBounded(2 * n));
+    for (int a = 0; a < dirt; ++a) {
+      reused->MarkSeen(static_cast<Position>(1 + rng.NextBounded(n)));
+    }
+    reused->Reset();
+    auto fresh = MakeTracker(GetParam(), n);
+    ASSERT_EQ(reused->best_position(), fresh->best_position());
+    ASSERT_EQ(reused->seen_count(), fresh->seen_count());
+    const int accesses = 1 + static_cast<int>(rng.NextBounded(2 * n));
+    for (int a = 0; a < accesses; ++a) {
+      const Position p = static_cast<Position>(1 + rng.NextBounded(n));
+      reused->MarkSeen(p);
+      fresh->MarkSeen(p);
+      ASSERT_EQ(reused->best_position(), fresh->best_position())
+          << "cycle " << cycle << " after marking " << p;
+      ASSERT_EQ(reused->seen_count(), fresh->seen_count());
+    }
+    for (Position p = 1; p <= n; ++p) {
+      ASSERT_EQ(reused->IsSeen(p), fresh->IsSeen(p))
+          << "cycle " << cycle << " position " << p;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTrackers, TrackerPropertyTest,
                          ::testing::Values(TrackerKind::kBitArray,
                                            TrackerKind::kBPlusTree,

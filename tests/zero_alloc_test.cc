@@ -1,0 +1,126 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Proves the zero-allocation hot path: once an ExecutionContext and TopKResult
+// are warmed up, executing further queries performs no heap allocations at
+// all. The global operator new is replaced with a counting hook (this is the
+// whole program's allocator, so the counter also sees gtest's allocations —
+// the tests only compare the counter across the measured query loop).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size ? size : 1)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, alignment, size ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+
+namespace topk {
+namespace {
+
+// Runs `queries` executions of `kind` through a warmed context/result pair and
+// returns the number of heap allocations the measured loop performed.
+uint64_t AllocationsPerWarmedLoop(AlgorithmKind kind,
+                                  const AlgorithmOptions& options,
+                                  int queries, bool* all_ok) {
+  const Database db = MakeUniformDatabase(10000, 5, 42);
+  SumScorer sum;
+  const TopKQuery query{20, &sum};
+  auto algorithm = MakeAlgorithm(kind, options);
+  ExecutionContext context;
+  TopKResult result;
+  *all_ok = true;
+  for (int i = 0; i < 3; ++i) {  // warm-up: grows all reusable storage
+    *all_ok &= algorithm->ExecuteInto(db, query, &context, &result).ok();
+  }
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < queries; ++i) {
+    *all_ok &= algorithm->ExecuteInto(db, query, &context, &result).ok();
+  }
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+TEST(ZeroAllocTest, WarmedBpaQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kBpa, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedMemoizedBpaQueriesDoNotAllocate) {
+  AlgorithmOptions options;
+  options.memoize_seen_items = true;
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kBpa, options, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedTaQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kTa, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedBpa2QueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kBpa2, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, HookCountsAllocations) {
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  auto* probe = new int(7);
+  EXPECT_GE(g_alloc_count.load(std::memory_order_relaxed) - before, 1u);
+  delete probe;
+}
+
+}  // namespace
+}  // namespace topk
