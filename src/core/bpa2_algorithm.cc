@@ -110,7 +110,10 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
                         : std::numeric_limits<double>::quiet_NaN(),
           buffer.size(), min_bp});
     }
-    if (buffer.HasKAtLeast(lambda)) {
+    // Strictly above λ: a tie could belong to an unseen item with a smaller
+    // id (see TopKBuffer::HasKAbove). Once every position is seen the loop
+    // ends via !any_access with every item resolved.
+    if (buffer.HasKAbove(lambda)) {
       break;
     }
   }

@@ -116,7 +116,10 @@ Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
                         : std::numeric_limits<double>::quiet_NaN(),
           buffer.size(), min_bp});
     }
-    if (buffer.HasKAtLeast(lambda)) {
+    // Strictly above λ: a tie could belong to an unseen item with a smaller
+    // id (see TopKBuffer::HasKAbove). At depth == n the loop ends with every
+    // item resolved — the exact deterministic top-k.
+    if (buffer.HasKAbove(lambda)) {
       stopped = true;
     }
   }

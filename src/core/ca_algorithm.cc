@@ -5,75 +5,47 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
-#include "core/topk_buffer.h"
+#include "core/candidate_bounds.h"
+#include "core/candidate_pool.h"
+#include "core/list_io.h"
 
 namespace topk {
 
 namespace {
 
-struct Candidate {
-  std::vector<Score> scores;
-  std::vector<bool> known;
-  size_t known_count = 0;
-
-  explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
-};
-
-}  // namespace
-
-Status CaAlgorithm::ValidateFor(const Database& db,
-                                const TopKQuery& query) const {
-  (void)query;
-  for (size_t i = 0; i < db.num_lists(); ++i) {
-    if (db.list(i).MinScore() < options().score_floor) {
-      return Status::Invalid(
-          "CA lower bounds assume scores >= score floor ",
-          options().score_floor, "; list ", i, " has minimum ",
-          db.list(i).MinScore(),
-          " (set AlgorithmOptions::score_floor accordingly)");
-    }
-  }
-  return Status::OK();
-}
-
-Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
-                        ExecutionContext* context, TopKResult* result) const {
+// Templated on the access policy and the concrete scorer (like TA/BPA): the
+// default configuration — raw list reads, summation scoring — inlines the
+// row loop, the resolver and the bound computations over the pool's rows.
+template <typename IoT, typename ScorerT>
+Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
+                 const TopKQuery& query, ExecutionContext* context, IoT io,
+                 TopKResult* result) {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
-  const Score floor = options().score_floor;
-  const Scorer& f = *query.scorer;
-
-  AccessEngine* engine = &context->engine();
+  const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
   const CostModel model =
-      options().cost_model.value_or(CostModel::PaperDefault(n));
+      options.cost_model.value_or(CostModel::PaperDefault(n));
   // Resolve one candidate every h rows; h = cr/cs rounded, at least 1.
   const Position resolve_every = static_cast<Position>(std::max(
       1.0, std::round(model.random_cost / std::max(1e-9, model.sorted_cost))));
 
-  std::unordered_map<ItemId, Candidate> candidates;
-  candidates.reserve(1024);
+  CandidatePool& pool = context->PreparePool(m, query.k, options.score_floor);
   std::vector<Score>& last_scores = context->last_scores();
   std::vector<Score>& tmp = context->bound_scores();
 
-  auto bound = [&](const Candidate& c, bool upper) {
+  // Fully resolves a candidate with charged random accesses; afterwards its
+  // lower bound is its exact overall score.
+  const auto resolve = [&](uint32_t slot) {
+    const ItemId item = pool.item_at(slot);
     for (size_t i = 0; i < m; ++i) {
-      tmp[i] = c.known[i] ? c.scores[i] : (upper ? last_scores[i] : floor);
-    }
-    return f.Combine(tmp.data(), m);
-  };
-
-  auto resolve = [&](ItemId item, Candidate* c) {
-    for (size_t i = 0; i < m; ++i) {
-      if (!c->known[i]) {
-        c->scores[i] = engine->RandomAccess(i, item).score;
-        c->known[i] = true;
-        ++c->known_count;
+      if (!(pool.mask(slot) >> i & 1)) {
+        pool.SetSeen(slot, i, io.Random(i, item).score);
       }
     }
+    pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
   };
 
   std::vector<ItemId>& winners = context->ClearedItems();
@@ -81,96 +53,108 @@ Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
   while (depth < n) {
     ++depth;
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = engine->SortedAccess(i);
+      const AccessedEntry entry = io.Sorted(i, depth);
       last_scores[i] = entry.score;
-      auto [it, inserted] = candidates.try_emplace(entry.item, Candidate(m));
-      if (!it->second.known[i]) {
-        it->second.known[i] = true;
-        it->second.scores[i] = entry.score;
-        ++it->second.known_count;
+      const uint32_t slot = pool.FindOrInsert(entry.item);
+      if (pool.SetSeen(slot, i, entry.score)) {
+        pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
       }
     }
 
     // Every h rows: fully resolve the unresolved candidate with the largest
-    // upper bound (the one blocking the stop rule the hardest).
+    // upper bound (the one blocking the stop rule the hardest). Ties are
+    // broken toward the smaller item id so the access pattern — not just the
+    // answer — is deterministic.
     if (depth % resolve_every == 0) {
+      uint32_t best_slot = CandidatePool::kNoSlot;
       ItemId best_item = kInvalidItem;
       Score best_upper = -std::numeric_limits<Score>::infinity();
-      for (auto& [item, cand] : candidates) {
-        if (cand.known_count == m) {
+      for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+        if (pool.fully_known(slot)) {
           continue;
         }
-        const Score upper = bound(cand, /*upper=*/true);
-        if (upper > best_upper) {
+        const Score upper =
+            PoolUpperBound(pool, slot, scorer, last_scores, tmp);
+        if (upper > best_upper ||
+            (upper == best_upper && pool.item_at(slot) < best_item)) {
           best_upper = upper;
-          best_item = item;
+          best_slot = slot;
+          best_item = pool.item_at(slot);
         }
       }
-      if (best_item != kInvalidItem) {
-        resolve(best_item, &candidates.at(best_item));
+      if (best_slot != CandidatePool::kNoSlot) {
+        resolve(best_slot);
       }
     }
 
     // Stop rule (NRA-style, checked with the same cadence as the resolver to
-    // amortize the candidate scan).
+    // amortize the candidate sweep).
     if (depth % resolve_every != 0 && depth != n) {
       continue;
     }
-    TopKBuffer& lower_k = context->ScratchBuffer(query.k);
-    for (const auto& [item, cand] : candidates) {
-      lower_k.Offer(item, bound(cand, /*upper=*/false));
-    }
-    if (!lower_k.full()) {
+    if (!pool.HeapFull()) {
       continue;
     }
-    const Score kth_lower = lower_k.KthScore();
-    bool can_stop = kth_lower >= f.Combine(last_scores.data(), m);
-    if (can_stop) {
-      for (auto it = candidates.begin(); can_stop && it != candidates.end();
-           ++it) {
-        if (!lower_k.Contains(it->first) &&
-            bound(it->second, /*upper=*/true) > kth_lower) {
-          can_stop = false;
-        }
-      }
-    }
-    // Prune candidates that can no longer reach the top-k.
-    for (auto it = candidates.begin(); it != candidates.end();) {
-      if (!lower_k.Contains(it->first) &&
-          bound(it->second, /*upper=*/true) < kth_lower) {
-        it = candidates.erase(it);
-      } else {
-        ++it;
-      }
+    // Strict against unseen items (unknown ids could win the deterministic
+    // tie-break); pruning and the id-aware blocking check against seen
+    // candidates are the shared sweep. See nra_algorithm.cc.
+    bool can_stop =
+        pool.KthLower() > scorer.Combine(last_scores.data(), m) || depth == n;
+    if (PruneAndFindBlocker(pool, scorer, last_scores, tmp)) {
+      can_stop = false;
     }
     if (can_stop) {
-      for (const ResultItem& ri : lower_k.ToSortedItems()) {
-        winners.push_back(ri.item);
-      }
+      pool.AppendHeapItems(&winners);
       break;
     }
   }
 
   if (winners.empty()) {
-    TopKBuffer& buffer = context->buffer();
-    for (const auto& [item, cand] : candidates) {
-      buffer.Offer(item, bound(cand, /*upper=*/false));
-    }
-    for (const ResultItem& ri : buffer.ToSortedItems()) {
-      winners.push_back(ri.item);
-    }
+    // Defensive: a full scan resolves every bound exactly, so the heap is the
+    // exact top-k.
+    pool.AppendHeapItems(&winners);
   }
 
   // Resolve winners exactly: charged random accesses for still-unknown local
   // scores (unlike NRA, CA has random access at its disposal).
   result->items.reserve(winners.size());
   for (ItemId item : winners) {
-    Candidate& cand = candidates.at(item);
-    resolve(item, &cand);
-    result->items.push_back(ResultItem{item, bound(cand, /*upper=*/false)});
+    const uint32_t slot = pool.FindSlot(item);
+    resolve(slot);
+    result->items.push_back(
+        ResultItem{item, scorer.Combine(pool.row(slot), m)});
   }
+  io.Flush();
   result->stop_position = depth;
   return Status::OK();
+}
+
+template <typename IoT>
+Status DispatchCa(const AlgorithmOptions& options, const Database& db,
+                  const TopKQuery& query, ExecutionContext* context, IoT io,
+                  TopKResult* result) {
+  if (dynamic_cast<const SumScorer*>(query.scorer) != nullptr) {
+    return RunCaLoop<IoT, SumScorer>(options, db, query, context, io, result);
+  }
+  return RunCaLoop<IoT, Scorer>(options, db, query, context, io, result);
+}
+
+}  // namespace
+
+Status CaAlgorithm::ValidateFor(const Database& db,
+                                const TopKQuery& query) const {
+  (void)query;
+  return ValidatePoolQuery("CA", db, options().score_floor);
+}
+
+Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                        ExecutionContext* context, TopKResult* result) const {
+  if (options().audit_accesses) {
+    return DispatchCa(options(), db, query, context,
+                      EngineIo(&context->engine()), result);
+  }
+  return DispatchCa(options(), db, query, context,
+                    RawListIo(&db, &context->engine()), result);
 }
 
 }  // namespace topk

@@ -1,0 +1,105 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Shared bound computations and the stop-rule sweep of the candidate-pool
+// algorithms (NRA and CA). Templated on the concrete scorer like the run
+// loops themselves: the summation fast path reduces to a branch-free
+// mask-select accumulation over the pool's flat row.
+
+#ifndef TOPK_CORE_CANDIDATE_BOUNDS_H_
+#define TOPK_CORE_CANDIDATE_BOUNDS_H_
+
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidate_pool.h"
+#include "lists/database.h"
+#include "lists/scorer.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// Shared validation of the pool-backed algorithms (NRA/CA/TPUT): the pool's
+/// seen mask is one word, capping m at CandidatePool::kMaxLists, and every
+/// local score must respect the floor the lower bounds are built from.
+inline Status ValidatePoolQuery(const char* algorithm, const Database& db,
+                                double score_floor) {
+  if (db.num_lists() > CandidatePool::kMaxLists) {
+    return Status::NotImplemented(algorithm,
+                                  " candidate bookkeeping supports up to ",
+                                  CandidatePool::kMaxLists, " lists; got ",
+                                  db.num_lists());
+  }
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    if (db.list(i).MinScore() < score_floor) {
+      return Status::Invalid(
+          algorithm, " lower bounds assume scores >= score floor ",
+          score_floor, "; list ", i, " has minimum ", db.list(i).MinScore(),
+          " (set AlgorithmOptions::score_floor accordingly)");
+    }
+  }
+  return Status::OK();
+}
+
+/// Upper bound of a candidate's overall score: unknown local scores replaced
+/// by the current last-seen score of their list. `tmp` is caller scratch of
+/// size m (unused on the summation fast path).
+template <typename ScorerT>
+inline Score PoolUpperBound(const CandidatePool& pool, uint32_t slot,
+                            const ScorerT& scorer,
+                            const std::vector<Score>& last_scores,
+                            std::vector<Score>& tmp) {
+  const size_t m = pool.num_lists();
+  const Score* row = pool.row(slot);
+  const uint64_t mask = pool.mask(slot);
+  if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+    Score sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += (mask >> i & 1) ? row[i] : last_scores[i];
+    }
+    return sum;
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      tmp[i] = (mask >> i & 1) ? row[i] : last_scores[i];
+    }
+    return scorer.Combine(tmp.data(), m);
+  }
+}
+
+/// One stop-rule sweep over the pool, shared by NRA and CA. Candidates
+/// outside the threshold heap are pruned for good once their upper bound
+/// drops strictly below the k-th lower bound (upper bounds only shrink and
+/// the k-th lower bound only grows); a survivor whose best possible
+/// (upper bound, id) pair still beats the weakest heap member's (lower, id)
+/// pair blocks the stop — the id comparison is what keeps the returned set
+/// exactly the deterministic (score desc, item id asc) top-k under ties.
+/// Requires a full heap. Returns true iff some candidate blocks the stop.
+template <typename ScorerT>
+inline bool PruneAndFindBlocker(CandidatePool& pool, const ScorerT& scorer,
+                                const std::vector<Score>& last_scores,
+                                std::vector<Score>& tmp) {
+  const Score kth_lower = pool.KthLower();
+  const ItemId kth_item = pool.KthItem();
+  bool blocked = false;
+  for (uint32_t slot = 0; slot < pool.size();) {
+    if (pool.InHeap(slot)) {
+      ++slot;
+      continue;
+    }
+    const Score upper = PoolUpperBound(pool, slot, scorer, last_scores, tmp);
+    if (upper < kth_lower) {
+      pool.Erase(slot);  // moves the last slot here; re-examine it
+      continue;
+    }
+    if (upper > kth_lower ||
+        (upper == kth_lower && pool.item_at(slot) < kth_item)) {
+      blocked = true;
+    }
+    ++slot;
+  }
+  return blocked;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_CANDIDATE_BOUNDS_H_

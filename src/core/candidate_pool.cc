@@ -1,0 +1,235 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/candidate_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace topk {
+
+namespace {
+
+// Finalizing multiplicative hash over a 32-bit item id (same family as
+// TopKBuffer's).
+inline size_t HashItem(ItemId item) {
+  uint32_t h = item * 2654435761u;
+  h ^= h >> 16;
+  return h;
+}
+
+constexpr size_t kInitialTableSize = 1024;  // power of two
+
+}  // namespace
+
+void CandidatePool::Reset(size_t m, size_t k, Score floor) {
+  assert(m >= 1 && m <= kMaxLists);
+  m_ = m;
+  k_ = k;
+  floor_ = floor;
+  size_ = 0;
+  heap_.clear();
+  if (table_items_.empty()) {
+    table_items_.resize(kInitialTableSize, kInvalidItem);
+    table_slots_.resize(kInitialTableSize, kNoSlot);
+    table_stamps_.resize(kInitialTableSize, 0);
+    table_mask_ = kInitialTableSize - 1;
+  }
+  // Epoch 0 is reserved as "never valid"; on wrap fall back to one eager
+  // clear (every 2^32 - 1 resets).
+  if (++epoch_ == 0) {
+    std::fill(table_stamps_.begin(), table_stamps_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+size_t CandidatePool::TableProbe(ItemId item) const {
+  size_t cell = HashItem(item) & table_mask_;
+  while (table_stamps_[cell] == epoch_ && table_items_[cell] != item) {
+    cell = (cell + 1) & table_mask_;
+  }
+  return cell;
+}
+
+uint32_t CandidatePool::FindSlot(ItemId item) const {
+  const size_t cell = TableProbe(item);
+  return table_stamps_[cell] == epoch_ ? table_slots_[cell] : kNoSlot;
+}
+
+void CandidatePool::TableInsert(ItemId item, uint32_t slot) {
+  const size_t cell = TableProbe(item);
+  table_items_[cell] = item;
+  table_slots_[cell] = slot;
+  table_stamps_[cell] = epoch_;
+}
+
+void CandidatePool::TableErase(ItemId item) {
+  size_t hole = TableProbe(item);
+  if (table_stamps_[hole] != epoch_) {
+    return;
+  }
+  // Backward-shift deletion (no tombstones): slide later entries of the probe
+  // chain into the hole whenever the hole lies on their probe path.
+  table_stamps_[hole] = 0;
+  size_t cur = (hole + 1) & table_mask_;
+  while (table_stamps_[cur] == epoch_) {
+    const size_t ideal = HashItem(table_items_[cur]) & table_mask_;
+    const size_t displacement = (cur - ideal) & table_mask_;
+    const size_t hole_distance = (cur - hole) & table_mask_;
+    if (displacement >= hole_distance) {
+      table_items_[hole] = table_items_[cur];
+      table_slots_[hole] = table_slots_[cur];
+      table_stamps_[hole] = epoch_;
+      table_stamps_[cur] = 0;
+      hole = cur;
+    }
+    cur = (cur + 1) & table_mask_;
+  }
+}
+
+void CandidatePool::TableGrow() {
+  const size_t new_size = table_items_.size() * 2;
+  table_items_.assign(new_size, kInvalidItem);
+  table_slots_.assign(new_size, kNoSlot);
+  table_stamps_.assign(new_size, 0);
+  table_mask_ = new_size - 1;
+  for (uint32_t slot = 0; slot < size_; ++slot) {
+    TableInsert(items_[slot], slot);
+  }
+}
+
+uint32_t CandidatePool::FindOrInsert(ItemId item) {
+  {
+    const size_t cell = TableProbe(item);
+    if (table_stamps_[cell] == epoch_) {
+      return table_slots_[cell];
+    }
+  }
+  // Keep the load factor <= 1/2 so probe chains stay short.
+  if (2 * (size_ + 1) > table_items_.size()) {
+    TableGrow();
+  }
+  const uint32_t slot = static_cast<uint32_t>(size_++);
+  if (slot == items_.size()) {
+    const size_t grown = std::max<size_t>(64, items_.size() * 2);
+    items_.resize(grown);
+    masks_.resize(grown);
+    known_.resize(grown);
+    lowers_.resize(grown);
+    heap_pos_.resize(grown);
+  }
+  if (rows_.size() < static_cast<size_t>(size_) * m_) {
+    rows_.resize(std::max(rows_.size() * 2, static_cast<size_t>(size_) * m_));
+  }
+  items_[slot] = item;
+  masks_[slot] = 0;
+  known_[slot] = 0;
+  lowers_[slot] = -std::numeric_limits<Score>::infinity();
+  heap_pos_[slot] = kNoSlot;
+  std::fill_n(&rows_[static_cast<size_t>(slot) * m_], m_, floor_);
+  TableInsert(item, slot);
+  return slot;
+}
+
+void CandidatePool::SiftUp(size_t pos) {
+  const uint32_t slot = heap_[pos];
+  const Key key = KeyOf(slot);
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!Weaker(key, KeyOf(heap_[parent]))) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos]] = static_cast<uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  heap_pos_[slot] = static_cast<uint32_t>(pos);
+}
+
+void CandidatePool::SiftDown(size_t pos) {
+  const size_t count = heap_.size();
+  const uint32_t slot = heap_[pos];
+  const Key key = KeyOf(slot);
+  for (;;) {
+    size_t child = 2 * pos + 1;
+    if (child >= count) {
+      break;
+    }
+    if (child + 1 < count &&
+        Weaker(KeyOf(heap_[child + 1]), KeyOf(heap_[child]))) {
+      ++child;
+    }
+    if (!Weaker(KeyOf(heap_[child]), key)) {
+      break;
+    }
+    heap_[pos] = heap_[child];
+    heap_pos_[heap_[pos]] = static_cast<uint32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = slot;
+  heap_pos_[slot] = static_cast<uint32_t>(pos);
+}
+
+void CandidatePool::OfferLower(uint32_t slot, Score lower) {
+  assert(slot < size_);
+  assert(lower >= lowers_[slot]);  // knowledge only accumulates
+  lowers_[slot] = lower;
+  const uint32_t pos = heap_pos_[slot];
+  if (pos != kNoSlot) {
+    // The member's key grew: in a weakest-at-root heap it moves toward the
+    // leaves.
+    SiftDown(pos);
+    return;
+  }
+  if (heap_.size() < k_) {
+    heap_.push_back(slot);
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  if (k_ == 0) {
+    return;
+  }
+  const uint32_t weakest = heap_.front();
+  if (Weaker(KeyOf(weakest), KeyOf(slot))) {
+    heap_pos_[weakest] = kNoSlot;
+    heap_[0] = slot;
+    heap_pos_[slot] = 0;
+    SiftDown(0);
+  }
+}
+
+void CandidatePool::AppendHeapItems(std::vector<ItemId>* out) const {
+  emit_scratch_.clear();
+  for (uint32_t slot : heap_) {
+    emit_scratch_.push_back(KeyOf(slot));
+  }
+  std::sort(emit_scratch_.begin(), emit_scratch_.end(),
+            [](const Key& a, const Key& b) { return Weaker(b, a); });
+  for (const Key& key : emit_scratch_) {
+    out->push_back(key.item);
+  }
+}
+
+void CandidatePool::Erase(uint32_t slot) {
+  assert(slot < size_);
+  assert(!InHeap(slot));
+  TableErase(items_[slot]);
+  const uint32_t last = static_cast<uint32_t>(--size_);
+  if (slot == last) {
+    return;
+  }
+  items_[slot] = items_[last];
+  masks_[slot] = masks_[last];
+  known_[slot] = known_[last];
+  lowers_[slot] = lowers_[last];
+  std::copy_n(&rows_[static_cast<size_t>(last) * m_], m_,
+              &rows_[static_cast<size_t>(slot) * m_]);
+  heap_pos_[slot] = heap_pos_[last];
+  if (heap_pos_[slot] != kNoSlot) {
+    heap_[heap_pos_[slot]] = slot;
+  }
+  // Retarget the moved item's index cell at its new slot.
+  table_slots_[TableProbe(items_[slot])] = slot;
+}
+
+}  // namespace topk

@@ -1,0 +1,181 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// CandidatePool: flat, epoch-stamped candidate bookkeeping for the
+// no-random-access algorithm family (NRA, CA, TPUT).
+//
+// The pool replaces the per-query `std::unordered_map<ItemId, Candidate>` the
+// seed implementations built: one open-addressing item→slot index (epoch
+// stamped, so a reset is an O(1) epoch bump instead of a table clear) over a
+// contiguous structure-of-arrays candidate store — per slot the m local
+// scores (unknown cells pre-filled with the query's score floor), the
+// seen-list bit mask, the known-list count and the cached lower bound. All
+// storage is retained across queries and only ever grows, so a warmed pool
+// serves an unbounded query stream without touching the heap allocator.
+//
+// On top of the store sits an intrusive threshold heap: the k best candidates
+// ordered by (lower bound, item id) — the paper's "k-th best lower bound"
+// that NRA's stopping rule and CA/TPUT's phase thresholds (τ1, τ2) are
+// evaluated against. Lower bounds only grow as knowledge accumulates, so the
+// heap is maintained incrementally (O(log k) per update via the slot→heap
+// position backlink) instead of being rebuilt from a comparator set on every
+// stop-rule check, which is what the seed's scratch-buffer rebuild did.
+//
+// Tie-breaking is deterministic everywhere: on equal lower bounds the smaller
+// item id is the stronger candidate, matching TopKBuffer and the library-wide
+// result order (descending score, ascending item id).
+
+#ifndef TOPK_CORE_CANDIDATE_POOL_H_
+#define TOPK_CORE_CANDIDATE_POOL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lists/types.h"
+
+namespace topk {
+
+/// Flat candidate set of one NRA/CA/TPUT execution. Not thread-safe; borrow
+/// one per concurrent query (it lives in ExecutionContext). Supports at most
+/// 64 lists (the seen mask is a single word).
+class CandidatePool {
+ public:
+  static constexpr size_t kMaxLists = 64;
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// Forgets all candidates and reconfigures for a query over `m` lists with
+  /// a threshold heap of size `k`; `floor` pre-fills unknown score cells (the
+  /// paper's lower-bound contribution for unseen lists). O(1) amortized: the
+  /// item→slot index is invalidated by an epoch bump, not cleared.
+  void Reset(size_t m, size_t k, Score floor);
+
+  /// Number of live candidates. Slots are dense: 0 .. size()-1.
+  size_t size() const { return size_; }
+
+  size_t num_lists() const { return m_; }
+
+  bool Contains(ItemId item) const { return FindSlot(item) != kNoSlot; }
+
+  /// Slot of `item`, or kNoSlot if the item is not a candidate.
+  uint32_t FindSlot(ItemId item) const;
+
+  /// Slot of `item`, inserting a fresh candidate (floor-filled row, empty
+  /// mask, lower bound -inf, not in the heap) if absent.
+  uint32_t FindOrInsert(ItemId item);
+
+  /// Records list `list_index`'s local score of the candidate. Returns true
+  /// if the list was newly seen (mask bit set now), false if it was already
+  /// known (the score is left untouched — local scores are deterministic, so
+  /// a re-record carries the same value).
+  bool SetSeen(uint32_t slot, size_t list_index, Score score) {
+    assert(slot < size_ && list_index < m_);
+    const uint64_t bit = uint64_t{1} << list_index;
+    if (masks_[slot] & bit) {
+      return false;
+    }
+    masks_[slot] |= bit;
+    rows_[static_cast<size_t>(slot) * m_ + list_index] = score;
+    ++known_[slot];
+    return true;
+  }
+
+  ItemId item_at(uint32_t slot) const { return items_[slot]; }
+  uint64_t mask(uint32_t slot) const { return masks_[slot]; }
+  uint32_t known_count(uint32_t slot) const { return known_[slot]; }
+  bool fully_known(uint32_t slot) const { return known_[slot] == m_; }
+
+  /// The candidate's m local scores; cells of unseen lists hold the floor,
+  /// so Scorer::Combine over the row is exactly the paper's lower bound.
+  const Score* row(uint32_t slot) const {
+    return &rows_[static_cast<size_t>(slot) * m_];
+  }
+
+  // --- intrusive threshold heap (k best lower bounds) ---
+
+  /// Publishes the candidate's current lower bound. Bounds must be
+  /// non-decreasing per slot (knowledge only accumulates); the heap is
+  /// updated in O(log k): sift if the slot is a member, replace the weakest
+  /// member if the new bound beats it, no-op otherwise.
+  void OfferLower(uint32_t slot, Score lower);
+
+  /// Number of heap members (<= k).
+  size_t heap_size() const { return heap_.size(); }
+
+  /// True when k candidates carry a published lower bound.
+  bool HeapFull() const { return heap_.size() == k_; }
+
+  /// The k-th best (i.e. weakest heap member's) lower bound — the paper's
+  /// stopping/pruning threshold. Requires heap_size() > 0.
+  Score KthLower() const { return lowers_[heap_.front()]; }
+
+  /// Item id of the weakest heap member (largest id among candidates tied at
+  /// KthLower() — the boundary of the deterministic result order). Requires
+  /// heap_size() > 0.
+  ItemId KthItem() const { return items_[heap_.front()]; }
+
+  bool InHeap(uint32_t slot) const { return heap_pos_[slot] != kNoSlot; }
+
+  Score lower(uint32_t slot) const { return lowers_[slot]; }
+
+  /// Appends the heap members' items ordered by (lower bound desc, item id
+  /// asc). Allocation-free once the internal scratch has warmed up.
+  void AppendHeapItems(std::vector<ItemId>* out) const;
+
+  /// Removes a candidate that is not a heap member (pruned for good). The
+  /// last slot is moved into the hole, so iteration by ascending slot must
+  /// re-examine `slot` after an erase.
+  void Erase(uint32_t slot);
+
+ private:
+  struct Key {
+    Score lower;
+    ItemId item;
+  };
+  // `a` strictly weaker than `b`: smaller bound, or equal bound and larger
+  // item id (mirrors TopKBuffer's deterministic tie-break).
+  static bool Weaker(const Key& a, const Key& b) {
+    if (a.lower != b.lower) {
+      return a.lower < b.lower;
+    }
+    return a.item > b.item;
+  }
+  Key KeyOf(uint32_t slot) const { return Key{lowers_[slot], items_[slot]}; }
+
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+
+  size_t TableProbe(ItemId item) const;
+  void TableInsert(ItemId item, uint32_t slot);
+  void TableErase(ItemId item);
+  void TableGrow();
+
+  size_t m_ = 0;
+  size_t k_ = 0;
+  Score floor_ = 0.0;
+  size_t size_ = 0;
+
+  // SoA candidate store, indexed by slot < size_.
+  std::vector<ItemId> items_;
+  std::vector<uint64_t> masks_;
+  std::vector<uint32_t> known_;
+  std::vector<Score> lowers_;
+  std::vector<Score> rows_;        // size_ * m_, strided by m_
+  std::vector<uint32_t> heap_pos_;  // slot -> heap index, kNoSlot if outside
+
+  // Open-addressing item→slot index; a cell is live iff its stamp equals the
+  // current epoch, so Reset never touches the table.
+  std::vector<ItemId> table_items_;
+  std::vector<uint32_t> table_slots_;
+  std::vector<uint32_t> table_stamps_;
+  size_t table_mask_ = 0;
+  uint32_t epoch_ = 0;
+
+  // Min-heap of slots: front = weakest of the k best (lower, item) pairs.
+  std::vector<uint32_t> heap_;
+  mutable std::vector<Key> emit_scratch_;  // for sorted emission
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_CANDIDATE_POOL_H_

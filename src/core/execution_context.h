@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/candidate_pool.h"
 #include "core/topk_buffer.h"
 #include "lists/access_engine.h"
 #include "lists/database.h"
@@ -106,11 +107,12 @@ class ExecutionContext {
     return memo_;
   }
 
-  /// A secondary top-k buffer reset to `k` on every call (NRA/CA evaluate
-  /// their stop rule against a fresh buffer per check).
-  TopKBuffer& ScratchBuffer(size_t k) {
-    scratch_buffer_.Reset(k);
-    return scratch_buffer_;
+  /// The flat candidate pool of the no-random-access family (NRA/CA/TPUT),
+  /// reset for a query of `k` over `m` lists with the given score floor.
+  /// O(1) reset via epoch stamping; storage is retained across queries.
+  CandidatePool& PreparePool(size_t m, size_t k, Score floor) {
+    pool_.Reset(m, k, floor);
+    return pool_;
   }
 
   /// Zero-filled scratch of `count` scores (FA/naive gather matrices).
@@ -137,16 +139,15 @@ class ExecutionContext {
     return item_scratch_;
   }
 
-  /// Emptied (capacity-retaining) score scratch.
-  std::vector<Score>& ClearedScores() {
-    score_scratch_.clear();
-    return score_scratch_;
+  /// Emptied (capacity-retaining) position scratch (TPUT's per-list depths).
+  std::vector<Position>& ClearedPositions() {
+    position_scratch_.clear();
+    return position_scratch_;
   }
 
  private:
   AccessEngine engine_;
   TopKBuffer buffer_;
-  TopKBuffer scratch_buffer_;
   std::vector<Score> local_scores_;
   std::vector<Score> last_scores_;
   std::vector<Score> bound_scores_;
@@ -161,11 +162,12 @@ class ExecutionContext {
   TrackerKind active_tracker_kind_ = TrackerKind::kBitArray;
 
   ScoreMemo memo_;
+  CandidatePool pool_;
   std::vector<Score> score_matrix_;
   std::vector<uint8_t> flags_;
   std::vector<uint16_t> counts_;
   std::vector<ItemId> item_scratch_;
-  std::vector<Score> score_scratch_;
+  std::vector<Position> position_scratch_;
 };
 
 }  // namespace topk

@@ -21,13 +21,18 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
   std::vector<uint16_t>& seen_lists = context->ZeroedCounts(n);
   std::vector<Score>& local = context->ZeroedScoreMatrix(n * m);
   std::vector<uint8_t>& known = context->ZeroedFlags(n * m);
+  std::vector<Score>& last_scores = context->last_scores();
 
   size_t fully_seen = 0;
   Position depth = 0;
-  while (fully_seen < query.k && depth < n) {
+  std::vector<ItemId>& row_items = context->ClearedItems();  // last row's items
+  const auto scan_row = [&] {
     ++depth;
+    row_items.clear();
     for (size_t i = 0; i < m; ++i) {
       const AccessedEntry entry = engine->SortedAccess(i);
+      last_scores[i] = entry.score;
+      row_items.push_back(entry.item);
       const size_t cell = static_cast<size_t>(entry.item) * m + i;
       local[cell] = entry.score;
       known[cell] = 1;
@@ -35,25 +40,47 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
         ++fully_seen;
       }
     }
+  };
+  while (fully_seen < query.k && depth < n) {
+    scan_row();
   }
 
   // Phase 2: for every item seen somewhere, resolve missing local scores via
   // random access, aggregate, and keep the k best.
   TopKBuffer& buffer = context->buffer();
   std::vector<Score>& scores = context->local_scores();
-  for (ItemId item = 0; item < n; ++item) {
-    if (seen_lists[item] == 0) {
-      continue;
-    }
+  const auto resolve_and_offer = [&](ItemId item) {
     for (size_t i = 0; i < m; ++i) {
       const size_t cell = static_cast<size_t>(item) * m + i;
       if (known[cell]) {
         scores[i] = local[cell];
       } else {
         scores[i] = engine->RandomAccess(i, item).score;
+        local[cell] = scores[i];
+        known[cell] = 1;
       }
     }
     buffer.Offer(item, query.scorer->Combine(scores.data(), m));
+  };
+  for (ItemId item = 0; item < n; ++item) {
+    if (seen_lists[item] > 0) {
+      resolve_and_offer(item);
+    }
+  }
+
+  // Tie guard for the deterministic (score desc, item id asc) result order:
+  // an item unseen in every list is bounded by f(last scores) and could tie
+  // the k-th buffered score with a smaller id, so scan on until the boundary
+  // is strict (or nothing is unseen). Every already-seen item is fully
+  // resolved at this point, so each extra row only needs to resolve the (at
+  // most m) items it reveals — re-resolving one costs no accesses and
+  // re-offering its deterministic score is a no-op.
+  while (depth < n &&
+         !buffer.HasKAbove(query.scorer->Combine(last_scores.data(), m))) {
+    scan_row();
+    for (ItemId item : row_items) {
+      resolve_and_offer(item);
+    }
   }
 
   buffer.AppendSortedItems(&result->items);

@@ -2,139 +2,88 @@
 
 #include "core/nra_algorithm.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
-#include "core/topk_buffer.h"
+#include "core/candidate_bounds.h"
+#include "core/candidate_pool.h"
+#include "core/list_io.h"
 
 namespace topk {
 
 namespace {
 
-struct Candidate {
-  std::vector<Score> scores;
-  std::vector<bool> known;
-  size_t known_count = 0;
+// Stop-rule evaluation is O(#candidates); amortize it by evaluating every
+// kCheckInterval rows (correct — checking less often can only delay the
+// stop, never produce a wrong answer).
+constexpr Position kCheckInterval = 8;
 
-  explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
-};
-
-}  // namespace
-
-Status NraAlgorithm::ValidateFor(const Database& db,
-                                 const TopKQuery& query) const {
-  (void)query;
-  for (size_t i = 0; i < db.num_lists(); ++i) {
-    if (db.list(i).MinScore() < options().score_floor) {
-      return Status::Invalid(
-          "NRA lower bounds assume scores >= score floor ",
-          options().score_floor, "; list ", i, " has minimum ",
-          db.list(i).MinScore(),
-          " (set AlgorithmOptions::score_floor accordingly)");
-    }
-  }
-  return Status::OK();
-}
-
-Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
-                         ExecutionContext* context, TopKResult* result) const {
+// Templated on the access policy and the concrete scorer (like TA/BPA): the
+// default configuration — raw list reads, summation scoring — inlines the
+// whole row loop and the bound computations over the pool's flat rows.
+template <typename IoT, typename ScorerT>
+Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
+                  const TopKQuery& query, ExecutionContext* context, IoT io,
+                  TopKResult* result) {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
-  const Score floor = options().score_floor;
-  const Scorer& f = *query.scorer;
+  const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
-  AccessEngine* engine = &context->engine();
-
-  // Stop-rule evaluation is O(#candidates); amortize it by evaluating every
-  // kCheckInterval rows (correct — checking less often can only delay the
-  // stop, never produce a wrong answer).
-  constexpr Position kCheckInterval = 8;
-
-  std::unordered_map<ItemId, Candidate> candidates;
-  candidates.reserve(1024);
+  CandidatePool& pool = context->PreparePool(m, query.k, options.score_floor);
   std::vector<Score>& last_scores = context->last_scores();
   std::vector<Score>& tmp = context->bound_scores();
-
-  auto bound = [&](const Candidate& c, bool upper) {
-    for (size_t i = 0; i < m; ++i) {
-      tmp[i] = c.known[i] ? c.scores[i] : (upper ? last_scores[i] : floor);
-    }
-    return f.Combine(tmp.data(), m);
-  };
 
   std::vector<ItemId>& winners = context->ClearedItems();
   Position depth = 0;
   while (depth < n) {
     ++depth;
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = engine->SortedAccess(i);
+      const AccessedEntry entry = io.Sorted(i, depth);
       last_scores[i] = entry.score;
-      auto [it, inserted] = candidates.try_emplace(entry.item, Candidate(m));
-      if (!it->second.known[i]) {
-        it->second.known[i] = true;
-        it->second.scores[i] = entry.score;
-        ++it->second.known_count;
+      const uint32_t slot = pool.FindOrInsert(entry.item);
+      if (pool.SetSeen(slot, i, entry.score)) {
+        // The row's unknown cells hold the floor, so combining it is the
+        // lower bound; bounds only grow, so the threshold heap updates
+        // incrementally instead of being rebuilt per check.
+        pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
       }
     }
     if (depth % kCheckInterval != 0 && depth != n) {
       continue;
     }
 
-    // k-th best lower bound across candidates.
-    TopKBuffer& lower_k = context->ScratchBuffer(query.k);
-    for (const auto& [item, cand] : candidates) {
-      lower_k.Offer(item, bound(cand, /*upper=*/false));
+    const Score unseen_upper = scorer.Combine(last_scores.data(), m);
+    if (options.collect_trace) {
+      result->trace.push_back(StopRuleTrace{
+          depth, unseen_upper,
+          pool.HeapFull() ? pool.KthLower()
+                          : std::numeric_limits<double>::quiet_NaN(),
+          pool.heap_size(), 0});
     }
-    if (!lower_k.full()) {
+    if (!pool.HeapFull()) {
       continue;
     }
-    const Score kth_lower = lower_k.KthScore();
-
-    // Unseen items are bounded by the row threshold.
-    const Score unseen_upper = f.Combine(last_scores.data(), m);
-    bool can_stop = kth_lower >= unseen_upper;
-
-    // Seen items outside the current top-k must not be able to overtake.
-    // Items whose upper bound cannot reach kth_lower are pruned for good
-    // (their upper bounds only shrink and kth_lower only grows).
-    if (can_stop) {
-      for (auto it = candidates.begin(); can_stop && it != candidates.end();
-           ++it) {
-        if (lower_k.Contains(it->first)) {
-          continue;
-        }
-        if (bound(it->second, /*upper=*/true) > kth_lower) {
-          can_stop = false;
-        }
-      }
-    }
-    // Prune hopeless candidates to keep the map small.
-    for (auto it = candidates.begin(); it != candidates.end();) {
-      if (!lower_k.Contains(it->first) &&
-          bound(it->second, /*upper=*/true) < kth_lower) {
-        it = candidates.erase(it);
-      } else {
-        ++it;
-      }
+    // Unseen items are bounded by the row threshold. Their ids are unknown,
+    // so a tie could still displace the k-th buffered (score, id) pair —
+    // the stop requires a strictly larger k-th lower bound (or a complete
+    // scan, after which nothing is unseen). Seen candidates are pruned and
+    // checked id-aware by the shared sweep. This keeps the returned set
+    // exactly the deterministic (score desc, item id asc) top-k.
+    bool can_stop = pool.KthLower() > unseen_upper || depth == n;
+    if (PruneAndFindBlocker(pool, scorer, last_scores, tmp)) {
+      can_stop = false;
     }
     if (can_stop) {
-      for (const ResultItem& ri : lower_k.ToSortedItems()) {
-        winners.push_back(ri.item);
-      }
+      pool.AppendHeapItems(&winners);
       break;
     }
   }
+  io.Flush();
 
   if (winners.empty()) {
-    // Scanned to the bottom: every score is known; take the exact top-k.
-    TopKBuffer& buffer = context->buffer();
-    for (const auto& [item, cand] : candidates) {
-      buffer.Offer(item, bound(cand, /*upper=*/false));
-    }
-    for (const ResultItem& ri : buffer.ToSortedItems()) {
-      winners.push_back(ri.item);
-    }
+    // Defensive: a full scan resolves every bound exactly, so the heap is the
+    // exact top-k.
+    pool.AppendHeapItems(&winners);
   }
 
   // Membership is certified; resolve exact winner scores for reporting
@@ -144,10 +93,38 @@ Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
     for (size_t i = 0; i < m; ++i) {
       tmp[i] = db.list(i).ScoreOf(item);
     }
-    result->items.push_back(ResultItem{item, f.Combine(tmp.data(), m)});
+    result->items.push_back(ResultItem{item, scorer.Combine(tmp.data(), m)});
   }
   result->stop_position = depth;
   return Status::OK();
+}
+
+template <typename IoT>
+Status DispatchNra(const AlgorithmOptions& options, const Database& db,
+                   const TopKQuery& query, ExecutionContext* context, IoT io,
+                   TopKResult* result) {
+  if (dynamic_cast<const SumScorer*>(query.scorer) != nullptr) {
+    return RunNraLoop<IoT, SumScorer>(options, db, query, context, io, result);
+  }
+  return RunNraLoop<IoT, Scorer>(options, db, query, context, io, result);
+}
+
+}  // namespace
+
+Status NraAlgorithm::ValidateFor(const Database& db,
+                                 const TopKQuery& query) const {
+  (void)query;
+  return ValidatePoolQuery("NRA", db, options().score_floor);
+}
+
+Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
+                         ExecutionContext* context, TopKResult* result) const {
+  if (options().audit_accesses) {
+    return DispatchNra(options(), db, query, context,
+                       EngineIo(&context->engine()), result);
+  }
+  return DispatchNra(options(), db, query, context,
+                     RawListIo(&db, &context->engine()), result);
 }
 
 }  // namespace topk

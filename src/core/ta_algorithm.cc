@@ -71,7 +71,10 @@ Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
                         : std::numeric_limits<double>::quiet_NaN(),
           buffer.size(), 0});
     }
-    if (buffer.HasKAtLeast(threshold)) {
+    // Strictly above: a tie at δ could belong to an unseen item with a
+    // smaller id (see TopKBuffer::HasKAbove). At depth == n everything has
+    // been resolved and the loop ends with the exact deterministic top-k.
+    if (buffer.HasKAbove(threshold)) {
       break;
     }
   }

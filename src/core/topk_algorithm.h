@@ -54,6 +54,16 @@ struct AlgorithmOptions {
 
 /// Base class: validates the query, times the run, applies the cost model.
 /// Concrete algorithms implement Run().
+///
+/// Determinism contract: every algorithm returns the *exact* same top-k set
+/// for the same (database, query) — the k smallest items under the total
+/// order "higher overall score first, ties broken by ascending item id" —
+/// and TopKResult::items is sorted by that order. Equal aggregate scores are
+/// therefore never an excuse for algorithms to disagree: stop rules compare
+/// strictly against their thresholds (an unseen item tying the k-th score
+/// could precede a buffered item in id order), and all candidate/buffer
+/// structures break score ties toward the smaller item id. Differential
+/// tests compare exact item sequences, not just score multisets.
 class TopKAlgorithm {
  public:
   explicit TopKAlgorithm(AlgorithmOptions options = {})

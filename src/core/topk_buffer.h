@@ -75,9 +75,15 @@ class TopKBuffer {
   Score KthScore() const { return heap_.front().first; }
 
   /// The stopping predicate of TA/BPA/BPA2: true iff the buffer holds k items
-  /// whose overall scores are all >= `threshold`.
-  bool HasKAtLeast(Score threshold) const {
-    return full() && KthScore() >= threshold;
+  /// whose overall scores are all *strictly above* `threshold`. The strict
+  /// comparison is what makes the returned set deterministic under score
+  /// ties: an unseen item can tie the threshold exactly, and its (unknown)
+  /// id could precede a buffered item in the library-wide (score desc, item
+  /// id asc) result order — so a tie at the boundary forces deeper scanning
+  /// until the k-th score clears the threshold (or the scan completes and
+  /// nothing is unseen).
+  bool HasKAbove(Score threshold) const {
+    return full() && KthScore() > threshold;
   }
 
   /// Buffered items sorted by descending score (ties: ascending item id).

@@ -3,29 +3,108 @@
 #include "core/tput_algorithm.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
+#include "core/candidate_bounds.h"
+#include "core/candidate_pool.h"
+#include "core/list_io.h"
 #include "core/topk_buffer.h"
 
 namespace topk {
 
 namespace {
 
-// Partial knowledge about a candidate: which lists have revealed its local
-// score, and those scores.
-struct Candidate {
-  std::vector<Score> scores;
-  std::vector<bool> known;
+// Templated on the access policy (TPUT is summation-only, so there is no
+// scorer dispatch): the default raw-list configuration inlines all three
+// phases' access loops over the pool's flat rows.
+template <typename IoT>
+Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
+                   const TopKQuery& query, ExecutionContext* context, IoT io,
+                   TopKResult* result) {
+  const size_t n = db.num_items();
+  const size_t m = db.num_lists();
+  const Score floor = options.score_floor;
 
-  explicit Candidate(size_t m) : scores(m, 0.0), known(m, false) {}
-};
+  // Lower bounds (partial sums with floor-filled gaps) feed the pool's
+  // threshold heap, whose k-th entry is exactly τ1/τ2 — no comparator set is
+  // rebuilt between phases.
+  CandidatePool& pool = context->PreparePool(m, query.k, floor);
+  const auto record = [&](size_t list_index, const AccessedEntry& entry) {
+    const uint32_t slot = pool.FindOrInsert(entry.item);
+    if (pool.SetSeen(slot, list_index, entry.score)) {
+      Score sum = 0.0;
+      const Score* row = pool.row(slot);
+      for (size_t i = 0; i < m; ++i) {
+        sum += row[i];
+      }
+      pool.OfferLower(slot, sum);
+    }
+  };
 
-// k-th largest value of `values` (values.size() >= k >= 1). Reorders in place.
-Score KthLargest(std::vector<Score>* values, size_t k) {
-  std::nth_element(values->begin(), values->begin() + (k - 1), values->end(),
-                   std::greater<Score>());
-  return (*values)[k - 1];
+  // ---- Phase 1: top-k prefix of every list. ----
+  Position depth = 0;
+  for (Position p = 0; p < query.k && p < n; ++p) {
+    ++depth;
+    for (size_t i = 0; i < m; ++i) {
+      record(i, io.Sorted(i, depth));
+    }
+  }
+  // Phase 1 sees >= k distinct items (k rows of one list are distinct), so
+  // the heap is full and its weakest entry is τ1.
+  const Score tau1 = pool.KthLower();
+
+  // ---- Phase 2: drain every list down to local score >= τ1/m. ----
+  const Score threshold = tau1 / static_cast<Score>(m);
+  std::vector<Score>& last_scores = context->last_scores();
+  std::vector<Position>& list_depths = context->ClearedPositions();
+  list_depths.assign(m, depth);
+  {
+    // The per-list scan continues from the shared phase-1 depth.
+    for (size_t i = 0; i < m; ++i) {
+      last_scores[i] =
+          depth == 0 ? db.list(i).MaxScore() : db.list(i).EntryAt(depth).score;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      while (list_depths[i] < n && last_scores[i] >= threshold) {
+        const AccessedEntry entry = io.Sorted(i, ++list_depths[i]);
+        record(i, entry);
+        last_scores[i] = entry.score;
+        depth = std::max(depth, entry.position);
+      }
+    }
+  }
+  const Score tau2 = pool.KthLower();
+
+  // ---- Phase 3: resolve survivors exactly. ----
+  // Upper bound: unknown lists contribute min(last seen score, threshold
+  // ceiling) — after phase 2 any unseen score in list i is < max(last_scores
+  // [i], threshold). Candidates below τ2 are pruned (strictly: a tie could
+  // still belong to the deterministic top-k); items seen in no list at all
+  // sum to strictly less than m * (τ1/m) = τ1 <= τ2, so the surviving
+  // candidates contain the exact (score desc, item id asc) top-k.
+  TopKBuffer& buffer = context->buffer();
+  for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+    const Score* row = pool.row(slot);
+    const uint64_t mask = pool.mask(slot);
+    Score upper = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      upper += (mask >> i & 1) ? row[i] : std::min(last_scores[i], threshold);
+    }
+    if (upper < tau2) {
+      continue;  // pruned: cannot reach the top-k
+    }
+    const ItemId item = pool.item_at(slot);
+    Score sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += (mask >> i & 1) ? row[i] : io.Random(i, item).score;
+    }
+    buffer.Offer(item, sum);
+  }
+  io.Flush();
+
+  buffer.AppendSortedItems(&result->items);
+  result->stop_position = depth;
+  return Status::OK();
 }
 
 }  // namespace
@@ -37,112 +116,18 @@ Status TputAlgorithm::ValidateFor(const Database& db,
         "TPUT thresholding (τ1/m) is defined for summation scoring; got '",
         query.scorer->name(), "'");
   }
-  for (size_t i = 0; i < db.num_lists(); ++i) {
-    if (db.list(i).MinScore() < options().score_floor) {
-      return Status::Invalid("TPUT requires scores >= score floor ",
-                             options().score_floor, "; list ", i,
-                             " has minimum ", db.list(i).MinScore());
-    }
-  }
-  return Status::OK();
+  return ValidatePoolQuery("TPUT", db, options().score_floor);
 }
 
 Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
                           ExecutionContext* context,
                           TopKResult* result) const {
-  const size_t n = db.num_items();
-  const size_t m = db.num_lists();
-  const double floor = options().score_floor;
-
-  AccessEngine* engine = &context->engine();
-
-  std::unordered_map<ItemId, Candidate> candidates;
-  auto record = [&](size_t list_index, const AccessedEntry& entry) {
-    auto [it, inserted] =
-        candidates.try_emplace(entry.item, Candidate(m));
-    it->second.scores[list_index] = entry.score;
-    it->second.known[list_index] = true;
-  };
-
-  // Lower bound of a candidate's overall sum: unknown lists contribute the
-  // floor.
-  auto lower_bound_sum = [&](const Candidate& c) {
-    Score sum = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      sum += c.known[i] ? c.scores[i] : floor;
-    }
-    return sum;
-  };
-
-  // ---- Phase 1: top-k prefix of every list. ----
-  Position depth = 0;
-  for (Position p = 0; p < query.k && p < n; ++p) {
-    ++depth;
-    for (size_t i = 0; i < m; ++i) {
-      record(i, engine->SortedAccess(i));
-    }
+  if (options().audit_accesses) {
+    return RunTputLoop(options(), db, query, context,
+                       EngineIo(&context->engine()), result);
   }
-  std::vector<Score>& partial_sums = context->ClearedScores();
-  partial_sums.reserve(candidates.size());
-  for (const auto& [item, cand] : candidates) {
-    partial_sums.push_back(lower_bound_sum(cand));
-  }
-  // Phase 1 sees >= k distinct items (k rows of one list are distinct).
-  const Score tau1 = KthLargest(&partial_sums, query.k);
-
-  // ---- Phase 2: drain every list down to local score >= τ1/m. ----
-  const Score threshold = tau1 / static_cast<Score>(m);
-  std::vector<Score>& last_scores = context->last_scores();
-  {
-    // The per-list scan continues from the shared phase-1 depth.
-    for (size_t i = 0; i < m; ++i) {
-      last_scores[i] =
-          depth == 0 ? db.list(i).MaxScore() : db.list(i).EntryAt(depth).score;
-    }
-    for (size_t i = 0; i < m; ++i) {
-      while (!engine->SortedExhausted(i) && last_scores[i] >= threshold) {
-        const AccessedEntry entry = engine->SortedAccess(i);
-        record(i, entry);
-        last_scores[i] = entry.score;
-        depth = std::max(depth, entry.position);
-      }
-    }
-  }
-
-  partial_sums.clear();
-  for (const auto& [item, cand] : candidates) {
-    partial_sums.push_back(lower_bound_sum(cand));
-  }
-  const Score tau2 = KthLargest(&partial_sums, query.k);
-
-  // Upper bound: unknown lists contribute min(last seen score, threshold
-  // ceiling) — after phase 2 any unseen score in list i is < max(last_scores
-  // [i], threshold).
-  auto upper_bound_sum = [&](const Candidate& c) {
-    Score sum = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      sum += c.known[i] ? c.scores[i] : std::min(last_scores[i], threshold);
-    }
-    return sum;
-  };
-
-  // ---- Phase 3: resolve survivors exactly. ----
-  TopKBuffer& buffer = context->buffer();
-  for (auto& [item, cand] : candidates) {
-    if (upper_bound_sum(cand) < tau2) {
-      continue;  // pruned: cannot reach the top-k
-    }
-    Score sum = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      sum += cand.known[i] ? cand.scores[i]
-                           : engine->RandomAccess(i, item).score;
-    }
-    buffer.Offer(item, sum);
-  }
-
-  buffer.AppendSortedItems(&result->items);
-  result->stop_position = depth;
-  return Status::OK();
+  return RunTputLoop(options(), db, query, context,
+                     RawListIo(&db, &context->engine()), result);
 }
 
 }  // namespace topk

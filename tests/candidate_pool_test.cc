@@ -1,0 +1,271 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// CandidatePool unit and property tests: epoch-reset reuse across queries,
+// growth beyond the initial table capacity, intrusive threshold-heap
+// semantics (k-th lower bound, deterministic ties, erase/swap consistency),
+// and a randomized differential against a std::unordered_map + full-sort
+// reference model.
+
+#include "core/candidate_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topk {
+namespace {
+
+TEST(CandidatePoolTest, InsertRecordsRowMaskAndKnownCount) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/3, /*k=*/2, /*floor=*/-1.0);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_FALSE(pool.Contains(7));
+
+  const uint32_t slot = pool.FindOrInsert(7);
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.Contains(7));
+  EXPECT_EQ(pool.item_at(slot), 7u);
+  EXPECT_EQ(pool.mask(slot), 0u);
+  EXPECT_EQ(pool.known_count(slot), 0u);
+  // Unknown cells hold the floor.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(pool.row(slot)[i], -1.0);
+  }
+
+  EXPECT_TRUE(pool.SetSeen(slot, 1, 0.5));
+  EXPECT_FALSE(pool.SetSeen(slot, 1, 0.5));  // already known
+  EXPECT_EQ(pool.mask(slot), 0b010u);
+  EXPECT_EQ(pool.known_count(slot), 1u);
+  EXPECT_DOUBLE_EQ(pool.row(slot)[1], 0.5);
+  EXPECT_DOUBLE_EQ(pool.row(slot)[0], -1.0);
+  EXPECT_FALSE(pool.fully_known(slot));
+
+  EXPECT_TRUE(pool.SetSeen(slot, 0, 0.25));
+  EXPECT_TRUE(pool.SetSeen(slot, 2, 0.75));
+  EXPECT_TRUE(pool.fully_known(slot));
+
+  // FindOrInsert of an existing item returns the same slot.
+  EXPECT_EQ(pool.FindOrInsert(7), slot);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CandidatePoolTest, EpochResetForgetsCandidatesAndReusesStorage) {
+  CandidatePool pool;
+  for (int query = 0; query < 5; ++query) {
+    pool.Reset(/*m=*/2, /*k=*/3, /*floor=*/0.0);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.heap_size(), 0u);
+    for (ItemId item = 0; item < 50; ++item) {
+      EXPECT_FALSE(pool.Contains(item)) << "stale candidate after reset";
+      const uint32_t slot = pool.FindOrInsert(item);
+      pool.SetSeen(slot, 0, 1.0 + item + query);
+      pool.OfferLower(slot, 1.0 + item + query);
+    }
+    EXPECT_EQ(pool.size(), 50u);
+    ASSERT_TRUE(pool.HeapFull());
+    // k = 3 best lower bounds are the three largest items this query.
+    EXPECT_DOUBLE_EQ(pool.KthLower(), 1.0 + 47 + query);
+  }
+}
+
+TEST(CandidatePoolTest, ResetAdaptsToNewListCountAndFloor) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/4, /*k=*/1, /*floor=*/0.0);
+  pool.SetSeen(pool.FindOrInsert(3), 3, 9.0);
+
+  pool.Reset(/*m=*/2, /*k=*/1, /*floor=*/-7.5);
+  const uint32_t slot = pool.FindOrInsert(3);
+  EXPECT_EQ(pool.mask(slot), 0u);
+  EXPECT_DOUBLE_EQ(pool.row(slot)[0], -7.5);
+  EXPECT_DOUBLE_EQ(pool.row(slot)[1], -7.5);
+}
+
+TEST(CandidatePoolTest, GrowsBeyondInitialCapacity) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/1, /*k=*/5, /*floor=*/0.0);
+  // Far beyond the initial table (1024 cells at load factor 1/2).
+  constexpr ItemId kCount = 20000;
+  for (ItemId item = 0; item < kCount; ++item) {
+    const uint32_t slot = pool.FindOrInsert(item * 3 + 1);
+    pool.SetSeen(slot, 0, static_cast<Score>(item));
+    pool.OfferLower(slot, static_cast<Score>(item));
+  }
+  EXPECT_EQ(pool.size(), static_cast<size_t>(kCount));
+  for (ItemId item = 0; item < kCount; ++item) {
+    const uint32_t slot = pool.FindSlot(item * 3 + 1);
+    ASSERT_NE(slot, CandidatePool::kNoSlot) << "item lost in growth";
+    EXPECT_DOUBLE_EQ(pool.row(slot)[0], static_cast<Score>(item));
+  }
+  EXPECT_DOUBLE_EQ(pool.KthLower(), static_cast<Score>(kCount - 5));
+}
+
+TEST(CandidatePoolTest, ThresholdHeapTracksKthLowerWithDeterministicTies) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/1, /*k=*/2, /*floor=*/0.0);
+  const auto offer = [&](ItemId item, Score lower) {
+    const uint32_t slot = pool.FindOrInsert(item);
+    pool.OfferLower(slot, lower);
+  };
+  offer(10, 5.0);
+  EXPECT_FALSE(pool.HeapFull());
+  offer(20, 5.0);
+  ASSERT_TRUE(pool.HeapFull());
+  // Equal bounds: the larger id is the weaker (k-th) entry.
+  EXPECT_DOUBLE_EQ(pool.KthLower(), 5.0);
+  EXPECT_EQ(pool.KthItem(), 20u);
+
+  // A smaller-id tie displaces the larger-id member.
+  offer(15, 5.0);
+  EXPECT_DOUBLE_EQ(pool.KthLower(), 5.0);
+  EXPECT_EQ(pool.KthItem(), 15u);
+  EXPECT_FALSE(pool.InHeap(pool.FindSlot(20)));
+
+  // A strictly larger bound displaces the weakest member.
+  offer(30, 6.0);
+  EXPECT_EQ(pool.KthItem(), 10u);
+
+  // Members update in place when their bound grows.
+  offer(10, 7.0);
+  EXPECT_DOUBLE_EQ(pool.KthLower(), 6.0);
+  EXPECT_EQ(pool.KthItem(), 30u);
+
+  std::vector<ItemId> items;
+  pool.AppendHeapItems(&items);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 10u);  // 7.0
+  EXPECT_EQ(items[1], 30u);  // 6.0
+}
+
+TEST(CandidatePoolTest, EraseSwapsLastSlotAndKeepsIndexConsistent) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/2, /*k=*/1, /*floor=*/0.0);
+  for (ItemId item = 0; item < 10; ++item) {
+    const uint32_t slot = pool.FindOrInsert(item);
+    pool.SetSeen(slot, 0, static_cast<Score>(item));
+  }
+  // Make item 9 the sole heap member so erases below never touch the heap.
+  pool.OfferLower(pool.FindSlot(9), 9.0);
+
+  pool.Erase(pool.FindSlot(0));
+  pool.Erase(pool.FindSlot(5));
+  EXPECT_EQ(pool.size(), 8u);
+  EXPECT_FALSE(pool.Contains(0));
+  EXPECT_FALSE(pool.Contains(5));
+  for (ItemId item : {1u, 2u, 3u, 4u, 6u, 7u, 8u, 9u}) {
+    const uint32_t slot = pool.FindSlot(item);
+    ASSERT_NE(slot, CandidatePool::kNoSlot) << "item " << item;
+    EXPECT_EQ(pool.item_at(slot), item);
+    EXPECT_DOUBLE_EQ(pool.row(slot)[0], static_cast<Score>(item));
+  }
+  // The heap member survived the swaps with a valid backlink.
+  EXPECT_TRUE(pool.InHeap(pool.FindSlot(9)));
+  EXPECT_DOUBLE_EQ(pool.KthLower(), 9.0);
+  EXPECT_EQ(pool.KthItem(), 9u);
+}
+
+// Reference model: hash map of rows plus a full sort for the k-th lower
+// bound, mirroring the seed implementation's per-query bookkeeping.
+struct ReferenceCandidate {
+  std::vector<Score> scores;
+  std::vector<bool> known;
+};
+
+TEST(CandidatePoolTest, DifferentialAgainstUnorderedMapReference) {
+  Rng rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    const size_t m = 1 + rng.NextBounded(6);
+    const size_t k = 1 + rng.NextBounded(8);
+    const Score floor = rng.NextBool() ? 0.0 : -2.0;
+    const size_t universe = 1 + rng.NextBounded(300);
+
+    CandidatePool pool;
+    pool.Reset(m, k, floor);
+    std::unordered_map<ItemId, ReferenceCandidate> reference;
+
+    const auto reference_lower = [&](const ReferenceCandidate& c) {
+      Score sum = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        sum += c.known[i] ? c.scores[i] : floor;
+      }
+      return sum;
+    };
+
+    const size_t ops = 200 + rng.NextBounded(800);
+    for (size_t op = 0; op < ops; ++op) {
+      const ItemId item = static_cast<ItemId>(rng.NextBounded(universe));
+      const size_t list = rng.NextBounded(m);
+      const Score score = floor + rng.NextDouble() * 4.0;
+
+      const uint32_t slot = pool.FindOrInsert(item);
+      auto [it, inserted] = reference.try_emplace(
+          item, ReferenceCandidate{std::vector<Score>(m, 0.0),
+                                   std::vector<bool>(m, false)});
+      const bool newly = !it->second.known[list];
+      EXPECT_EQ(pool.SetSeen(slot, list, score), newly);
+      if (newly) {
+        it->second.known[list] = true;
+        it->second.scores[list] = score;
+        Score sum = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          sum += pool.row(slot)[i];
+        }
+        EXPECT_DOUBLE_EQ(sum, reference_lower(it->second));
+        pool.OfferLower(slot, sum);
+      }
+    }
+
+    ASSERT_EQ(pool.size(), reference.size());
+    // k-th best (lower, id) pair from the reference by full sort.
+    std::vector<std::pair<Score, ItemId>> all;
+    for (const auto& [item, cand] : reference) {
+      all.push_back({reference_lower(cand), item});
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) {
+        return a.first > b.first;
+      }
+      return a.second < b.second;
+    });
+    if (reference.size() >= k) {
+      ASSERT_TRUE(pool.HeapFull());
+      EXPECT_DOUBLE_EQ(pool.KthLower(), all[k - 1].first) << "round " << round;
+      EXPECT_EQ(pool.KthItem(), all[k - 1].second) << "round " << round;
+      std::vector<ItemId> heap_items;
+      pool.AppendHeapItems(&heap_items);
+      ASSERT_EQ(heap_items.size(), k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(heap_items[i], all[i].second) << "rank " << i;
+      }
+    } else {
+      EXPECT_EQ(pool.heap_size(), reference.size());
+    }
+
+    // Erase every non-heap candidate (the pruning pattern of NRA/CA);
+    // membership and rows must stay consistent throughout.
+    for (uint32_t slot = 0; slot < pool.size();) {
+      if (pool.InHeap(slot)) {
+        ++slot;
+        continue;
+      }
+      pool.Erase(slot);
+    }
+    EXPECT_EQ(pool.size(), pool.heap_size());
+    for (size_t rank = 0; rank < pool.heap_size(); ++rank) {
+      const ItemId item = all[rank].second;
+      const uint32_t slot = pool.FindSlot(item);
+      ASSERT_NE(slot, CandidatePool::kNoSlot);
+      const auto& cand = reference.at(item);
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_DOUBLE_EQ(pool.row(slot)[i],
+                         cand.known[i] ? cand.scores[i] : floor);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

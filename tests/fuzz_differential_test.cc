@@ -1,13 +1,28 @@
 // Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
 //
-// Differential fuzzing: hundreds of small random databases with adversarial
-// properties (duplicate scores, constant lists, tiny n, extreme k, every
-// scorer) — every algorithm must return the naive scan's top-k score
-// multiset, and the BPA/TA dominance invariants must hold on every instance.
+// All-seven-algorithm differential harness. Hundreds of small randomized
+// databases — uniform/gaussian/correlated score distributions, optionally
+// quantized so that score ties and duplicates are everywhere, plus an
+// adversarial "nasty" family (constant lists, signed scores, tiny n) — are
+// run through every algorithm and compared against the naive full scan
+// *exactly*: identical item sequences under the deterministic (score desc,
+// item id asc) result order, not just identical score multisets. The grid
+// sweeps k ∈ {1, 2, n-1, n} and m ∈ {1, 2, 5} as the paper's degenerate
+// corners.
+//
+// On top of the differential, paper invariants are fuzzed:
+//  * TA/BPA threshold monotonicity (δ and λ never increase along a scan);
+//  * NRA bound soundness (the k-th lower bound never decreases, the unseen
+//    upper bound never increases, and the final k-th lower bound never
+//    exceeds the exact k-th score);
+//  * BPA dominance (Lemma 1/Theorem 2) and BPA2's no-reaccess Theorem 5.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,13 +32,58 @@
 namespace topk {
 namespace {
 
-// Random database with deliberately nasty score patterns.
+enum class Distribution { kUniform, kGaussian, kCorrelated };
+
+const char* Name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kGaussian:
+      return "gaussian";
+    case Distribution::kCorrelated:
+      return "correlated";
+  }
+  return "?";
+}
+
+// Random database of n items and m lists drawn from `dist`; when `ties` is
+// set, scores are quantized to a coarse grid so equal aggregate scores (and
+// equal local scores within and across lists) are the norm, not the
+// exception.
+Database MakeFuzzDatabase(Rng* rng, size_t n, size_t m, Distribution dist,
+                          bool ties) {
+  std::vector<std::vector<Score>> scores(n, std::vector<Score>(m));
+  std::vector<double> base(n);
+  for (auto& b : base) {
+    b = rng->NextDouble();
+  }
+  const double levels = 2.0 + static_cast<double>(rng->NextBounded(3));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      switch (dist) {
+        case Distribution::kUniform:
+          s = rng->NextDouble();
+          break;
+        case Distribution::kGaussian:
+          s = rng->NextGaussian(0.0, 2.0);
+          break;
+        case Distribution::kCorrelated:
+          s = 0.8 * base[i] + 0.2 * rng->NextDouble();
+          break;
+      }
+      scores[i][j] = ties ? std::round(s * levels) / levels : s;
+    }
+  }
+  return Database::FromScoreMatrix(scores).ValueOrDie();
+}
+
+// The adversarial family of the original harness: per-list styles mixing
+// continuous, heavily quantized, constant and signed scores.
 Database RandomNastyDatabase(Rng* rng) {
   const size_t n = 1 + rng->NextBounded(40);
   const size_t m = 1 + rng->NextBounded(6);
   std::vector<std::vector<Score>> scores(n, std::vector<Score>(m));
-  // Score "style" per list: continuous, heavily quantized (many ties),
-  // constant, or signed.
   for (size_t j = 0; j < m; ++j) {
     const uint64_t style = rng->NextBounded(4);
     for (size_t i = 0; i < n; ++i) {
@@ -54,47 +114,145 @@ double FloorOf(const Database& db) {
   return floor;
 }
 
+// Runs every algorithm on (db, k, scorer) and asserts the exact naive item
+// sequence and scores. `label` is appended to failure messages.
+void ExpectAllAlgorithmsExactlyMatchNaive(const Database& db, size_t k,
+                                          const Scorer& scorer,
+                                          const std::string& label) {
+  AlgorithmOptions options;
+  options.score_floor = FloorOf(db);
+  const TopKQuery query{k, &scorer};
+  const TopKResult naive = MakeAlgorithm(AlgorithmKind::kNaive, options)
+                               ->Execute(db, query)
+                               .ValueOrDie();
+  const std::vector<ItemId> want_items = naive.Items();
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    if (kind == AlgorithmKind::kTput && scorer.name() != "sum") {
+      continue;
+    }
+    const Result<TopKResult> result =
+        MakeAlgorithm(kind, options)->Execute(db, query);
+    ASSERT_TRUE(result.ok()) << ToString(kind) << " " << label << ": "
+                             << result.status().ToString();
+    const TopKResult& got = result.ValueUnsafe();
+    ASSERT_EQ(got.items.size(), want_items.size()) << ToString(kind);
+    for (size_t i = 0; i < want_items.size(); ++i) {
+      ASSERT_EQ(got.items[i].item, want_items[i])
+          << ToString(kind) << " rank " << i << " " << label
+          << " (exact item sequence, not just scores)";
+      ASSERT_NEAR(got.items[i].score, naive.items[i].score, 1e-9)
+          << ToString(kind) << " rank " << i << " " << label;
+    }
+  }
+}
+
 class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(FuzzDifferentialTest, AllAlgorithmsMatchNaive) {
+// The grid of the issue: three distributions x tie injection x m in
+// {1, 2, 5} x k in {1, 2, n-1, n}, exact item sequences for all seven.
+TEST_P(FuzzDifferentialTest, ExactResultSetsAcrossGrid) {
   Rng rng(GetParam());
-  std::vector<std::unique_ptr<Scorer>> scorers;
-  scorers.push_back(std::make_unique<SumScorer>());
-  scorers.push_back(std::make_unique<MinScorer>());
-  scorers.push_back(std::make_unique<MaxScorer>());
-  scorers.push_back(std::make_unique<AverageScorer>());
+  SumScorer sum;
+  MinScorer min;
+  AverageScorer average;
+  const Scorer* scorers[] = {&sum, &min, &average};
 
+  for (Distribution dist : {Distribution::kUniform, Distribution::kGaussian,
+                            Distribution::kCorrelated}) {
+    for (size_t m : {size_t{1}, size_t{2}, size_t{5}}) {
+      for (bool ties : {false, true}) {
+        const size_t n = 8 + rng.NextBounded(33);  // 8 .. 40
+        const Database db = MakeFuzzDatabase(&rng, n, m, dist, ties);
+        size_t ks[] = {1, 2, n - 1, n};
+        for (size_t k : ks) {
+          if (k < 1 || k > n) {
+            continue;
+          }
+          for (const Scorer* scorer : scorers) {
+            ExpectAllAlgorithmsExactlyMatchNaive(
+                db, k, *scorer,
+                std::string(Name(dist)) + (ties ? "+ties" : "") + " n=" +
+                    std::to_string(n) + " m=" + std::to_string(m) + " k=" +
+                    std::to_string(k) + " " + scorer->name());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FuzzDifferentialTest, ExactResultSetsOnNastyDatabases) {
+  Rng rng(GetParam() ^ 0x5eed);
+  SumScorer sum;
+  MinScorer min;
+  MaxScorer max;
+  AverageScorer average;
+  const Scorer* scorers[] = {&sum, &min, &max, &average};
   for (int round = 0; round < 25; ++round) {
     const Database db = RandomNastyDatabase(&rng);
     const size_t n = db.num_items();
     const size_t k = 1 + rng.NextBounded(n);  // anywhere in [1, n]
-    AlgorithmOptions options;
-    options.score_floor = FloorOf(db);
+    for (const Scorer* scorer : scorers) {
+      ExpectAllAlgorithmsExactlyMatchNaive(
+          db, k, *scorer,
+          "nasty n=" + std::to_string(n) + " m=" +
+              std::to_string(db.num_lists()) + " k=" + std::to_string(k) +
+              " " + scorer->name());
+    }
+  }
+}
 
-    for (const auto& scorer : scorers) {
-      const TopKQuery query{k, scorer.get()};
-      const std::vector<Score> want =
-          MakeAlgorithm(AlgorithmKind::kNaive, options)
-              ->Execute(db, query)
-              .ValueOrDie()
-              .Scores();
-      for (AlgorithmKind kind : AllAlgorithmKinds()) {
-        if (kind == AlgorithmKind::kTput && scorer->name() != "sum") {
-          continue;
-        }
-        const Result<TopKResult> result =
-            MakeAlgorithm(kind, options)->Execute(db, query);
-        ASSERT_TRUE(result.ok())
-            << ToString(kind) << " n=" << n << " k=" << k << " scorer "
-            << scorer->name() << ": " << result.status().ToString();
-        const std::vector<Score> got = result.ValueUnsafe().Scores();
-        ASSERT_EQ(got.size(), want.size()) << ToString(kind);
-        for (size_t i = 0; i < want.size(); ++i) {
-          ASSERT_NEAR(got[i], want[i], 1e-9)
-              << ToString(kind) << " rank " << i << " n=" << n << " k=" << k
-              << " m=" << db.num_lists() << " scorer " << scorer->name();
-        }
+TEST_P(FuzzDifferentialTest, TaAndBpaThresholdsAreMonotoneUnderFuzz) {
+  Rng rng(GetParam() ^ 0x7777);
+  SumScorer sum;
+  AlgorithmOptions options;
+  options.collect_trace = true;
+  for (int round = 0; round < 15; ++round) {
+    const Database db = RandomNastyDatabase(&rng);
+    options.score_floor = FloorOf(db);
+    const size_t k = 1 + rng.NextBounded(db.num_items());
+    for (AlgorithmKind kind : {AlgorithmKind::kTa, AlgorithmKind::kBpa}) {
+      const TopKResult result = MakeAlgorithm(kind, options)
+                                    ->Execute(db, TopKQuery{k, &sum})
+                                    .ValueOrDie();
+      for (size_t i = 1; i < result.trace.size(); ++i) {
+        ASSERT_LE(result.trace[i].threshold, result.trace[i - 1].threshold)
+            << ToString(kind) << " threshold rose at row " << i;
       }
+    }
+  }
+}
+
+TEST_P(FuzzDifferentialTest, NraBoundsAreSoundUnderFuzz) {
+  Rng rng(GetParam() ^ 0x4444);
+  SumScorer sum;
+  AlgorithmOptions options;
+  options.collect_trace = true;
+  for (int round = 0; round < 15; ++round) {
+    const Database db = RandomNastyDatabase(&rng);
+    options.score_floor = FloorOf(db);
+    const size_t k = 1 + rng.NextBounded(db.num_items());
+    const TopKResult result = MakeAlgorithm(AlgorithmKind::kNra, options)
+                                  ->Execute(db, TopKQuery{k, &sum})
+                                  .ValueOrDie();
+    ASSERT_FALSE(result.trace.empty());
+    for (size_t i = 1; i < result.trace.size(); ++i) {
+      // Unseen-item upper bound (f over the last seen row) never grows.
+      ASSERT_LE(result.trace[i].threshold, result.trace[i - 1].threshold)
+          << "NRA unseen upper bound rose at check " << i;
+      // The k-th best lower bound never shrinks once the heap is full.
+      if (!std::isnan(result.trace[i - 1].kth_score)) {
+        ASSERT_FALSE(std::isnan(result.trace[i].kth_score));
+        ASSERT_GE(result.trace[i].kth_score + 1e-12,
+                  result.trace[i - 1].kth_score)
+            << "NRA k-th lower bound shrank at check " << i;
+      }
+    }
+    // Lower bounds never overshoot the truth: the final k-th lower bound is
+    // at most the exact k-th overall score.
+    const StopRuleTrace& last = result.trace.back();
+    if (!std::isnan(last.kth_score)) {
+      ASSERT_LE(last.kth_score, result.items.back().score + 1e-9);
     }
   }
 }

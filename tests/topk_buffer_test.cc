@@ -70,14 +70,16 @@ TEST(TopKBufferTest, ReofferEvictedSameScoreStaysOut) {
   EXPECT_FALSE(buffer.Contains(2));
 }
 
-TEST(TopKBufferTest, HasKAtLeast) {
+TEST(TopKBufferTest, HasKAbove) {
   TopKBuffer buffer(2);
   buffer.Offer(0, 5.0);
-  EXPECT_FALSE(buffer.HasKAtLeast(1.0));  // not full yet
+  EXPECT_FALSE(buffer.HasKAbove(1.0));  // not full yet
   buffer.Offer(1, 4.0);
-  EXPECT_TRUE(buffer.HasKAtLeast(4.0));
-  EXPECT_TRUE(buffer.HasKAtLeast(3.9));
-  EXPECT_FALSE(buffer.HasKAtLeast(4.1));
+  EXPECT_TRUE(buffer.HasKAbove(3.9));
+  // Strict at the boundary: a tie at the k-th score does not stop (an
+  // unseen item tying it could precede a buffered item in id order).
+  EXPECT_FALSE(buffer.HasKAbove(4.0));
+  EXPECT_FALSE(buffer.HasKAbove(4.1));
 }
 
 TEST(TopKBufferTest, ToSortedItemsDescending) {

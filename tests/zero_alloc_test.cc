@@ -115,6 +115,51 @@ TEST(ZeroAllocTest, WarmedBpa2QueriesDoNotAllocate) {
   EXPECT_EQ(allocs, 0u);
 }
 
+TEST(ZeroAllocTest, WarmedFaQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kFa, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedNaiveQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kNaive, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+// The no-random-access family keeps its candidate state in the flat
+// CandidatePool of the ExecutionContext; once the pool (and its item->slot
+// table) has grown to the workload's candidate count, further queries touch
+// the allocator not at all.
+
+TEST(ZeroAllocTest, WarmedNraQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kNra, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedCaQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kCa, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedTputQueriesDoNotAllocate) {
+  bool all_ok = false;
+  const uint64_t allocs =
+      AllocationsPerWarmedLoop(AlgorithmKind::kTput, {}, 10, &all_ok);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(allocs, 0u);
+}
+
 TEST(ZeroAllocTest, HookCountsAllocations) {
   const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   auto* probe = new int(7);
