@@ -6,18 +6,28 @@
 // buffer, workload generators, and small end-to-end algorithm executions.
 //
 // Besides the google-benchmark suite, `bench_micro --json[=path]` runs the
-// batch throughput benchmark (uniform n=10k m=5 k=20) and emits the
-// measurements as JSON (default path: BENCH_PR2.json) to track the perf
-// trajectory. The BPA series is measured in two modes — a fresh
-// ExecutionContext per query (the pre-PR1 per-query allocation path) vs one
-// reused context — so the number stays comparable with BENCH_PR1.json; the
-// no-random-access family (NRA, CA, TPUT), whose candidate bookkeeping moved
-// into the flat CandidatePool in PR 2, is measured in the reused-context
-// (zero-allocation) mode.
+// batch throughput benchmark and emits the measurements as JSON (default
+// path: BENCH_PR3.json) to track the perf trajectory. The workload defaults
+// to the trajectory shape (uniform n=10k m=5 k=20, comparable with
+// BENCH_PR1/PR2.json) and is overridable with scenario flags:
+//
+//   --n=<items> --m=<lists> --k=<answers>
+//   --dist={uniform,gaussian,correlated}   score distribution
+//   --quick                                ~10x fewer queries (CI trajectory
+//                                          capture, not a stable measurement)
+//
+// The BPA series is measured in two modes — a fresh ExecutionContext per
+// query (the pre-PR1 per-query allocation path) vs one reused context — so
+// the number stays comparable with BENCH_PR1.json; the no-random-access
+// family (NRA, CA, TPUT), whose candidate bookkeeping lives in the flat
+// CandidatePool (PR 2) with the per-mask group index (PR 3), is measured in
+// the reused-context (zero-allocation) mode.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +35,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/algorithms.h"
+#include "core/candidate_bounds.h"
 #include "gen/database_generator.h"
 #include "lists/scorer.h"
 #include "tracker/best_position_tracker.h"
@@ -253,19 +264,57 @@ struct ThroughputSeries {
   bool measure_fresh; // fresh-vs-reused only for BPA (the PR 1 trajectory)
 };
 
-int RunThroughputMode(const std::string& json_path) {
-  const size_t n = 10000;
-  const size_t m = 5;
-  const size_t k = 20;
-  const Database db = MakeUniformDatabase(n, m, 11);
+// Workload scenario of the throughput mode, settable from the command line.
+struct ThroughputConfig {
+  size_t n = 10000;
+  size_t m = 5;
+  size_t k = 20;
+  std::string dist = "uniform";
+  bool quick = false;  // ~10x fewer queries: CI trajectory capture
+  std::string json_path = "BENCH_PR3.json";
+};
+
+int RunThroughputMode(const ThroughputConfig& config) {
+  const size_t n = config.n;
+  const size_t m = config.m;
+  const size_t k = config.k;
+  if (k == 0 || k > n || m == 0) {
+    std::fprintf(stderr, "invalid workload: n=%zu m=%zu k=%zu\n", n, m, k);
+    return 1;
+  }
+  if (config.dist != "uniform" && config.dist != "gaussian" &&
+      config.dist != "correlated") {
+    std::fprintf(stderr, "unknown --dist=%s (uniform|gaussian|correlated)\n",
+                 config.dist.c_str());
+    return 1;
+  }
+  const Database db = [&] {
+    if (config.dist == "gaussian") {
+      return MakeGaussianDatabase(n, m, 11);
+    }
+    if (config.dist == "correlated") {
+      CorrelatedConfig correlated;
+      correlated.n = n;
+      correlated.m = m;
+      correlated.alpha = 0.01;
+      correlated.seed = 11;
+      return MakeCorrelatedDatabase(correlated).ValueOrDie();
+    }
+    return MakeUniformDatabase(n, m, 11);
+  }();
+  // Gaussian (and in principle correlated) scores go negative; the pool
+  // algorithms need a floor no local score undercuts.
+  AlgorithmOptions options;
+  options.score_floor = DeriveScoreFloor(db);
   SumScorer sum;
   const TopKQuery query{k, &sum};
 
+  const int scale = config.quick ? 10 : 1;
   const ThroughputSeries series[] = {
-      {AlgorithmKind::kBpa, 1000, true},
-      {AlgorithmKind::kNra, 100, false},
-      {AlgorithmKind::kCa, 200, false},
-      {AlgorithmKind::kTput, 200, false},
+      {AlgorithmKind::kBpa, 1000 / scale, true},
+      {AlgorithmKind::kNra, 100 / scale, false},
+      {AlgorithmKind::kCa, 200 / scale, false},
+      {AlgorithmKind::kTput, 200 / scale, false},
   };
 
   std::string json;
@@ -273,16 +322,27 @@ int RunThroughputMode(const std::string& json_path) {
   json += "  \"benchmark\": \"batch_throughput\",\n";
   char line[1024];
   std::snprintf(line, sizeof(line),
-                "  \"workload\": {\"distribution\": \"uniform\", \"n\": %zu,"
-                " \"m\": %zu, \"k\": %zu},\n  \"series\": [\n",
-                n, m, k);
+                "  \"workload\": {\"distribution\": \"%s\", \"n\": %zu,"
+                " \"m\": %zu, \"k\": %zu, \"quick\": %s},\n  \"series\": [\n",
+                config.dist.c_str(), n, m, k,
+                config.quick ? "true" : "false");
   json += line;
 
   bool first = true;
   for (const ThroughputSeries& s : series) {
-    const auto algorithm = MakeAlgorithm(s.kind);
-    // Access counts are deterministic per query; probe them once.
-    const TopKResult probe = algorithm->Execute(db, query).ValueOrDie();
+    const auto algorithm = MakeAlgorithm(s.kind, options);
+    // Access counts are deterministic per query; probe them once. The probe
+    // also validates the scenario against the algorithm (e.g. the pool
+    // family's 64-list cap) so an unservable workload reports the status
+    // instead of aborting mid-measurement.
+    const auto probe_result = algorithm->Execute(db, query);
+    if (!probe_result.ok()) {
+      std::fprintf(stderr, "%s cannot serve this workload: %s\n",
+                   ToString(s.kind).c_str(),
+                   probe_result.status().ToString().c_str());
+      return 1;
+    }
+    const TopKResult& probe = probe_result.ValueOrDie();
 
     Score reused_checksum = 0.0;
     const double reused_ms =
@@ -333,11 +393,11 @@ int RunThroughputMode(const std::string& json_path) {
   json += "\n  ]\n}\n";
 
   std::fputs(json.c_str(), stdout);
-  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+  if (std::FILE* f = std::fopen(config.json_path.c_str(), "w")) {
     std::fputs(json.c_str(), f);
     std::fclose(f);
   } else {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
     return 1;
   }
   return 0;
@@ -347,14 +407,66 @@ int RunThroughputMode(const std::string& json_path) {
 }  // namespace topk
 
 int main(int argc, char** argv) {
+  topk::ThroughputConfig config;
+  bool throughput_mode = false;
+  bool scenario_flags_ok = true;
+  // Scenario flags accept both --flag=value and --flag value (a following
+  // token starting with "--" is another flag, not a value).
+  const auto value_of = [&](const std::string& arg, const char* name,
+                            int* i) -> const char* {
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return argv[*i] + prefix.size();
+    }
+    if (arg == name && *i + 1 < argc &&
+        std::string(argv[*i + 1]).rfind("--", 0) != 0) {
+      return argv[++*i];
+    }
+    return nullptr;
+  };
+  // Strict non-negative integer parse: trailing garbage or a sign makes the
+  // flag invalid instead of silently measuring a different workload.
+  const auto parse_size = [](const char* v, size_t* out) {
+    if (*v < '0' || *v > '9') {
+      return false;
+    }
+    char* end = nullptr;
+    *out = static_cast<size_t>(std::strtoull(v, &end, 10));
+    return end != v && *end == '\0';
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
-      return topk::RunThroughputMode("BENCH_PR2.json");
+      throughput_mode = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      throughput_mode = true;
+      config.json_path = arg.substr(7);
+    } else if (arg == "--quick") {
+      config.quick = true;
+    } else if (const char* v = value_of(arg, "--n", &i)) {
+      scenario_flags_ok &= parse_size(v, &config.n);
+    } else if (const char* v = value_of(arg, "--m", &i)) {
+      scenario_flags_ok &= parse_size(v, &config.m);
+    } else if (const char* v = value_of(arg, "--k", &i)) {
+      scenario_flags_ok &= parse_size(v, &config.k);
+    } else if (const char* v = value_of(arg, "--dist", &i)) {
+      config.dist = v;
+    } else {
+      // Not a scenario flag. In throughput mode that is an error (a typoed
+      // flag must not silently measure — and label — the default workload);
+      // outside it the argument belongs to google-benchmark.
+      scenario_flags_ok = false;
     }
-    if (arg.rfind("--json=", 0) == 0) {
-      return topk::RunThroughputMode(arg.substr(7));
+  }
+  if (throughput_mode) {
+    if (!scenario_flags_ok) {
+      std::fprintf(stderr,
+                   "unrecognized argument in --json mode; scenario flags: "
+                   "--n --m --k --dist {uniform,gaussian,correlated} "
+                   "--quick\n");
+      return 1;
     }
+    return topk::RunThroughputMode(config);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -17,7 +17,13 @@ namespace {
 
 // Templated on the access policy and the concrete scorer (like TA/BPA): the
 // default configuration — raw list reads, summation scoring — inlines the
-// row loop, the resolver and the bound computations over the pool's rows.
+// row loop and runs both the stop rule and the victim selection on the
+// pool's per-mask group index in O(#groups) instead of sweeping every
+// candidate. Sorted access is round-batched between resolution boundaries
+// (one block of rows per list per round), which is behavior-preserving: no
+// decision is taken mid-round and the pool state at a boundary is
+// order-independent. Non-summation scorers fall back to the per-candidate
+// sweeps (their bounds do not decompose per mask).
 template <typename IoT, typename ScorerT>
 Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
                  const TopKQuery& query, ExecutionContext* context, IoT io,
@@ -32,9 +38,15 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
   const Position resolve_every = static_cast<Position>(std::max(
       1.0, std::round(model.random_cost / std::max(1e-9, model.sorted_cost))));
 
-  CandidatePool& pool = context->PreparePool(m, query.k, options.score_floor);
+  // The group index serves only the summation stop rule and victim argmax;
+  // the generic-scorer fallback sweeps per candidate, so it skips the index
+  // maintenance.
+  CandidatePool& pool =
+      context->PreparePool(m, query.k, options.score_floor,
+                           /*eager_groups=*/std::is_same_v<ScorerT, SumScorer>);
   std::vector<Score>& last_scores = context->last_scores();
   std::vector<Score>& tmp = context->bound_scores();
+  const double margin = SummationErrorMargin(db, options.score_floor);
 
   // Fully resolves a candidate with charged random accesses; afterwards its
   // lower bound is its exact overall score.
@@ -51,15 +63,21 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
   std::vector<ItemId>& winners = context->ClearedItems();
   Position depth = 0;
   while (depth < n) {
-    ++depth;
+    // One round: a block of rows per list up to the next resolution/stop
+    // boundary (every h rows, plus the end of the lists).
+    const Position round_end =
+        std::min<Position>(depth + resolve_every, static_cast<Position>(n));
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = io.Sorted(i, depth);
-      last_scores[i] = entry.score;
-      const uint32_t slot = pool.FindOrInsert(entry.item);
-      if (pool.SetSeen(slot, i, entry.score)) {
-        pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
+      for (Position d = depth + 1; d <= round_end; ++d) {
+        const AccessedEntry entry = io.Sorted(i, d);
+        last_scores[i] = entry.score;
+        const uint32_t slot = pool.FindOrInsert(entry.item);
+        if (pool.SetSeen(slot, i, entry.score)) {
+          pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
+        }
       }
     }
+    depth = round_end;
 
     // Every h rows: fully resolve the unresolved candidate with the largest
     // upper bound (the one blocking the stop rule the hardest). Ties are
@@ -67,19 +85,24 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
     // answer — is deterministic.
     if (depth % resolve_every == 0) {
       uint32_t best_slot = CandidatePool::kNoSlot;
-      ItemId best_item = kInvalidItem;
-      Score best_upper = -std::numeric_limits<Score>::infinity();
-      for (uint32_t slot = 0; slot < pool.size(); ++slot) {
-        if (pool.fully_known(slot)) {
-          continue;
-        }
-        const Score upper =
-            PoolUpperBound(pool, slot, scorer, last_scores, tmp);
-        if (upper > best_upper ||
-            (upper == best_upper && pool.item_at(slot) < best_item)) {
-          best_upper = upper;
-          best_slot = slot;
-          best_item = pool.item_at(slot);
+      if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+        best_slot = GroupArgmaxUnresolved(pool, last_scores,
+                                          options.score_floor, margin);
+      } else {
+        ItemId best_item = kInvalidItem;
+        Score best_upper = -std::numeric_limits<Score>::infinity();
+        for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+          if (pool.fully_known(slot)) {
+            continue;
+          }
+          const Score upper =
+              PoolUpperBound(pool, slot, scorer, last_scores, tmp);
+          if (upper > best_upper ||
+              (upper == best_upper && pool.item_at(slot) < best_item)) {
+            best_upper = upper;
+            best_slot = slot;
+            best_item = pool.item_at(slot);
+          }
         }
       }
       if (best_slot != CandidatePool::kNoSlot) {
@@ -87,8 +110,7 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
       }
     }
 
-    // Stop rule (NRA-style, checked with the same cadence as the resolver to
-    // amortize the candidate sweep).
+    // Stop rule (NRA-style, checked with the same cadence as the resolver).
     if (depth % resolve_every != 0 && depth != n) {
       continue;
     }
@@ -96,12 +118,22 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
       continue;
     }
     // Strict against unseen items (unknown ids could win the deterministic
-    // tie-break); pruning and the id-aware blocking check against seen
-    // candidates are the shared sweep. See nra_algorithm.cc.
+    // tie-break); the id-aware blocking check against seen candidates is the
+    // group walk (summation) or the fallback sweep. See nra_algorithm.cc.
     bool can_stop =
         pool.KthLower() > scorer.Combine(last_scores.data(), m) || depth == n;
-    if (PruneAndFindBlocker(pool, scorer, last_scores, tmp)) {
-      can_stop = false;
+    if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+      // Unlike NRA, the check must also reproduce the sweep's pruning: the
+      // victim selection above ranges over the surviving pool, so erasures
+      // are part of CA's observable access pattern.
+      if (GroupPruneAndFindBlocker(pool, last_scores, options.score_floor,
+                                   margin, context->ClearedSlots())) {
+        can_stop = false;
+      }
+    } else {
+      if (PruneAndFindBlocker(pool, scorer, last_scores, tmp)) {
+        can_stop = false;
+      }
     }
     if (can_stop) {
       pool.AppendHeapItems(&winners);

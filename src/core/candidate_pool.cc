@@ -17,27 +17,48 @@ inline size_t HashItem(ItemId item) {
   return h;
 }
 
-constexpr size_t kInitialTableSize = 1024;  // power of two
+// splitmix64 finalizer over a seen mask (masks differ in few bits; the
+// finalizer spreads them over the whole table).
+inline size_t HashMask(uint64_t mask) {
+  mask ^= mask >> 30;
+  mask *= 0xbf58476d1ce4e5b9ull;
+  mask ^= mask >> 27;
+  mask *= 0x94d049bb133111ebull;
+  mask ^= mask >> 31;
+  return static_cast<size_t>(mask);
+}
+
+constexpr size_t kInitialTableSize = 1024;      // power of two
+constexpr size_t kInitialMaskTableSize = 128;   // power of two
 
 }  // namespace
 
-void CandidatePool::Reset(size_t m, size_t k, Score floor) {
+void CandidatePool::Reset(size_t m, size_t k, Score floor, bool eager_groups) {
   assert(m >= 1 && m <= kMaxLists);
   m_ = m;
   k_ = k;
   floor_ = floor;
+  eager_groups_ = eager_groups;
   size_ = 0;
   heap_.clear();
+  num_groups_ = 0;
   if (table_items_.empty()) {
     table_items_.resize(kInitialTableSize, kInvalidItem);
     table_slots_.resize(kInitialTableSize, kNoSlot);
     table_stamps_.resize(kInitialTableSize, 0);
     table_mask_ = kInitialTableSize - 1;
   }
+  if (mask_table_masks_.empty()) {
+    mask_table_masks_.resize(kInitialMaskTableSize, 0);
+    mask_table_groups_.resize(kInitialMaskTableSize, kNoGroup);
+    mask_table_stamps_.resize(kInitialMaskTableSize, 0);
+    mask_table_mask_ = kInitialMaskTableSize - 1;
+  }
   // Epoch 0 is reserved as "never valid"; on wrap fall back to one eager
   // clear (every 2^32 - 1 resets).
   if (++epoch_ == 0) {
     std::fill(table_stamps_.begin(), table_stamps_.end(), 0u);
+    std::fill(mask_table_stamps_.begin(), mask_table_stamps_.end(), 0u);
     epoch_ = 1;
   }
 }
@@ -116,6 +137,8 @@ uint32_t CandidatePool::FindOrInsert(ItemId item) {
     known_.resize(grown);
     lowers_.resize(grown);
     heap_pos_.resize(grown);
+    group_of_.resize(grown);
+    group_pos_.resize(grown);
   }
   if (rows_.size() < static_cast<size_t>(size_) * m_) {
     rows_.resize(std::max(rows_.size() * 2, static_cast<size_t>(size_) * m_));
@@ -125,6 +148,7 @@ uint32_t CandidatePool::FindOrInsert(ItemId item) {
   known_[slot] = 0;
   lowers_[slot] = -std::numeric_limits<Score>::infinity();
   heap_pos_[slot] = kNoSlot;
+  group_of_[slot] = kNoGroup;
   std::fill_n(&rows_[static_cast<size_t>(slot) * m_], m_, floor_);
   TableInsert(item, slot);
   return slot;
@@ -170,9 +194,131 @@ void CandidatePool::SiftDown(size_t pos) {
   heap_pos_[slot] = static_cast<uint32_t>(pos);
 }
 
+// --- mask groups ---
+
+void CandidatePool::MaskTableGrow() {
+  const size_t new_size = mask_table_masks_.size() * 2;
+  mask_table_masks_.assign(new_size, 0);
+  mask_table_groups_.assign(new_size, kNoGroup);
+  mask_table_stamps_.assign(new_size, 0);
+  mask_table_mask_ = new_size - 1;
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    size_t cell = HashMask(groups_[g].mask) & mask_table_mask_;
+    while (mask_table_stamps_[cell] == epoch_) {
+      cell = (cell + 1) & mask_table_mask_;
+    }
+    mask_table_masks_[cell] = groups_[g].mask;
+    mask_table_groups_[cell] = g;
+    mask_table_stamps_[cell] = epoch_;
+  }
+}
+
+uint32_t CandidatePool::FindOrCreateGroup(uint64_t mask) {
+  size_t cell = HashMask(mask) & mask_table_mask_;
+  while (mask_table_stamps_[cell] == epoch_) {
+    if (mask_table_masks_[cell] == mask) {
+      return mask_table_groups_[cell];
+    }
+    cell = (cell + 1) & mask_table_mask_;
+  }
+  if (2 * (num_groups_ + 1) > mask_table_masks_.size()) {
+    MaskTableGrow();
+    cell = HashMask(mask) & mask_table_mask_;
+    while (mask_table_stamps_[cell] == epoch_) {
+      cell = (cell + 1) & mask_table_mask_;
+    }
+  }
+  const uint32_t g = static_cast<uint32_t>(num_groups_++);
+  if (g == groups_.size()) {
+    groups_.emplace_back();
+  }
+  groups_[g].mask = mask;
+  groups_[g].members.clear();
+  mask_table_masks_[cell] = mask;
+  mask_table_groups_[cell] = g;
+  mask_table_stamps_[cell] = epoch_;
+  return g;
+}
+
+void CandidatePool::GroupSiftUp(Group& group, size_t pos) {
+  std::vector<uint32_t>& members = group.members;
+  const uint32_t slot = members[pos];
+  const Key key = KeyOf(slot);
+  // Strongest at the root: a member rises while it beats its parent.
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!Weaker(KeyOf(members[parent]), key)) {
+      break;
+    }
+    members[pos] = members[parent];
+    group_pos_[members[pos]] = static_cast<uint32_t>(pos);
+    pos = parent;
+  }
+  members[pos] = slot;
+  group_pos_[slot] = static_cast<uint32_t>(pos);
+}
+
+void CandidatePool::GroupSiftDown(Group& group, size_t pos) {
+  std::vector<uint32_t>& members = group.members;
+  const size_t count = members.size();
+  const uint32_t slot = members[pos];
+  const Key key = KeyOf(slot);
+  for (;;) {
+    size_t child = 2 * pos + 1;
+    if (child >= count) {
+      break;
+    }
+    if (child + 1 < count &&
+        Weaker(KeyOf(members[child]), KeyOf(members[child + 1]))) {
+      ++child;
+    }
+    if (!Weaker(key, KeyOf(members[child]))) {
+      break;
+    }
+    members[pos] = members[child];
+    group_pos_[members[pos]] = static_cast<uint32_t>(pos);
+    pos = child;
+  }
+  members[pos] = slot;
+  group_pos_[slot] = static_cast<uint32_t>(pos);
+}
+
+void CandidatePool::GroupInsert(uint32_t slot) {
+  assert(group_of_[slot] == kNoGroup && !InHeap(slot));
+  const uint32_t g = FindOrCreateGroup(masks_[slot]);
+  Group& group = groups_[g];
+  group_of_[slot] = g;
+  group_pos_[slot] = static_cast<uint32_t>(group.members.size());
+  group.members.push_back(slot);
+  GroupSiftUp(group, group.members.size() - 1);
+}
+
+void CandidatePool::GroupRemove(uint32_t slot) {
+  const uint32_t g = group_of_[slot];
+  assert(g != kNoGroup);
+  Group& group = groups_[g];
+  const size_t pos = group_pos_[slot];
+  group_of_[slot] = kNoGroup;
+  const uint32_t last = group.members.back();
+  group.members.pop_back();
+  if (last == slot) {
+    return;
+  }
+  group.members[pos] = last;
+  group_pos_[last] = static_cast<uint32_t>(pos);
+  // The filler may be stronger or weaker than the hole's old occupant.
+  GroupSiftUp(group, pos);
+  GroupSiftDown(group, group_pos_[last]);
+}
+
 void CandidatePool::OfferLower(uint32_t slot, Score lower) {
   assert(slot < size_);
   assert(lower >= lowers_[slot]);  // knowledge only accumulates
+  // Deregister under the stale key before the bound (and thus the heap key)
+  // changes; the slot is re-registered below unless it enters the heap.
+  if (group_of_[slot] != kNoGroup) {
+    GroupRemove(slot);
+  }
   lowers_[slot] = lower;
   const uint32_t pos = heap_pos_[slot];
   if (pos != kNoSlot) {
@@ -187,6 +333,9 @@ void CandidatePool::OfferLower(uint32_t slot, Score lower) {
     return;
   }
   if (k_ == 0) {
+    if (eager_groups_) {
+      GroupInsert(slot);
+    }
     return;
   }
   const uint32_t weakest = heap_.front();
@@ -195,6 +344,23 @@ void CandidatePool::OfferLower(uint32_t slot, Score lower) {
     heap_[0] = slot;
     heap_pos_[slot] = 0;
     SiftDown(0);
+    if (eager_groups_) {
+      // The displaced member leaves the answer set and becomes a regular
+      // group-indexed candidate again.
+      GroupInsert(weakest);
+    }
+    return;
+  }
+  if (eager_groups_) {
+    GroupInsert(slot);
+  }
+}
+
+void CandidatePool::BuildGroups() {
+  for (uint32_t slot = 0; slot < size_; ++slot) {
+    if (!InHeap(slot) && group_of_[slot] == kNoGroup) {
+      GroupInsert(slot);
+    }
   }
 }
 
@@ -213,6 +379,9 @@ void CandidatePool::AppendHeapItems(std::vector<ItemId>* out) const {
 void CandidatePool::Erase(uint32_t slot) {
   assert(slot < size_);
   assert(!InHeap(slot));
+  if (group_of_[slot] != kNoGroup) {
+    GroupRemove(slot);
+  }
   TableErase(items_[slot]);
   const uint32_t last = static_cast<uint32_t>(--size_);
   if (slot == last) {
@@ -227,6 +396,11 @@ void CandidatePool::Erase(uint32_t slot) {
   heap_pos_[slot] = heap_pos_[last];
   if (heap_pos_[slot] != kNoSlot) {
     heap_[heap_pos_[slot]] = slot;
+  }
+  group_of_[slot] = group_of_[last];
+  group_pos_[slot] = group_pos_[last];
+  if (group_of_[slot] != kNoGroup) {
+    groups_[group_of_[slot]].members[group_pos_[slot]] = slot;
   }
   // Retarget the moved item's index cell at its new slot.
   table_slots_[TableProbe(items_[slot])] = slot;

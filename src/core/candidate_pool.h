@@ -12,13 +12,32 @@
 // storage is retained across queries and only ever grows, so a warmed pool
 // serves an unbounded query stream without touching the heap allocator.
 //
-// On top of the store sits an intrusive threshold heap: the k best candidates
-// ordered by (lower bound, item id) — the paper's "k-th best lower bound"
-// that NRA's stopping rule and CA/TPUT's phase thresholds (τ1, τ2) are
-// evaluated against. Lower bounds only grow as knowledge accumulates, so the
-// heap is maintained incrementally (O(log k) per update via the slot→heap
-// position backlink) instead of being rebuilt from a comparator set on every
-// stop-rule check, which is what the seed's scratch-buffer rebuild did.
+// On top of the store sit two index structures:
+//
+//  1. An intrusive threshold heap: the k best candidates ordered by
+//     (lower bound, item id) — the paper's "k-th best lower bound" that NRA's
+//     stopping rule and CA/TPUT's phase thresholds (τ1, τ2) are evaluated
+//     against. Lower bounds only grow as knowledge accumulates, so the heap
+//     is maintained incrementally (O(log k) per update via the slot→heap
+//     position backlink) instead of being rebuilt per stop-rule check.
+//
+//  2. A per-mask group index over every candidate *outside* the threshold
+//     heap. Fagin et al.'s NRA bound decomposition says a candidate's upper
+//     bound is its lower bound plus the current depth scores of its unseen
+//     lists — a function of the candidate's seen mask alone (for summation
+//     scoring). Grouping candidates by mask therefore turns the stop-rule
+//     sweep ("does any candidate still block?") and CA's victim selection
+//     ("which unresolved candidate has the largest upper bound?") from
+//     O(pool size) scans into O(#distinct masks) scans: each group maintains
+//     an eagerly-compacted max-heap of its members keyed by the immutable
+//     (lower bound, item id) pair — immutable because a candidate's lower
+//     bound changes exactly when its mask changes, which moves it to another
+//     group — whose root majorizes the whole group's upper bounds. Candidates
+//     move between groups on SetSeen/OfferLower/Erase in O(log group size).
+//     Threshold-heap members are deliberately absent from the groups: they
+//     are the current answer and never block the stop rule; callers that
+//     need them (CA's victim selection, TPUT's phase 3) scan the ≤ k heap
+//     slots directly.
 //
 // Tie-breaking is deterministic everywhere: on equal lower bounds the smaller
 // item id is the stronger candidate, matching TopKBuffer and the library-wide
@@ -43,12 +62,26 @@ class CandidatePool {
  public:
   static constexpr size_t kMaxLists = 64;
   static constexpr uint32_t kNoSlot = UINT32_MAX;
+  static constexpr uint32_t kNoGroup = UINT32_MAX;
 
   /// Forgets all candidates and reconfigures for a query over `m` lists with
   /// a threshold heap of size `k`; `floor` pre-fills unknown score cells (the
   /// paper's lower-bound contribution for unseen lists). O(1) amortized: the
-  /// item→slot index is invalidated by an epoch bump, not cleared.
-  void Reset(size_t m, size_t k, Score floor);
+  /// item→slot and mask→group indexes are invalidated by an epoch bump, not
+  /// cleared.
+  ///
+  /// `eager_groups` selects when the group index is maintained: eagerly on
+  /// every OfferLower (NRA/CA, whose checks run against the groups every few
+  /// rows) or deferred until one explicit BuildGroups() call (TPUT, which
+  /// consults the groups exactly once, for its phase-3 τ2 filter — paying
+  /// per-access re-registration for an index read once is a net loss).
+  void Reset(size_t m, size_t k, Score floor, bool eager_groups = true);
+
+  /// Registers every candidate outside the threshold heap in the group of
+  /// its current mask (O(size) total). The one-shot complement of
+  /// Reset(..., /*eager_groups=*/false); idempotent for already-registered
+  /// candidates.
+  void BuildGroups();
 
   /// Number of live candidates. Slots are dense: 0 .. size()-1.
   size_t size() const { return size_; }
@@ -61,18 +94,24 @@ class CandidatePool {
   uint32_t FindSlot(ItemId item) const;
 
   /// Slot of `item`, inserting a fresh candidate (floor-filled row, empty
-  /// mask, lower bound -inf, not in the heap) if absent.
+  /// mask, lower bound -inf, in neither the heap nor any group) if absent.
   uint32_t FindOrInsert(ItemId item);
 
   /// Records list `list_index`'s local score of the candidate. Returns true
   /// if the list was newly seen (mask bit set now), false if it was already
   /// known (the score is left untouched — local scores are deterministic, so
-  /// a re-record carries the same value).
+  /// a re-record carries the same value). A newly-seen list changes the
+  /// candidate's mask, so it is deregistered from its group; the caller must
+  /// publish the updated bound with OfferLower once the burst of SetSeen
+  /// calls for this candidate is done (re-grouping it under the new mask).
   bool SetSeen(uint32_t slot, size_t list_index, Score score) {
     assert(slot < size_ && list_index < m_);
     const uint64_t bit = uint64_t{1} << list_index;
     if (masks_[slot] & bit) {
       return false;
+    }
+    if (group_of_[slot] != kNoGroup) {
+      GroupRemove(slot);
     }
     masks_[slot] |= bit;
     rows_[static_cast<size_t>(slot) * m_ + list_index] = score;
@@ -96,7 +135,9 @@ class CandidatePool {
   /// Publishes the candidate's current lower bound. Bounds must be
   /// non-decreasing per slot (knowledge only accumulates); the heap is
   /// updated in O(log k): sift if the slot is a member, replace the weakest
-  /// member if the new bound beats it, no-op otherwise.
+  /// member if the new bound beats it, no-op otherwise. The candidate ends up
+  /// either in the heap or registered in the group of its current mask, and a
+  /// member it displaces moves from the heap into its own mask's group.
   void OfferLower(uint32_t slot, Score lower);
 
   /// Number of heap members (<= k).
@@ -116,6 +157,11 @@ class CandidatePool {
 
   bool InHeap(uint32_t slot) const { return heap_pos_[slot] != kNoSlot; }
 
+  /// The heap members' slots in heap order (callers that need the ≤ k
+  /// current-answer candidates — CA's victim selection, TPUT's phase 3 —
+  /// scan this directly; heap members are not in any group).
+  const std::vector<uint32_t>& heap_slots() const { return heap_; }
+
   Score lower(uint32_t slot) const { return lowers_[slot]; }
 
   /// Appends the heap members' items ordered by (lower bound desc, item id
@@ -126,6 +172,29 @@ class CandidatePool {
   /// last slot is moved into the hole, so iteration by ascending slot must
   /// re-examine `slot` after an erase.
   void Erase(uint32_t slot);
+
+  // --- per-mask group index (candidates outside the threshold heap) ---
+
+  /// Number of mask groups materialized this query (groups whose members all
+  /// left stay allocated with an empty member heap until the next Reset).
+  size_t num_groups() const { return num_groups_; }
+
+  /// Seen mask shared by every member of group `g`.
+  uint64_t group_mask(size_t g) const { return groups_[g].mask; }
+
+  /// The group's member slots as a binary max-heap ordered by
+  /// (lower bound desc, item id asc): members[0] is the group's strongest
+  /// candidate, and every subtree root majorizes its descendants — callers
+  /// walk it top-down and prune whole subtrees against a bound threshold.
+  /// Compaction is eager (members leave in O(log size) when their mask
+  /// changes or they enter the threshold heap), so every entry is live.
+  const std::vector<uint32_t>& group_members(size_t g) const {
+    return groups_[g].members;
+  }
+
+  /// Group the slot is registered in, or kNoGroup for threshold-heap members
+  /// and candidates whose OfferLower is still pending after SetSeen.
+  uint32_t group_of(uint32_t slot) const { return group_of_[slot]; }
 
  private:
   struct Key {
@@ -150,9 +219,31 @@ class CandidatePool {
   void TableErase(ItemId item);
   void TableGrow();
 
+  // One per-mask candidate group: the member slots form a strongest-at-root
+  // binary heap under (lower, item id). Storage is retained across queries.
+  struct Group {
+    uint64_t mask = 0;
+    std::vector<uint32_t> members;
+  };
+
+  /// Index of the group for `mask`, materializing it if needed.
+  uint32_t FindOrCreateGroup(uint64_t mask);
+
+  /// Registers the slot (not in any group, not in the heap) in the group of
+  /// its current mask under its current (lower, item) key.
+  void GroupInsert(uint32_t slot);
+
+  /// Deregisters the slot from its group in O(log group size).
+  void GroupRemove(uint32_t slot);
+
+  void GroupSiftUp(Group& group, size_t pos);
+  void GroupSiftDown(Group& group, size_t pos);
+  void MaskTableGrow();
+
   size_t m_ = 0;
   size_t k_ = 0;
   Score floor_ = 0.0;
+  bool eager_groups_ = true;
   size_t size_ = 0;
 
   // SoA candidate store, indexed by slot < size_.
@@ -162,6 +253,8 @@ class CandidatePool {
   std::vector<Score> lowers_;
   std::vector<Score> rows_;        // size_ * m_, strided by m_
   std::vector<uint32_t> heap_pos_;  // slot -> heap index, kNoSlot if outside
+  std::vector<uint32_t> group_of_;  // slot -> group index, kNoGroup if none
+  std::vector<uint32_t> group_pos_;  // slot -> index in its group's heap
 
   // Open-addressing item→slot index; a cell is live iff its stamp equals the
   // current epoch, so Reset never touches the table.
@@ -174,6 +267,15 @@ class CandidatePool {
   // Min-heap of slots: front = weakest of the k best (lower, item) pairs.
   std::vector<uint32_t> heap_;
   mutable std::vector<Key> emit_scratch_;  // for sorted emission
+
+  // Mask groups: dense array of the groups materialized this query plus an
+  // epoch-stamped open-addressing mask→group index.
+  std::vector<Group> groups_;
+  size_t num_groups_ = 0;
+  std::vector<uint64_t> mask_table_masks_;
+  std::vector<uint32_t> mask_table_groups_;
+  std::vector<uint32_t> mask_table_stamps_;
+  size_t mask_table_mask_ = 0;
 };
 
 }  // namespace topk

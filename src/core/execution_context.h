@@ -110,8 +110,12 @@ class ExecutionContext {
   /// The flat candidate pool of the no-random-access family (NRA/CA/TPUT),
   /// reset for a query of `k` over `m` lists with the given score floor.
   /// O(1) reset via epoch stamping; storage is retained across queries.
-  CandidatePool& PreparePool(size_t m, size_t k, Score floor) {
-    pool_.Reset(m, k, floor);
+  /// `eager_groups` picks the pool's per-mask group index maintenance mode
+  /// (see CandidatePool::Reset): eager for the repeated stop checks of
+  /// NRA/CA, deferred-to-BuildGroups for TPUT's single phase-3 filter.
+  CandidatePool& PreparePool(size_t m, size_t k, Score floor,
+                             bool eager_groups = true) {
+    pool_.Reset(m, k, floor, eager_groups);
     return pool_;
   }
 
@@ -145,6 +149,14 @@ class ExecutionContext {
     return position_scratch_;
   }
 
+  /// Emptied (capacity-retaining) generic 32-bit scratch. TPUT collects its
+  /// phase-3 survivor slots here; CA collects prune-victim item ids (ItemId
+  /// aliases uint32_t — if item ids ever widen, CA needs its own scratch).
+  std::vector<uint32_t>& ClearedSlots() {
+    slot_scratch_.clear();
+    return slot_scratch_;
+  }
+
  private:
   AccessEngine engine_;
   TopKBuffer buffer_;
@@ -168,6 +180,7 @@ class ExecutionContext {
   std::vector<uint16_t> counts_;
   std::vector<ItemId> item_scratch_;
   std::vector<Position> position_scratch_;
+  std::vector<uint32_t> slot_scratch_;
 };
 
 }  // namespace topk

@@ -2,6 +2,7 @@
 
 #include "core/nra_algorithm.h"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -13,14 +14,23 @@ namespace topk {
 
 namespace {
 
-// Stop-rule evaluation is O(#candidates); amortize it by evaluating every
-// kCheckInterval rows (correct — checking less often can only delay the
-// stop, never produce a wrong answer).
+// Stop-rule cadence: the rule is evaluated every kCheckInterval rows
+// (correct — checking less often can only delay the stop, never produce a
+// wrong answer). Sorted access is round-batched on the same cadence: each
+// round reads a block of kCheckInterval rows per list, which keeps one list's
+// entries (and its cursor state) hot instead of touching all m lists per row.
+// The pool state at a round boundary is identical to the row-major order's —
+// the same (list, depth) prefix has been recorded and the threshold heap's
+// membership is order-independent — so stop positions and access counts are
+// unchanged.
 constexpr Position kCheckInterval = 8;
 
 // Templated on the access policy and the concrete scorer (like TA/BPA): the
 // default configuration — raw list reads, summation scoring — inlines the
-// whole row loop and the bound computations over the pool's flat rows.
+// whole row loop and evaluates the stop rule on the pool's per-mask group
+// index in O(#groups) instead of sweeping every candidate. Non-summation
+// scorers fall back to the per-candidate sweep (their bounds do not decompose
+// per mask).
 template <typename IoT, typename ScorerT>
 Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
                   const TopKQuery& query, ExecutionContext* context, IoT io,
@@ -29,28 +39,35 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
   const size_t m = db.num_lists();
   const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
-  CandidatePool& pool = context->PreparePool(m, query.k, options.score_floor);
+  // The group index serves only the summation stop rule; the generic-scorer
+  // fallback sweeps per candidate, so it skips the index maintenance.
+  CandidatePool& pool =
+      context->PreparePool(m, query.k, options.score_floor,
+                           /*eager_groups=*/std::is_same_v<ScorerT, SumScorer>);
   std::vector<Score>& last_scores = context->last_scores();
   std::vector<Score>& tmp = context->bound_scores();
+  const double margin = SummationErrorMargin(db, options.score_floor);
 
   std::vector<ItemId>& winners = context->ClearedItems();
   Position depth = 0;
   while (depth < n) {
-    ++depth;
+    const Position round_end =
+        std::min<Position>(depth + kCheckInterval, static_cast<Position>(n));
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = io.Sorted(i, depth);
-      last_scores[i] = entry.score;
-      const uint32_t slot = pool.FindOrInsert(entry.item);
-      if (pool.SetSeen(slot, i, entry.score)) {
-        // The row's unknown cells hold the floor, so combining it is the
-        // lower bound; bounds only grow, so the threshold heap updates
-        // incrementally instead of being rebuilt per check.
-        pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
+      for (Position d = depth + 1; d <= round_end; ++d) {
+        const AccessedEntry entry = io.Sorted(i, d);
+        last_scores[i] = entry.score;
+        const uint32_t slot = pool.FindOrInsert(entry.item);
+        if (pool.SetSeen(slot, i, entry.score)) {
+          // The row's unknown cells hold the floor, so combining it is the
+          // lower bound; bounds only grow, so the threshold heap and the
+          // group index update incrementally instead of being rebuilt per
+          // check.
+          pool.OfferLower(slot, scorer.Combine(pool.row(slot), m));
+        }
       }
     }
-    if (depth % kCheckInterval != 0 && depth != n) {
-      continue;
-    }
+    depth = round_end;
 
     const Score unseen_upper = scorer.Combine(last_scores.data(), m);
     if (options.collect_trace) {
@@ -66,12 +83,29 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
     // Unseen items are bounded by the row threshold. Their ids are unknown,
     // so a tie could still displace the k-th buffered (score, id) pair —
     // the stop requires a strictly larger k-th lower bound (or a complete
-    // scan, after which nothing is unseen). Seen candidates are pruned and
-    // checked id-aware by the shared sweep. This keeps the returned set
-    // exactly the deterministic (score desc, item id asc) top-k.
+    // scan, after which nothing is unseen). Seen candidates are checked
+    // id-aware: the group walk (summation) and the fallback sweep both block
+    // on any candidate whose (upper bound, id) still beats the weakest heap
+    // member. This keeps the returned set exactly the deterministic
+    // (score desc, item id asc) top-k.
     bool can_stop = pool.KthLower() > unseen_upper || depth == n;
-    if (PruneAndFindBlocker(pool, scorer, last_scores, tmp)) {
-      can_stop = false;
+    if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+      // Deliberate trade vs the old sweep: disqualified candidates are never
+      // erased (the group walk just skips their subtrees), so the pool grows
+      // to every distinct seen item for the life of the query. Erasure is
+      // observably a no-op for NRA — a re-seen erased candidate re-enters
+      // with weaker knowledge and a provably sub-threshold bound — and
+      // skipping it keeps the walk side-effect-free and early-exitable; the
+      // memory trade is tracked in ROADMAP.md. The walk itself only runs
+      // when the cheap threshold tests pass.
+      if (can_stop &&
+          GroupFindBlocker(pool, last_scores, options.score_floor, margin)) {
+        can_stop = false;
+      }
+    } else {
+      if (PruneAndFindBlocker(pool, scorer, last_scores, tmp)) {
+        can_stop = false;
+      }
     }
     if (can_stop) {
       pool.AppendHeapItems(&winners);

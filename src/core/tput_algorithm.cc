@@ -16,7 +16,12 @@ namespace {
 
 // Templated on the access policy (TPUT is summation-only, so there is no
 // scorer dispatch): the default raw-list configuration inlines all three
-// phases' access loops over the pool's flat rows.
+// phases' access loops over the pool's flat rows. Phase 3's τ2 filter runs
+// on the pool's per-mask group index: whole groups whose margined best upper
+// bound falls below τ2 are skipped without touching their members, and the
+// members that survive the margined walk face the exact same interleaved
+// bound the full sweep used — survivors, and therefore random-access counts,
+// are unchanged.
 template <typename IoT>
 Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
                    const TopKQuery& query, ExecutionContext* context, IoT io,
@@ -27,8 +32,11 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
 
   // Lower bounds (partial sums with floor-filled gaps) feed the pool's
   // threshold heap, whose k-th entry is exactly τ1/τ2 — no comparator set is
-  // rebuilt between phases.
-  CandidatePool& pool = context->PreparePool(m, query.k, floor);
+  // rebuilt between phases. The group index is deferred (eager_groups off):
+  // phases 1 and 2 never consult it, so it is built exactly once, right
+  // before the phase-3 walk, instead of being re-maintained on every access.
+  CandidatePool& pool =
+      context->PreparePool(m, query.k, floor, /*eager_groups=*/false);
   const auto record = [&](size_t list_index, const AccessedEntry& entry) {
     const uint32_t slot = pool.FindOrInsert(entry.item);
     if (pool.SetSeen(slot, list_index, entry.score)) {
@@ -41,12 +49,12 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
     }
   };
 
-  // ---- Phase 1: top-k prefix of every list. ----
-  Position depth = 0;
-  for (Position p = 0; p < query.k && p < n; ++p) {
-    ++depth;
-    for (size_t i = 0; i < m; ++i) {
-      record(i, io.Sorted(i, depth));
+  // ---- Phase 1: top-k prefix of every list, read one list at a time. ----
+  Position depth = std::min<Position>(static_cast<Position>(query.k),
+                                      static_cast<Position>(n));
+  for (size_t i = 0; i < m; ++i) {
+    for (Position p = 1; p <= depth; ++p) {
+      record(i, io.Sorted(i, p));
     }
   }
   // Phase 1 sees >= k distinct items (k rows of one list are distinct), so
@@ -82,18 +90,46 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
   // still belong to the deterministic top-k); items seen in no list at all
   // sum to strictly less than m * (τ1/m) = τ1 <= τ2, so the surviving
   // candidates contain the exact (score desc, item id asc) top-k.
+  //
+  // Folding the threshold ceiling into a capped copy of the depth scores
+  // reduces the phase-3 bound to the shared SumUpperBound/GroupUnseenDelta
+  // arithmetic — one summation for every parity-sensitive call site.
+  std::vector<Score>& capped_scores = context->bound_scores();
+  for (size_t i = 0; i < m; ++i) {
+    capped_scores[i] = std::min(last_scores[i], threshold);
+  }
+  pool.BuildGroups();
+  std::vector<uint32_t>& survivors = context->ClearedSlots();
+  for (uint32_t slot : pool.heap_slots()) {
+    if (SumUpperBound(pool, slot, capped_scores) >= tau2) {
+      survivors.push_back(slot);
+    }
+  }
+  const double margin = SummationErrorMargin(db, floor);
+  for (size_t g = 0; g < pool.num_groups(); ++g) {
+    const std::vector<uint32_t>& members = pool.group_members(g);
+    if (members.empty()) {
+      continue;
+    }
+    const Score delta =
+        GroupUnseenDelta(pool.group_mask(g), m, capped_scores, floor);
+    WalkGroupMembers(members, 0, [&](size_t /*pos*/, uint32_t slot) {
+      if (pool.lower(slot) + delta < tau2 - margin) {
+        // Every descendant is below τ2 as well.
+        return GroupWalkAction::kSkipSubtree;
+      }
+      if (SumUpperBound(pool, slot, capped_scores) >= tau2) {
+        survivors.push_back(slot);
+      }
+      return GroupWalkAction::kDescend;
+    });
+  }
+
   TopKBuffer& buffer = context->buffer();
-  for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+  for (uint32_t slot : survivors) {
+    const ItemId item = pool.item_at(slot);
     const Score* row = pool.row(slot);
     const uint64_t mask = pool.mask(slot);
-    Score upper = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      upper += (mask >> i & 1) ? row[i] : std::min(last_scores[i], threshold);
-    }
-    if (upper < tau2) {
-      continue;  // pruned: cannot reach the top-k
-    }
-    const ItemId item = pool.item_at(slot);
     Score sum = 0.0;
     for (size_t i = 0; i < m; ++i) {
       sum += (mask >> i & 1) ? row[i] : io.Random(i, item).score;

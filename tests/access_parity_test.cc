@@ -1,0 +1,151 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Access-pattern parity pins for the candidate-pool family (NRA, CA, TPUT).
+//
+// The per-mask group index (PR 3) re-implements the stop rules, CA's victim
+// selection and TPUT's τ2 filter on group aggregates instead of per-candidate
+// sweeps. Those are pure perf transformations: stop positions, sorted/random
+// access counts and the deterministic result sequence must be *identical* to
+// the pre-optimization sweeps. This file pins the paper-fixture values
+// measured on the PR 2 implementation (the plain O(pool) sweeps); any future
+// drift in the group machinery shows up here as a changed stop position or
+// access count, not as a silent perf-vs-semantics trade.
+//
+// A second section re-checks the invariant dynamically: on generated
+// databases, NRA/CA/TPUT must produce bit-identical access statistics across
+// repeated runs (warmed pool reuse included) — the group index has no
+// warm-state dependence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/candidate_bounds.h"
+#include "gen/database_generator.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+struct ParityPin {
+  int figure;  // 1 or 2
+  size_t k;
+  AlgorithmKind kind;
+  Position stop_position;
+  uint64_t sorted_accesses;
+  uint64_t random_accesses;
+};
+
+// Measured on the PR 2 implementation (per-candidate stop-rule sweeps),
+// Figures 1 and 2, sum scoring. See tools/parity_dump.cc for the harness
+// that produced them.
+const ParityPin kPins[] = {
+    {1, 1, AlgorithmKind::kNra, 8, 24, 0},
+    {1, 1, AlgorithmKind::kCa, 8, 24, 2},
+    {1, 1, AlgorithmKind::kTput, 11, 33, 0},
+    {2, 1, AlgorithmKind::kNra, 8, 24, 0},
+    {2, 1, AlgorithmKind::kCa, 8, 24, 3},
+    {2, 1, AlgorithmKind::kTput, 11, 33, 0},
+    {1, 2, AlgorithmKind::kNra, 8, 24, 0},
+    {1, 2, AlgorithmKind::kCa, 8, 24, 2},
+    {1, 2, AlgorithmKind::kTput, 11, 33, 0},
+    {2, 2, AlgorithmKind::kNra, 14, 42, 0},
+    {2, 2, AlgorithmKind::kCa, 12, 36, 5},
+    {2, 2, AlgorithmKind::kTput, 11, 33, 0},
+    {1, 3, AlgorithmKind::kNra, 8, 24, 0},
+    {1, 3, AlgorithmKind::kCa, 8, 24, 2},
+    {1, 3, AlgorithmKind::kTput, 11, 33, 0},
+    {2, 3, AlgorithmKind::kNra, 14, 42, 0},
+    {2, 3, AlgorithmKind::kCa, 12, 36, 5},
+    {2, 3, AlgorithmKind::kTput, 11, 33, 0},
+    {1, 8, AlgorithmKind::kNra, 14, 42, 0},
+    {1, 8, AlgorithmKind::kCa, 12, 36, 4},
+    {1, 8, AlgorithmKind::kTput, 8, 24, 4},
+    {2, 8, AlgorithmKind::kNra, 14, 42, 0},
+    {2, 8, AlgorithmKind::kCa, 12, 36, 4},
+    {2, 8, AlgorithmKind::kTput, 8, 24, 6},
+    {1, 14, AlgorithmKind::kNra, 14, 42, 0},
+    {1, 14, AlgorithmKind::kCa, 14, 42, 4},
+    {1, 14, AlgorithmKind::kTput, 14, 42, 0},
+    {2, 14, AlgorithmKind::kNra, 14, 42, 0},
+    {2, 14, AlgorithmKind::kCa, 14, 42, 5},
+    {2, 14, AlgorithmKind::kTput, 14, 42, 0},
+};
+
+TEST(AccessParityTest, PaperFixtureStopPositionsAndAccessCountsArePinned) {
+  const Database fig1 = MakeFigure1Database();
+  const Database fig2 = MakeFigure2Database();
+  SumScorer sum;
+  for (const ParityPin& pin : kPins) {
+    const Database& db = pin.figure == 1 ? fig1 : fig2;
+    const auto result = MakeAlgorithm(pin.kind)
+                            ->Execute(db, TopKQuery{pin.k, &sum})
+                            .ValueOrDie();
+    const std::string label = ToString(pin.kind) + " fig" +
+                              std::to_string(pin.figure) + " k=" +
+                              std::to_string(pin.k);
+    EXPECT_EQ(result.stop_position, pin.stop_position) << label;
+    EXPECT_EQ(result.stats.sorted_accesses, pin.sorted_accesses) << label;
+    EXPECT_EQ(result.stats.random_accesses, pin.random_accesses) << label;
+    EXPECT_EQ(result.stats.direct_accesses, 0u) << label;
+  }
+}
+
+TEST(AccessParityTest, Figure1Top3MatchesThePaper) {
+  const Database db = MakeFigure1Database();
+  SumScorer sum;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+    const auto result =
+        MakeAlgorithm(kind)->Execute(db, TopKQuery{3, &sum}).ValueOrDie();
+    ASSERT_EQ(result.items.size(), 3u) << ToString(kind);
+    EXPECT_EQ(result.items[0].item, 7u) << ToString(kind);  // d8 = 71
+    EXPECT_DOUBLE_EQ(result.items[0].score, 71.0) << ToString(kind);
+    EXPECT_DOUBLE_EQ(result.items[1].score, 70.0) << ToString(kind);
+    EXPECT_DOUBLE_EQ(result.items[2].score, 70.0) << ToString(kind);
+  }
+}
+
+// The access pattern is a pure function of (database, query): repeated runs
+// through one warmed ExecutionContext must reproduce identical statistics
+// and results — the group index carries no state across queries.
+TEST(AccessParityTest, WarmedReRunsReproduceAccessCountsExactly) {
+  const Database uniform = MakeUniformDatabase(600, 4, 77);
+  const Database gaussian = MakeGaussianDatabase(400, 3, 78);
+  AlgorithmOptions options;
+  options.score_floor = DeriveScoreFloor(gaussian);
+  SumScorer sum;
+  for (const Database* db : {&uniform, &gaussian}) {
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+      const auto algorithm = MakeAlgorithm(kind, options);
+      ExecutionContext context;
+      TopKResult first;
+      ASSERT_TRUE(algorithm
+                      ->ExecuteInto(*db, TopKQuery{9, &sum}, &context, &first)
+                      .ok());
+      for (int run = 0; run < 3; ++run) {
+        TopKResult again;
+        ASSERT_TRUE(
+            algorithm->ExecuteInto(*db, TopKQuery{9, &sum}, &context, &again)
+                .ok());
+        EXPECT_EQ(again.stop_position, first.stop_position) << ToString(kind);
+        EXPECT_EQ(again.stats.sorted_accesses, first.stats.sorted_accesses)
+            << ToString(kind);
+        EXPECT_EQ(again.stats.random_accesses, first.stats.random_accesses)
+            << ToString(kind);
+        ASSERT_EQ(again.items.size(), first.items.size()) << ToString(kind);
+        for (size_t i = 0; i < first.items.size(); ++i) {
+          EXPECT_EQ(again.items[i], first.items[i]) << ToString(kind);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -11,10 +11,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/algorithms.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
 
 namespace topk {
 namespace {
@@ -265,6 +270,189 @@ TEST(CandidatePoolTest, DifferentialAgainstUnorderedMapReference) {
       }
     }
   }
+}
+
+// --- per-mask group index ---
+
+// Strength order of the group heaps (and the threshold heap): higher lower
+// bound first, ties to the smaller item id.
+bool Stronger(Score lower_a, ItemId item_a, Score lower_b, ItemId item_b) {
+  if (lower_a != lower_b) {
+    return lower_a > lower_b;
+  }
+  return item_a < item_b;
+}
+
+// Brute-force verification of the whole group index against the flat
+// candidate store: membership (every non-heap candidate is registered in the
+// group of its exact mask), per-group counts, the strongest-at-root heap
+// invariant of every member array, and the group maximum.
+void ExpectGroupIndexConsistent(const CandidatePool& pool) {
+  std::vector<size_t> expected_count(pool.num_groups(), 0);
+  size_t grouped = 0;
+  for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+    const uint32_t g = pool.group_of(slot);
+    if (pool.InHeap(slot)) {
+      EXPECT_EQ(g, CandidatePool::kNoGroup)
+          << "heap member " << pool.item_at(slot) << " is also grouped";
+      continue;
+    }
+    ASSERT_NE(g, CandidatePool::kNoGroup)
+        << "candidate " << pool.item_at(slot) << " is in neither structure";
+    ASSERT_LT(g, pool.num_groups());
+    EXPECT_EQ(pool.group_mask(g), pool.mask(slot))
+        << "candidate " << pool.item_at(slot) << " grouped under wrong mask";
+    ++expected_count[g];
+    ++grouped;
+  }
+
+  size_t member_total = 0;
+  for (size_t g = 0; g < pool.num_groups(); ++g) {
+    const std::vector<uint32_t>& members = pool.group_members(g);
+    ASSERT_EQ(members.size(), expected_count[g]) << "group " << g;
+    member_total += members.size();
+    for (size_t pos = 0; pos < members.size(); ++pos) {
+      EXPECT_EQ(pool.group_of(members[pos]), g);
+      if (pos > 0) {
+        const size_t parent = (pos - 1) / 2;
+        EXPECT_FALSE(Stronger(
+            pool.lower(members[pos]), pool.item_at(members[pos]),
+            pool.lower(members[parent]), pool.item_at(members[parent])))
+            << "group " << g << " heap violated at position " << pos;
+      }
+    }
+    if (!members.empty()) {
+      uint32_t best = members[0];
+      for (uint32_t slot : members) {
+        if (Stronger(pool.lower(slot), pool.item_at(slot), pool.lower(best),
+                     pool.item_at(best))) {
+          best = slot;
+        }
+      }
+      EXPECT_EQ(members[0], best)
+          << "group " << g << " root is not the strongest member";
+    }
+  }
+  EXPECT_EQ(member_total, grouped);
+}
+
+TEST(CandidatePoolTest, GroupIndexMatchesBruteForceUnderRandomizedOps) {
+  Rng rng(4711);
+  for (int round = 0; round < 30; ++round) {
+    const size_t m = 1 + rng.NextBounded(6);
+    const size_t k = 1 + rng.NextBounded(6);
+    const size_t universe = 1 + rng.NextBounded(150);
+    CandidatePool pool;
+    pool.Reset(m, k, /*floor=*/0.0);
+
+    const size_t ops = 100 + rng.NextBounded(600);
+    for (size_t op = 0; op < ops; ++op) {
+      const uint64_t action = rng.NextBounded(10);
+      if (action < 8) {
+        // Combine: record one local score and publish the new bound — the
+        // SetSeen/OfferLower protocol of the run loops, including mask
+        // promotion between groups and threshold-heap displacement.
+        const ItemId item = static_cast<ItemId>(rng.NextBounded(universe));
+        const uint32_t slot = pool.FindOrInsert(item);
+        if (pool.SetSeen(slot, rng.NextBounded(m),
+                         1.0 + rng.NextDouble() * 4.0)) {
+          Score sum = 0.0;
+          for (size_t i = 0; i < m; ++i) {
+            sum += pool.row(slot)[i];
+          }
+          pool.OfferLower(slot, sum);
+        }
+      } else if (action == 8 && pool.size() > 0) {
+        // Erase a random non-heap candidate (CA's pruning pattern).
+        const uint32_t slot =
+            static_cast<uint32_t>(rng.NextBounded(pool.size()));
+        if (!pool.InHeap(slot)) {
+          pool.Erase(slot);
+        }
+      } else if (pool.size() > 0) {
+        // Re-publish an unchanged bound (legal: bounds are non-decreasing);
+        // the registration must stay unique.
+        const uint32_t slot =
+            static_cast<uint32_t>(rng.NextBounded(pool.size()));
+        if (pool.lower(slot) >
+            -std::numeric_limits<Score>::infinity()) {
+          pool.OfferLower(slot, pool.lower(slot));
+        }
+      }
+      if (op % 64 == 0) {
+        ExpectGroupIndexConsistent(pool);
+      }
+    }
+    ExpectGroupIndexConsistent(pool);
+  }
+}
+
+TEST(CandidatePoolTest, GroupIndexSurvivesEpochReuse) {
+  CandidatePool pool;
+  for (int query = 0; query < 4; ++query) {
+    pool.Reset(/*m=*/3, /*k=*/2, /*floor=*/0.0);
+    for (ItemId item = 0; item < 40; ++item) {
+      const uint32_t slot = pool.FindOrInsert(item);
+      pool.SetSeen(slot, item % 3, 1.0 + item);
+      pool.OfferLower(slot, 1.0 + item);
+    }
+    ExpectGroupIndexConsistent(pool);
+    // Three single-list masks, all candidates outside the k=2 heap grouped.
+    EXPECT_EQ(pool.num_groups(), 3u);
+    size_t members = 0;
+    for (size_t g = 0; g < pool.num_groups(); ++g) {
+      members += pool.group_members(g).size();
+    }
+    EXPECT_EQ(members, 38u);
+  }
+}
+
+TEST(CandidatePoolTest, LazyGroupModeDefersRegistrationToBuildGroups) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/2, /*k=*/2, /*floor=*/0.0, /*eager_groups=*/false);
+  for (ItemId item = 0; item < 30; ++item) {
+    const uint32_t slot = pool.FindOrInsert(item);
+    pool.SetSeen(slot, item % 2, 1.0 + item);
+    pool.OfferLower(slot, 1.0 + item);
+  }
+  // Nothing registered while lazy: TPUT's phases 1-2 never pay for the index.
+  EXPECT_EQ(pool.num_groups(), 0u);
+  for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+    EXPECT_EQ(pool.group_of(slot), CandidatePool::kNoGroup);
+  }
+
+  pool.BuildGroups();
+  ExpectGroupIndexConsistent(pool);
+  EXPECT_EQ(pool.num_groups(), 2u);
+  size_t members = 0;
+  for (size_t g = 0; g < pool.num_groups(); ++g) {
+    members += pool.group_members(g).size();
+  }
+  EXPECT_EQ(members, 28u);  // 30 candidates minus the k=2 heap
+  pool.BuildGroups();  // idempotent
+  ExpectGroupIndexConsistent(pool);
+}
+
+// --- the 64-list mask-word cap ---
+
+TEST(CandidatePoolTest, PoolAlgorithmsRejectMoreListsThanTheMaskWord) {
+  // 65 lists: one more than the single 64-bit seen-mask word covers.
+  const Database db = MakeUniformDatabase(/*n=*/4, /*m=*/65, /*seed=*/9);
+  SumScorer sum;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+    const auto status =
+        MakeAlgorithm(kind)->Execute(db, TopKQuery{2, &sum}).status();
+    EXPECT_TRUE(status.IsNotImplemented()) << ToString(kind);
+    const std::string text = status.ToString();
+    EXPECT_NE(text.find("64"), std::string::npos) << text;
+    EXPECT_NE(text.find("single 64-bit word"), std::string::npos) << text;
+    EXPECT_NE(text.find("got 65"), std::string::npos) << text;
+  }
+  // The mask-free algorithms are unaffected by list count.
+  EXPECT_TRUE(MakeAlgorithm(AlgorithmKind::kTa)
+                  ->Execute(db, TopKQuery{2, &sum})
+                  .ok());
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 
 #include "common/rng.h"
 #include "core/algorithms.h"
+#include "core/candidate_bounds.h"
 #include "lists/scorer.h"
 
 namespace topk {
@@ -106,21 +107,13 @@ Database RandomNastyDatabase(Rng* rng) {
   return Database::FromScoreMatrix(scores).ValueOrDie();
 }
 
-double FloorOf(const Database& db) {
-  double floor = 0.0;
-  for (size_t i = 0; i < db.num_lists(); ++i) {
-    floor = std::min(floor, db.list(i).MinScore());
-  }
-  return floor;
-}
-
 // Runs every algorithm on (db, k, scorer) and asserts the exact naive item
 // sequence and scores. `label` is appended to failure messages.
 void ExpectAllAlgorithmsExactlyMatchNaive(const Database& db, size_t k,
                                           const Scorer& scorer,
                                           const std::string& label) {
   AlgorithmOptions options;
-  options.score_floor = FloorOf(db);
+  options.score_floor = DeriveScoreFloor(db);
   const TopKQuery query{k, &scorer};
   const TopKResult naive = MakeAlgorithm(AlgorithmKind::kNaive, options)
                                ->Execute(db, query)
@@ -209,7 +202,7 @@ TEST_P(FuzzDifferentialTest, TaAndBpaThresholdsAreMonotoneUnderFuzz) {
   options.collect_trace = true;
   for (int round = 0; round < 15; ++round) {
     const Database db = RandomNastyDatabase(&rng);
-    options.score_floor = FloorOf(db);
+    options.score_floor = DeriveScoreFloor(db);
     const size_t k = 1 + rng.NextBounded(db.num_items());
     for (AlgorithmKind kind : {AlgorithmKind::kTa, AlgorithmKind::kBpa}) {
       const TopKResult result = MakeAlgorithm(kind, options)
@@ -230,7 +223,7 @@ TEST_P(FuzzDifferentialTest, NraBoundsAreSoundUnderFuzz) {
   options.collect_trace = true;
   for (int round = 0; round < 15; ++round) {
     const Database db = RandomNastyDatabase(&rng);
-    options.score_floor = FloorOf(db);
+    options.score_floor = DeriveScoreFloor(db);
     const size_t k = 1 + rng.NextBounded(db.num_items());
     const TopKResult result = MakeAlgorithm(AlgorithmKind::kNra, options)
                                   ->Execute(db, TopKQuery{k, &sum})

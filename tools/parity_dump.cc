@@ -1,0 +1,157 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// parity_dump: prints one line per (algorithm, workload) with the stop
+// position, access counts and the exact result sequence of the candidate-pool
+// algorithms (NRA, CA, TPUT). The output is a behavioural fingerprint: perf
+// work on the pool family must leave every line byte-identical (same stop
+// rules, same access pattern, same deterministic results). Diff the output of
+// two builds to certify parity:
+//
+//   ./build/parity_dump > before.txt
+//   ... optimize ...
+//   ./build/parity_dump > after.txt && diff before.txt after.txt
+//
+// The workload grid covers the paper fixtures (Figures 1 and 2), the three
+// generator families (uniform, gaussian, correlated) across n/m/k/seed, the
+// tie-quantized variants the differential fuzz harness uses, and min-scoring
+// (the non-summation code path of NRA/CA).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/candidate_bounds.h"
+#include "gen/database_generator.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+// Quantizes every score to multiples of 1/levels so ties are everywhere
+// (mirrors the fuzz harness's ties mode, including the inexact levels = 3).
+Database Quantize(const Database& db, double levels) {
+  std::vector<std::vector<Score>> scores(db.num_items(),
+                                         std::vector<Score>(db.num_lists()));
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    for (size_t i = 0; i < db.num_lists(); ++i) {
+      scores[item][i] = std::round(db.list(i).ScoreOf(item) * levels) / levels;
+    }
+  }
+  return Database::FromScoreMatrix(scores).ValueOrDie();
+}
+
+void DumpOne(const char* workload, const Database& db, size_t k,
+             const Scorer& scorer) {
+  AlgorithmOptions options;
+  options.score_floor = DeriveScoreFloor(db);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+    const auto result =
+        MakeAlgorithm(kind, options)->Execute(db, TopKQuery{k, &scorer});
+    if (!result.ok()) {
+      std::printf("%s k=%zu f=%s %s: %s\n", workload, k,
+                  scorer.name().c_str(), ToString(kind).c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const TopKResult& r = result.ValueOrDie();
+    std::string items;
+    char buf[64];
+    for (const ResultItem& item : r.items) {
+      std::snprintf(buf, sizeof(buf), " %u:%.17g", item.item, item.score);
+      items += buf;
+    }
+    std::printf("%s k=%zu f=%s %s: stop=%u as=%llu ar=%llu ad=%llu items=%s\n",
+                workload, k, scorer.name().c_str(), ToString(kind).c_str(),
+                r.stop_position,
+                static_cast<unsigned long long>(r.stats.sorted_accesses),
+                static_cast<unsigned long long>(r.stats.random_accesses),
+                static_cast<unsigned long long>(r.stats.direct_accesses),
+                items.c_str());
+  }
+}
+
+void DumpGrid() {
+  SumScorer sum;
+  MinScorer min;
+
+  for (size_t k : {1, 2, 3, 8, 14}) {
+    DumpOne("fig1", MakeFigure1Database(), k, sum);
+    DumpOne("fig2", MakeFigure2Database(), k, sum);
+    DumpOne("fig1", MakeFigure1Database(), k, min);
+  }
+
+  char label[128];
+  for (const size_t n : {50, 200, 1000}) {
+    for (const size_t m : {1, 2, 5}) {
+      for (uint64_t seed = 1; seed <= 4; ++seed) {
+        for (const size_t k : {size_t{1}, size_t{5}, n / 2, n}) {
+          if (k == 0 || k > n) {
+            continue;
+          }
+          {
+            const Database db = MakeUniformDatabase(n, m, seed);
+            std::snprintf(label, sizeof(label), "uniform n=%zu m=%zu s=%llu",
+                          n, m, static_cast<unsigned long long>(seed));
+            DumpOne(label, db, k, sum);
+            std::snprintf(label, sizeof(label),
+                          "uniform-q3 n=%zu m=%zu s=%llu", n, m,
+                          static_cast<unsigned long long>(seed));
+            DumpOne(label, Quantize(db, 3.0), k, sum);
+            std::snprintf(label, sizeof(label),
+                          "uniform-q4 n=%zu m=%zu s=%llu", n, m,
+                          static_cast<unsigned long long>(seed));
+            DumpOne(label, Quantize(db, 4.0), k, sum);
+          }
+          {
+            const Database db = MakeGaussianDatabase(n, m, seed);
+            std::snprintf(label, sizeof(label), "gaussian n=%zu m=%zu s=%llu",
+                          n, m, static_cast<unsigned long long>(seed));
+            DumpOne(label, db, k, sum);
+            std::snprintf(label, sizeof(label),
+                          "gaussian-q3 n=%zu m=%zu s=%llu", n, m,
+                          static_cast<unsigned long long>(seed));
+            DumpOne(label, Quantize(db, 3.0), k, sum);
+          }
+          {
+            CorrelatedConfig config;
+            config.n = n;
+            config.m = m;
+            config.alpha = 0.01;
+            config.seed = seed;
+            const Database db = MakeCorrelatedDatabase(config).ValueOrDie();
+            std::snprintf(label, sizeof(label),
+                          "correlated n=%zu m=%zu s=%llu", n, m,
+                          static_cast<unsigned long long>(seed));
+            DumpOne(label, db, k, sum);
+          }
+        }
+      }
+    }
+  }
+
+  // Non-summation scoring exercises the generic-scorer stop path.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Database db = MakeUniformDatabase(300, 3, seed);
+    std::snprintf(label, sizeof(label), "uniform-min n=300 m=3 s=%llu",
+                  static_cast<unsigned long long>(seed));
+    DumpOne(label, db, 7, min);
+  }
+
+  // The bench_micro throughput workload itself.
+  DumpOne("bench uniform n=10000 m=5 s=11", MakeUniformDatabase(10000, 5, 11),
+          20, sum);
+}
+
+}  // namespace
+}  // namespace topk
+
+int main() {
+  topk::DumpGrid();
+  return 0;
+}
