@@ -7,21 +7,25 @@
 //
 // Besides the google-benchmark suite, `bench_micro --json[=path]` runs the
 // batch throughput benchmark and emits the measurements as JSON (default
-// path: BENCH_PR3.json) to track the perf trajectory. The workload defaults
-// to the trajectory shape (uniform n=10k m=5 k=20, comparable with
-// BENCH_PR1/PR2.json) and is overridable with scenario flags:
+// path: BENCH_PR4.json) to track the perf trajectory. With no scenario flags
+// it measures the full trajectory set — the historical cache-resident shape
+// (uniform n=10k m=5 k=20, comparable with BENCH_PR1–PR3.json) plus the
+// DRAM-resident regime (uniform and zipf at n=1M) — as one JSON document
+// with a "workloads" array. Scenario flags select a single workload instead:
 //
 //   --n=<items> --m=<lists> --k=<answers>
-//   --dist={uniform,gaussian,correlated}   score distribution
-//   --quick                                ~10x fewer queries (CI trajectory
-//                                          capture, not a stable measurement)
+//   --dist={uniform,gaussian,correlated,zipf}   score distribution
+//   --quick   ~10x fewer queries and, in trajectory mode, the n=1M set
+//             reduced to one BPA series (CI per-push capture of the
+//             DRAM-resident regime, not a stable measurement)
 //
 // The BPA series is measured in two modes — a fresh ExecutionContext per
 // query (the pre-PR1 per-query allocation path) vs one reused context — so
 // the number stays comparable with BENCH_PR1.json; the no-random-access
 // family (NRA, CA, TPUT), whose candidate bookkeeping lives in the flat
-// CandidatePool (PR 2) with the per-mask group index (PR 3), is measured in
-// the reused-context (zero-allocation) mode.
+// CandidatePool (PR 2) with the per-mask group index (PR 3) and NRA pool
+// compaction (PR 4), is measured in the reused-context (zero-allocation)
+// mode.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/algorithms.h"
@@ -264,72 +269,84 @@ struct ThroughputSeries {
   bool measure_fresh; // fresh-vs-reused only for BPA (the PR 1 trajectory)
 };
 
-// Workload scenario of the throughput mode, settable from the command line.
+// One workload of the throughput report: a database shape plus the series
+// measured against it.
+struct ThroughputScenario {
+  std::string dist;
+  size_t n;
+  size_t m;
+  size_t k;
+  std::vector<ThroughputSeries> series;
+};
+
+// Command-line configuration of the throughput mode.
 struct ThroughputConfig {
   size_t n = 10000;
   size_t m = 5;
   size_t k = 20;
   std::string dist = "uniform";
+  bool explicit_workload = false;  // any of --n/--m/--k/--dist given
   bool quick = false;  // ~10x fewer queries: CI trajectory capture
-  std::string json_path = "BENCH_PR3.json";
+  std::string json_path = "BENCH_PR4.json";
 };
 
-int RunThroughputMode(const ThroughputConfig& config) {
-  const size_t n = config.n;
-  const size_t m = config.m;
-  const size_t k = config.k;
-  if (k == 0 || k > n || m == 0) {
-    std::fprintf(stderr, "invalid workload: n=%zu m=%zu k=%zu\n", n, m, k);
-    return 1;
+// The workloads a flag-less --json run measures: the historical
+// cache-resident trajectory shape first (comparable with BENCH_PR1–PR3),
+// then the DRAM-resident n=1M regime under uniform and zipf scores. Query
+// counts shrink with n (the deep scanners take hundreds of milliseconds per
+// query at n=1M); --quick cuts them ~10x and reduces the n=1M set to one
+// BPA series so CI can afford a per-push capture.
+std::vector<ThroughputScenario> TrajectoryScenarios(bool quick) {
+  const int scale = quick ? 10 : 1;
+  std::vector<ThroughputScenario> scenarios;
+  scenarios.push_back({"uniform", 10000, 5, 20,
+                       {{AlgorithmKind::kBpa, 1000 / scale, true},
+                        {AlgorithmKind::kNra, 100 / scale, false},
+                        {AlgorithmKind::kCa, 200 / scale, false},
+                        {AlgorithmKind::kTput, 200 / scale, false}}});
+  if (quick) {
+    scenarios.push_back(
+        {"uniform", 1000000, 5, 20, {{AlgorithmKind::kBpa, 20, false}}});
+    return scenarios;
   }
-  if (config.dist != "uniform" && config.dist != "gaussian" &&
-      config.dist != "correlated") {
-    std::fprintf(stderr, "unknown --dist=%s (uniform|gaussian|correlated)\n",
-                 config.dist.c_str());
-    return 1;
-  }
-  const Database db = [&] {
-    if (config.dist == "gaussian") {
-      return MakeGaussianDatabase(n, m, 11);
-    }
-    if (config.dist == "correlated") {
-      CorrelatedConfig correlated;
-      correlated.n = n;
-      correlated.m = m;
-      correlated.alpha = 0.01;
-      correlated.seed = 11;
-      return MakeCorrelatedDatabase(correlated).ValueOrDie();
-    }
-    return MakeUniformDatabase(n, m, 11);
-  }();
+  scenarios.push_back({"uniform", 1000000, 5, 20,
+                       {{AlgorithmKind::kBpa, 100, true},
+                        {AlgorithmKind::kNra, 10, false},
+                        {AlgorithmKind::kCa, 5, false},
+                        {AlgorithmKind::kTput, 5, false}}});
+  scenarios.push_back({"zipf", 1000000, 5, 20,
+                       {{AlgorithmKind::kBpa, 100, true},
+                        {AlgorithmKind::kNra, 10, false},
+                        {AlgorithmKind::kCa, 5, false},
+                        {AlgorithmKind::kTput, 5, false}}});
+  return scenarios;
+}
+
+// Measures one scenario and appends its JSON object to `json`. Returns false
+// on an unservable workload or checksum mismatch (already reported).
+bool AppendScenarioJson(const ThroughputScenario& scenario, bool quick,
+                        std::string& json) {
+  DatabaseKind kind = DatabaseKind::kUniform;
+  ParseDatabaseKind(scenario.dist, &kind);  // validated by the caller
+  const Database db = MakeDatabaseOfKind(kind, scenario.n, scenario.m, 11);
   // Gaussian (and in principle correlated) scores go negative; the pool
   // algorithms need a floor no local score undercuts.
   AlgorithmOptions options;
   options.score_floor = DeriveScoreFloor(db);
   SumScorer sum;
-  const TopKQuery query{k, &sum};
+  const TopKQuery query{scenario.k, &sum};
 
-  const int scale = config.quick ? 10 : 1;
-  const ThroughputSeries series[] = {
-      {AlgorithmKind::kBpa, 1000 / scale, true},
-      {AlgorithmKind::kNra, 100 / scale, false},
-      {AlgorithmKind::kCa, 200 / scale, false},
-      {AlgorithmKind::kTput, 200 / scale, false},
-  };
-
-  std::string json;
-  json += "{\n";
-  json += "  \"benchmark\": \"batch_throughput\",\n";
   char line[1024];
   std::snprintf(line, sizeof(line),
-                "  \"workload\": {\"distribution\": \"%s\", \"n\": %zu,"
-                " \"m\": %zu, \"k\": %zu, \"quick\": %s},\n  \"series\": [\n",
-                config.dist.c_str(), n, m, k,
-                config.quick ? "true" : "false");
+                "    {\"workload\": {\"distribution\": \"%s\", \"n\": %zu,"
+                " \"m\": %zu, \"k\": %zu, \"quick\": %s},\n"
+                "     \"series\": [\n",
+                scenario.dist.c_str(), scenario.n, scenario.m, scenario.k,
+                quick ? "true" : "false");
   json += line;
 
   bool first = true;
-  for (const ThroughputSeries& s : series) {
+  for (const ThroughputSeries& s : scenario.series) {
     const auto algorithm = MakeAlgorithm(s.kind, options);
     // Access counts are deterministic per query; probe them once. The probe
     // also validates the scenario against the algorithm (e.g. the pool
@@ -340,7 +357,7 @@ int RunThroughputMode(const ThroughputConfig& config) {
       std::fprintf(stderr, "%s cannot serve this workload: %s\n",
                    ToString(s.kind).c_str(),
                    probe_result.status().ToString().c_str());
-      return 1;
+      return false;
     }
     const TopKResult& probe = probe_result.ValueOrDie();
 
@@ -356,10 +373,10 @@ int RunThroughputMode(const ThroughputConfig& config) {
     first = false;
     std::snprintf(
         line, sizeof(line),
-        "    {\"algorithm\": \"%s\", \"queries\": %d,\n"
-        "     \"per_query_accesses\": {\"sorted\": %llu, \"random\": %llu,"
+        "      {\"algorithm\": \"%s\", \"queries\": %d,\n"
+        "       \"per_query_accesses\": {\"sorted\": %llu, \"random\": %llu,"
         " \"direct\": %llu, \"total\": %llu},\n"
-        "     \"reused_context\": {\"wall_ms\": %.3f,"
+        "       \"reused_context\": {\"wall_ms\": %.3f,"
         " \"queries_per_sec\": %.1f}",
         ToString(s.kind).c_str(), s.queries,
         static_cast<unsigned long long>(probe.stats.sorted_accesses),
@@ -378,17 +395,62 @@ int RunThroughputMode(const ThroughputConfig& config) {
         std::fprintf(stderr, "%s checksum mismatch: %f vs %f\n",
                      ToString(s.kind).c_str(), fresh_checksum,
                      reused_checksum);
-        return 1;
+        return false;
       }
       std::snprintf(line, sizeof(line),
-                    ",\n     \"fresh_context_per_query\": {\"wall_ms\": %.3f,"
-                    " \"queries_per_sec\": %.1f},\n"
-                    "     \"speedup_reused_vs_fresh\": %.3f",
+                    ",\n       \"fresh_context_per_query\": {\"wall_ms\":"
+                    " %.3f, \"queries_per_sec\": %.1f},\n"
+                    "       \"speedup_reused_vs_fresh\": %.3f",
                     fresh_ms, 1000.0 * s.queries / fresh_ms,
                     fresh_ms / reused_ms);
       json += line;
     }
     json += "}";
+  }
+  json += "\n    ]}";
+  return true;
+}
+
+int RunThroughputMode(const ThroughputConfig& config) {
+  std::vector<ThroughputScenario> scenarios;
+  if (config.explicit_workload) {
+    if (config.k == 0 || config.k > config.n || config.m == 0) {
+      std::fprintf(stderr, "invalid workload: n=%zu m=%zu k=%zu\n", config.n,
+                   config.m, config.k);
+      return 1;
+    }
+    DatabaseKind kind;
+    if (!ParseDatabaseKind(config.dist, &kind)) {
+      std::fprintf(stderr,
+                   "unknown --dist=%s (uniform|gaussian|correlated|zipf)\n",
+                   config.dist.c_str());
+      return 1;
+    }
+    const int scale = config.quick ? 10 : 1;
+    scenarios.push_back({config.dist, config.n, config.m, config.k,
+                         {{AlgorithmKind::kBpa, 1000 / scale, true},
+                          {AlgorithmKind::kNra, 100 / scale, false},
+                          {AlgorithmKind::kCa, 200 / scale, false},
+                          {AlgorithmKind::kTput, 200 / scale, false}}});
+  } else {
+    scenarios = TrajectoryScenarios(config.quick);
+  }
+
+  std::string json;
+  json += "{\n";
+  json += "  \"benchmark\": \"batch_throughput\",\n";
+  json += "  \"workloads\": [\n";
+  bool first = true;
+  for (const ThroughputScenario& scenario : scenarios) {
+    if (!first) {
+      json += ",\n";
+    }
+    first = false;
+    // The database is built (and freed) inside the call: the n=1M scenarios
+    // each hold ~200 MB, and only one needs to live at a time.
+    if (!AppendScenarioJson(scenario, config.quick, json)) {
+      return 1;
+    }
   }
   json += "\n  ]\n}\n";
 
@@ -410,30 +472,13 @@ int main(int argc, char** argv) {
   topk::ThroughputConfig config;
   bool throughput_mode = false;
   bool scenario_flags_ok = true;
-  // Scenario flags accept both --flag=value and --flag value (a following
-  // token starting with "--" is another flag, not a value).
+  // Shared CLI flag helpers (see common/flag_parse.h): --flag=value and
+  // --flag value shapes, strict numeric parses.
   const auto value_of = [&](const std::string& arg, const char* name,
                             int* i) -> const char* {
-    const std::string prefix = std::string(name) + "=";
-    if (arg.rfind(prefix, 0) == 0) {
-      return argv[*i] + prefix.size();
-    }
-    if (arg == name && *i + 1 < argc &&
-        std::string(argv[*i + 1]).rfind("--", 0) != 0) {
-      return argv[++*i];
-    }
-    return nullptr;
+    return topk::FlagValue(arg, name, i, argc, argv);
   };
-  // Strict non-negative integer parse: trailing garbage or a sign makes the
-  // flag invalid instead of silently measuring a different workload.
-  const auto parse_size = [](const char* v, size_t* out) {
-    if (*v < '0' || *v > '9') {
-      return false;
-    }
-    char* end = nullptr;
-    *out = static_cast<size_t>(std::strtoull(v, &end, 10));
-    return end != v && *end == '\0';
-  };
+  const auto parse_size = topk::ParseFlagSize;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -445,12 +490,16 @@ int main(int argc, char** argv) {
       config.quick = true;
     } else if (const char* v = value_of(arg, "--n", &i)) {
       scenario_flags_ok &= parse_size(v, &config.n);
+      config.explicit_workload = true;
     } else if (const char* v = value_of(arg, "--m", &i)) {
       scenario_flags_ok &= parse_size(v, &config.m);
+      config.explicit_workload = true;
     } else if (const char* v = value_of(arg, "--k", &i)) {
       scenario_flags_ok &= parse_size(v, &config.k);
+      config.explicit_workload = true;
     } else if (const char* v = value_of(arg, "--dist", &i)) {
       config.dist = v;
+      config.explicit_workload = true;
     } else {
       // Not a scenario flag. In throughput mode that is an error (a typoed
       // flag must not silently measure — and label — the default workload);
@@ -462,7 +511,7 @@ int main(int argc, char** argv) {
     if (!scenario_flags_ok) {
       std::fprintf(stderr,
                    "unrecognized argument in --json mode; scenario flags: "
-                   "--n --m --k --dist {uniform,gaussian,correlated} "
+                   "--n --m --k --dist {uniform,gaussian,correlated,zipf} "
                    "--quick\n");
       return 1;
     }

@@ -77,6 +77,8 @@ Database MakeDatabase(DatabaseKind kind, size_t n, size_t m, double alpha,
       config.seed = seed;
       return MakeCorrelatedDatabase(config).ValueOrDie();
     }
+    case DatabaseKind::kZipf:
+      return MakeZipfDatabase(n, m, seed);
   }
   return Database();
 }

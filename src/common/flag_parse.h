@@ -1,0 +1,57 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Tiny shared command-line flag helpers for the CLI harnesses (bench_micro,
+// parity_dump). Both accept the same flag shapes — `--flag=value` and
+// `--flag value` — and both insist on strict numeric parses: a typoed flag
+// must fail loudly rather than silently measuring (and labeling) a different
+// workload.
+
+#ifndef TOPK_COMMON_FLAG_PARSE_H_
+#define TOPK_COMMON_FLAG_PARSE_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace topk {
+
+/// Value of flag `name` in `arg` (argv[*i]): handles "--flag=value" in place
+/// and "--flag value" by consuming argv[*i + 1] (a following token starting
+/// with "--" is another flag, not a value). Returns nullptr when `arg` is
+/// not this flag.
+inline const char* FlagValue(const std::string& arg, const char* name,
+                             int* i, int argc, char** argv) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    return argv[*i] + prefix.size();
+  }
+  if (arg == name && *i + 1 < argc &&
+      std::string(argv[*i + 1]).rfind("--", 0) != 0) {
+    return argv[++*i];
+  }
+  return nullptr;
+}
+
+/// Strict non-negative integer parse: trailing garbage or a sign makes the
+/// flag invalid.
+inline bool ParseFlagU64(const char* v, uint64_t* out) {
+  if (*v < '0' || *v > '9') {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(v, &end, 10);
+  return end != v && *end == '\0';
+}
+
+inline bool ParseFlagSize(const char* v, size_t* out) {
+  uint64_t u = 0;
+  if (!ParseFlagU64(v, &u)) {
+    return false;
+  }
+  *out = static_cast<size_t>(u);
+  return true;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_FLAG_PARSE_H_

@@ -46,12 +46,27 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
     // advanced bpi are respected — this is what guarantees Theorem 5), then
     // (m-1) random accesses for the revealed item.
     bool any_access = false;
+    // Speculative prefetch of every list's upcoming direct-access slot: bp
+    // may still advance before list i's turn (the prefetch is then wasted,
+    // which is unobservable), but when it does not — the common case — the
+    // direct access below finds its sorted entry already in flight. BPA2's
+    // bp jumps defeat the hardware stream prefetcher, so without this every
+    // round serializes on m cold loads.
+    for (size_t i = 0; i < m; ++i) {
+      const Position bp = tracker(i).best_position();
+      if (bp < n) {
+        PrefetchSortedEntry(db.list(i), bp + 1);
+      }
+    }
     for (size_t i = 0; i < m; ++i) {
       const Position bp = tracker(i).best_position();
       if (bp >= n) {
         continue;  // list fully seen
       }
       const AccessedEntry entry = io.Direct(i, bp + 1);
+      // Request the revealed item's mirror row before the tracker walks its
+      // seen bits: MarkSeen's best-position advance overlaps the row fetch.
+      PrefetchItemRows(db, entry.item, m);
       tracker(i).MarkSeen(entry.position);
       any_access = true;
       Score overall;

@@ -298,6 +298,64 @@ inline bool GroupPruneAndFindBlocker(CandidatePool& pool,
   return blocked;
 }
 
+/// NRA's pool compaction pass: erases every candidate outside the threshold
+/// heap whose upper bound is strictly below the k-th lower bound. The same
+/// margined classification as GroupPruneAndFindBlocker — a subtree certainly
+/// below the threshold is erased wholesale without per-member bound
+/// arithmetic, members inside the margin band pay the exact interleaved
+/// bound, members certainly above survive untouched — but with no blocker
+/// bookkeeping: compaction reclaims memory, it does not decide anything.
+///
+/// Erasure is behaviorally invisible to NRA (unlike CA, whose victim argmax
+/// ranges over the surviving pool): an erased candidate's exact upper bound
+/// was strictly below the k-th lower bound, both only move further apart,
+/// and if the item is seen again it re-enters with strictly less knowledge —
+/// every local score it re-learns is at most the depth score the old bound
+/// already assumed — so its fresh upper bound stays strictly below the
+/// (monotone) threshold: it can never block a stop, enter the threshold
+/// heap, or displace a member. Stop positions, access counts and results are
+/// therefore byte-identical with compaction on or off (certified by
+/// parity_dump and the compaction differential test). Requires a full heap;
+/// `victims` is caller scratch.
+inline void GroupCompact(CandidatePool& pool,
+                         const std::vector<Score>& last_scores, Score floor,
+                         double margin, std::vector<ItemId>& victims) {
+  const size_t m = pool.num_lists();
+  const Score kth_lower = pool.KthLower();
+  victims.clear();
+  for (size_t g = 0; g < pool.num_groups(); ++g) {
+    const std::vector<uint32_t>& members = pool.group_members(g);
+    if (members.empty()) {
+      continue;
+    }
+    const Score delta =
+        GroupUnseenDelta(pool.group_mask(g), m, last_scores, floor);
+    WalkGroupMembers(members, 0, [&](size_t pos, uint32_t slot) {
+      const Score bound = pool.lower(slot) + delta;
+      if (bound < kth_lower - margin) {
+        // Certainly below, and so is every descendant: collect the subtree
+        // (erasing re-heapifies the group under the walk's feet, so victims
+        // are erased after all walks finish).
+        WalkGroupMembers(members, pos, [&](size_t, uint32_t victim) {
+          victims.push_back(pool.item_at(victim));
+          return GroupWalkAction::kDescend;
+        });
+        return GroupWalkAction::kSkipSubtree;
+      }
+      if (bound > kth_lower + margin) {
+        return GroupWalkAction::kDescend;  // certainly above: survives
+      }
+      if (SumUpperBound(pool, slot, last_scores) < kth_lower) {
+        victims.push_back(pool.item_at(slot));
+      }
+      return GroupWalkAction::kDescend;
+    });
+  }
+  for (ItemId item : victims) {
+    pool.Erase(pool.FindSlot(item));
+  }
+}
+
 /// CA's victim selection over the group index: the not-fully-resolved
 /// candidate with the largest (upper bound, smaller-id-on-tie) pair — the one
 /// blocking the stop rule the hardest. Scans every group (skipping the

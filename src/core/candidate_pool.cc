@@ -40,6 +40,7 @@ void CandidatePool::Reset(size_t m, size_t k, Score floor, bool eager_groups) {
   floor_ = floor;
   eager_groups_ = eager_groups;
   size_ = 0;
+  peak_size_ = 0;
   heap_.clear();
   num_groups_ = 0;
   if (table_items_.empty()) {
@@ -130,6 +131,7 @@ uint32_t CandidatePool::FindOrInsert(ItemId item) {
     TableGrow();
   }
   const uint32_t slot = static_cast<uint32_t>(size_++);
+  peak_size_ = std::max(peak_size_, size_);
   if (slot == items_.size()) {
     const size_t grown = std::max<size_t>(64, items_.size() * 2);
     items_.resize(grown);

@@ -86,6 +86,12 @@ class CandidatePool {
   /// Number of live candidates. Slots are dense: 0 .. size()-1.
   size_t size() const { return size_; }
 
+  /// High-water mark of size() since the last Reset — what the query's
+  /// bookkeeping actually cost in pool rows, independent of how much
+  /// compaction erased since. The NRA compaction tests assert this stays
+  /// far below n on DRAM-scale workloads.
+  size_t peak_size() const { return peak_size_; }
+
   size_t num_lists() const { return m_; }
 
   bool Contains(ItemId item) const { return FindSlot(item) != kNoSlot; }
@@ -245,6 +251,7 @@ class CandidatePool {
   Score floor_ = 0.0;
   bool eager_groups_ = true;
   size_t size_ = 0;
+  size_t peak_size_ = 0;
 
   // SoA candidate store, indexed by slot < size_.
   std::vector<ItemId> items_;

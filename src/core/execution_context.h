@@ -46,6 +46,15 @@ class ScoreMemo {
     scores_[item] = score;
   }
 
+  /// Pulls `item`'s stamp and score toward the cache. At DRAM-resident n the
+  /// memo arrays are far too large to stay cached, so the TA/BPA loops
+  /// prefetch the memo entry alongside the item-major mirror row of the
+  /// sorted rows they will process a few iterations from now.
+  void Prefetch(ItemId item) const {
+    __builtin_prefetch(&stamps_[item]);
+    __builtin_prefetch(&scores_[item]);
+  }
+
  private:
   std::vector<uint32_t> stamps_;  // stamps_[item] == epoch_ <=> entry valid
   std::vector<Score> scores_;
@@ -118,6 +127,10 @@ class ExecutionContext {
     pool_.Reset(m, k, floor, eager_groups);
     return pool_;
   }
+
+  /// Read-only view of the candidate pool as the last pool algorithm left it
+  /// (tests inspect peak occupancy after a run; a later PreparePool resets).
+  const CandidatePool& pool() const { return pool_; }
 
   /// Zero-filled scratch of `count` scores (FA/naive gather matrices).
   std::vector<Score>& ZeroedScoreMatrix(size_t count) {

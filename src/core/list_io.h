@@ -24,19 +24,51 @@
 
 namespace topk {
 
-/// Pulls `item`'s item-major score/position rows toward the cache. The
-/// TA/BPA row loops call this one row ahead of use (the next sorted items
-/// are known: list prefixes are sequential). Both row ends are prefetched —
-/// a row may straddle two cache lines.
+/// Pulls `item`'s interleaved item-major mirror row (m scores + m positions,
+/// one contiguous region) toward the cache. The TA/BPA row loops issue this
+/// kPrefetchRowsAhead sorted rows ahead of use — the upcoming sorted items
+/// are known (list prefixes are sequential), so the row's DRAM latency is
+/// overlapped with the processing of the rows in between instead of being
+/// paid serially on every random access. Rows are stride-aligned (see
+/// Database), so a row touches exactly ceil(12m/64) lines: one prefetch per
+/// line, one line total for m <= 5.
 inline void PrefetchItemRows(const Database& db, ItemId item, size_t m) {
-  const char* scores_row =
-      reinterpret_cast<const char*>(db.ItemScoresRow(item));
-  __builtin_prefetch(scores_row);
-  __builtin_prefetch(scores_row + sizeof(Score) * m - 1);
-  const char* positions_row =
-      reinterpret_cast<const char*>(db.ItemPositionsRow(item));
-  __builtin_prefetch(positions_row);
-  __builtin_prefetch(positions_row + sizeof(Position) * m - 1);
+  const char* row = reinterpret_cast<const char*>(db.ItemScoresRow(item));
+  const size_t bytes = Database::ItemRowPayloadBytes(m);
+  for (size_t offset = 0;; offset += 64) {
+    __builtin_prefetch(row + offset);
+    if (offset + 64 >= bytes) {
+      break;
+    }
+  }
+}
+
+/// How many sorted rows ahead the TA/BPA loops prefetch the item-major
+/// mirror row (and the memo entry, when memoization is on). Between issuing
+/// the prefetch for row d + kPrefetchRowsAhead of list i and consuming it,
+/// the loop processes ~kPrefetchRowsAhead * m items (each a combine over a
+/// cache-resident row plus tracker/buffer work), which comfortably covers a
+/// DRAM round-trip; the distance is short enough that the ~m prefetched
+/// lines in flight cannot be evicted by the work in between.
+inline constexpr Position kPrefetchRowsAhead = 8;
+
+/// Shorter pipeline stage for BPA's tracker-word prefetch: the mirror row of
+/// a sorted row this close ahead is already cached (requested
+/// kPrefetchRowsAhead ago), so reading its positions costs an L1 hit, and
+/// the tracker words those positions will mark get their own prefetch two
+/// rows of work ahead of the marks.
+inline constexpr Position kPrefetchMarksAhead = 2;
+
+/// Pulls one sorted-order entry (item id + score, two parallel arrays)
+/// toward the cache. BPA2 issues this speculatively at the top of a round
+/// for every list's current bp + 1 — a random access earlier in the round
+/// may advance bp and waste the prefetch, but a wasted prefetch costs
+/// nothing observable while a hit hides the direct access's DRAM latency
+/// (BPA2's direct accesses jump with bp, so the hardware stream prefetcher
+/// does not cover them the way it covers TA/BPA's sequential scans).
+inline void PrefetchSortedEntry(const SortedList& list, Position position) {
+  __builtin_prefetch(&list.items()[position - 1]);
+  __builtin_prefetch(&list.scores()[position - 1]);
 }
 
 /// Faithful policy: every access goes through the counted engine.

@@ -49,6 +49,15 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
   const double margin = SummationErrorMargin(db, options.score_floor);
 
   std::vector<ItemId>& winners = context->ClearedItems();
+  // Pool-compaction watermark: once the pool reaches it, candidates whose
+  // upper bound is strictly below the k-th lower bound are erased (a
+  // behavioral no-op for NRA, see GroupCompact) and the watermark doubles to
+  // twice the surviving size — total compaction work stays proportional to
+  // pool growth while occupancy stays O(live candidates) instead of O(every
+  // seen item), the difference between ~k-digit pools and n-sized pools at
+  // DRAM-scale n.
+  size_t compact_watermark =
+      std::max<size_t>(options.nra_compaction_floor, 2 * query.k);
   Position depth = 0;
   while (depth < n) {
     const Position round_end =
@@ -110,6 +119,23 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
     if (can_stop) {
       pool.AppendHeapItems(&winners);
       break;
+    }
+    if constexpr (std::is_same_v<ScorerT, SumScorer>) {
+      if (options.nra_pool_compaction && pool.size() >= compact_watermark) {
+        const size_t before = pool.size();
+        GroupCompact(pool, last_scores, options.score_floor, margin,
+                     context->ClearedSlots());
+        const size_t after = pool.size();
+        // Productive passes keep the watermark tight (2x the surviving live
+        // set) so occupancy tracks the live population; an unproductive pass
+        // (under 10% erased — the pool is genuinely live, as on uniform
+        // m=5 where hundreds of thousands of partially-seen candidates
+        // block mid-scan) backs off 4x so the O(live) walks cannot tax a
+        // workload that has nothing to reclaim yet.
+        compact_watermark = std::max<size_t>(
+            options.nra_compaction_floor,
+            before - after >= before / 10 ? 2 * after : 4 * before);
+      }
     }
   }
   io.Flush();

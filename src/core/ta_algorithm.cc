@@ -36,8 +36,18 @@ Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
     ++depth;
     for (size_t i = 0; i < m; ++i) {
       const AccessedEntry entry = io.Sorted(i, depth);
-      if (depth < n) {
-        PrefetchItemRows(db, db.list(i).items()[depth], m);
+      // Prefetch pipelining: the sorted prefix is known ahead of time, so
+      // the mirror row (and memo entry) of the row this list will reach
+      // kPrefetchRowsAhead iterations from now is requested here, while the
+      // current (already prefetched) row is combined — the DRAM latency of a
+      // cold random access overlaps ~kPrefetchRowsAhead * m rows of work
+      // instead of stalling each row's combine loop.
+      if (depth + kPrefetchRowsAhead <= n) {
+        const ItemId ahead = db.list(i).items()[depth - 1 + kPrefetchRowsAhead];
+        PrefetchItemRows(db, ahead, m);
+        if (memoize) {
+          resolved->Prefetch(ahead);
+        }
       }
       last_scores[i] = entry.score;
       if (memoize && resolved->Contains(entry.item)) {

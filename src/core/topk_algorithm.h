@@ -50,6 +50,25 @@ struct AlgorithmOptions {
   /// to lower-bound unknown scores and by TPUT's pruning. The paper's formal
   /// model (non-negative scores) corresponds to 0.
   double score_floor = 0.0;
+
+  /// NRA (summation path) only: periodically erase candidates whose upper
+  /// bound has dropped strictly below the k-th lower bound, keeping the pool
+  /// at O(live candidates) instead of O(every item seen). Behaviorally a
+  /// no-op — results, stop positions and access counts are unchanged (a
+  /// re-seen erased candidate re-enters with strictly less knowledge and a
+  /// provably sub-threshold bound, see nra_algorithm.cc) — so the default is
+  /// on; the off switch exists for the differential tests that certify the
+  /// no-op and for memory-vs-walk-cost ablations. CA always erases (its
+  /// victim selection observably depends on the erased set); TPUT's single
+  /// pass has nothing to compact.
+  bool nra_pool_compaction = true;
+
+  /// Pool size below which NRA never bothers compacting (the group walks are
+  /// cheap while everything fits in cache). Once the pool reaches the
+  /// watermark a compaction pass runs and the watermark doubles to twice the
+  /// surviving (live) size, so total compaction work stays O(pool growth).
+  /// Tests set 1 to compact at every stop check.
+  size_t nra_compaction_floor = 4096;
 };
 
 /// Base class: validates the query, times the run, applies the cost model.

@@ -34,6 +34,25 @@ Database MakeGaussianDatabase(size_t n, size_t m, uint64_t seed) {
   return Database::Make(std::move(lists)).ValueOrDie();
 }
 
+Database MakeZipfDatabase(size_t n, size_t m, uint64_t seed, double theta) {
+  Rng rng(seed);
+  const std::vector<Score> zipf = ZipfScoreVector(n, theta);
+  std::vector<SortedList> lists;
+  lists.reserve(m);
+  for (size_t li = 0; li < m; ++li) {
+    // An independent permutation per list: entry at rank p is a random item
+    // with the rank's Zipf score. FromEntries validates the permutation.
+    const std::vector<uint32_t> perm =
+        rng.Permutation(static_cast<uint32_t>(n));
+    std::vector<ListEntry> entries(n);
+    for (size_t p = 0; p < n; ++p) {
+      entries[p] = ListEntry{static_cast<ItemId>(perm[p]), zipf[p]};
+    }
+    lists.push_back(SortedList::FromEntries(std::move(entries)).ValueOrDie());
+  }
+  return Database::Make(std::move(lists)).ValueOrDie();
+}
+
 namespace {
 
 // Nearest free position to `target` in the free set; ties prefer the lower
@@ -143,8 +162,43 @@ std::string ToString(DatabaseKind kind) {
       return "gaussian";
     case DatabaseKind::kCorrelated:
       return "correlated";
+    case DatabaseKind::kZipf:
+      return "zipf";
   }
   return "unknown";
+}
+
+bool ParseDatabaseKind(const std::string& name, DatabaseKind* kind) {
+  for (DatabaseKind candidate :
+       {DatabaseKind::kUniform, DatabaseKind::kGaussian,
+        DatabaseKind::kCorrelated, DatabaseKind::kZipf}) {
+    if (name == ToString(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+Database MakeDatabaseOfKind(DatabaseKind kind, size_t n, size_t m,
+                            uint64_t seed) {
+  switch (kind) {
+    case DatabaseKind::kUniform:
+      return MakeUniformDatabase(n, m, seed);
+    case DatabaseKind::kGaussian:
+      return MakeGaussianDatabase(n, m, seed);
+    case DatabaseKind::kCorrelated: {
+      CorrelatedConfig config;
+      config.n = n;
+      config.m = m;
+      config.alpha = 0.01;
+      config.seed = seed;
+      return MakeCorrelatedDatabase(config).ValueOrDie();
+    }
+    case DatabaseKind::kZipf:
+      return MakeZipfDatabase(n, m, seed);
+  }
+  return Database();
 }
 
 }  // namespace topk

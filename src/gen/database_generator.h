@@ -25,6 +25,17 @@ Database MakeUniformDatabase(size_t n, size_t m, uint64_t seed);
 /// a score floor (TPUT/NRA) must be configured accordingly.
 Database MakeGaussianDatabase(size_t n, size_t m, uint64_t seed);
 
+/// Independent Zipf database: each list is an independent random permutation
+/// of the items with by-rank scores s(p) = 1/p^theta (the skew the paper's
+/// correlated databases use, but without the cross-list position
+/// correlation). Models popularity-skewed workloads — web/URL frequencies,
+/// social feeds — where a tiny head carries almost all the mass and the tail
+/// is nearly flat, the regime that stresses stop rules at DRAM-scale n very
+/// differently from uniform scores. All scores are in (0, 1], so the default
+/// score floor of 0 is valid.
+Database MakeZipfDatabase(size_t n, size_t m, uint64_t seed,
+                          double theta = 0.7);
+
 /// Configuration of the paper's correlated databases.
 struct CorrelatedConfig {
   size_t n = 0;
@@ -50,9 +61,24 @@ enum class DatabaseKind {
   kUniform,
   kGaussian,
   kCorrelated,
+  kZipf,
 };
 
 std::string ToString(DatabaseKind kind);
+
+/// Parses a distribution name as printed by ToString ("uniform",
+/// "gaussian", "correlated", "zipf"). Returns false on unknown names, so a
+/// typoed CLI flag fails instead of silently selecting a default — the CLI
+/// harnesses (bench_micro, parity_dump) share this one mapping.
+bool ParseDatabaseKind(const std::string& name, DatabaseKind* kind);
+
+/// Builds a database of `kind` with the sweep-harness defaults (correlated:
+/// alpha 0.01, zipf theta: 0.7) — the single dispatch behind every
+/// string-configured workload (bench_micro scenarios, parity_dump ad-hoc
+/// fingerprints). Harnesses that sweep the correlated alpha keep calling
+/// MakeCorrelatedDatabase directly.
+Database MakeDatabaseOfKind(DatabaseKind kind, size_t n, size_t m,
+                            uint64_t seed);
 
 }  // namespace topk
 

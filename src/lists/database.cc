@@ -2,19 +2,72 @@
 
 #include "lists/database.h"
 
+#include <cstdint>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
 namespace topk {
+
+namespace {
+
+// Mirror-row stride for a payload of 12*m bytes: the smallest power-of-two
+// slot (16, 32) that holds the payload, else the next multiple of the 64-byte
+// cache line. Either way 64 is a multiple of the stride or vice versa, so a
+// row starting on the aligned base occupies exactly ceil(payload/64) lines.
+size_t ItemRowStride(size_t payload_bytes) {
+  if (payload_bytes <= 16) {
+    return 16;
+  }
+  if (payload_bytes <= 32) {
+    return 32;
+  }
+  return (payload_bytes + 63) & ~size_t{63};
+}
+
+// Zero-filled blob for the mirror rows. On Linux: an anonymous mapping
+// advised MADV_HUGEPAGE *before* the construction loop first touches it, so
+// in THP "madvise" mode the kernel backs the interior 2 MiB-aligned chunks
+// with hugepages at fault time (synchronously — no waiting for khugepaged).
+// Falls back to operator new[] (value-initialized) if mmap is unavailable.
+std::shared_ptr<unsigned char> AllocateRowBlob(size_t bytes) {
+#ifdef __linux__
+  void* map = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (map != MAP_FAILED) {
+    madvise(map, bytes, MADV_HUGEPAGE);  // best-effort hint
+    return std::shared_ptr<unsigned char>(
+        static_cast<unsigned char*>(map),
+        [bytes](unsigned char* p) { munmap(p, bytes); });
+  }
+#endif
+  return std::shared_ptr<unsigned char>(new unsigned char[bytes](),
+                                        std::default_delete<unsigned char[]>());
+}
+
+}  // namespace
 
 Database::Database(std::vector<SortedList> lists) : lists_(std::move(lists)) {
   const size_t m = lists_.size();
   const size_t n = num_items();
-  item_scores_.resize(n * m);
-  item_positions_.resize(n * m);
+  positions_offset_ = m * sizeof(Score);
+  row_stride_ = ItemRowStride(ItemRowPayloadBytes(m));
+  // 63 spare bytes so the first row can sit on a 64-byte boundary (an mmap
+  // base is page-aligned already; the new[] fallback is not).
+  item_rows_ = AllocateRowBlob(n * row_stride_ + 63);
+  const uintptr_t base = reinterpret_cast<uintptr_t>(item_rows_.get());
+  unsigned char* rows = item_rows_.get() + (64 - base % 64) % 64;
+  rows_base_ = rows;
   for (size_t j = 0; j < m; ++j) {
     const SortedList& list = lists_[j];
     for (ItemId item = 0; item < n; ++item) {
       const ItemLookup lookup = list.Lookup(item);
-      item_scores_[static_cast<size_t>(item) * m + j] = lookup.score;
-      item_positions_[static_cast<size_t>(item) * m + j] = lookup.position;
+      unsigned char* row = rows + static_cast<size_t>(item) * row_stride_;
+      std::memcpy(row + j * sizeof(Score), &lookup.score, sizeof(Score));
+      std::memcpy(row + positions_offset_ + j * sizeof(Position),
+                  &lookup.position, sizeof(Position));
     }
   }
 }

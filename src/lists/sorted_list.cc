@@ -55,9 +55,9 @@ Result<ListEntry> SortedList::EntryAtChecked(Position position) const {
 }
 
 Result<ItemLookup> SortedList::LookupChecked(ItemId item) const {
-  if (item >= by_item_.size()) {
-    return Status::KeyError("item ", item, " not in list of ", by_item_.size(),
-                            " items");
+  if (item >= score_by_item_.size()) {
+    return Status::KeyError("item ", item, " not in list of ",
+                            score_by_item_.size(), " items");
   }
   return Lookup(item);
 }
@@ -67,12 +67,13 @@ void SortedList::BuildFrom(std::vector<ListEntry> entries) {
   const size_t n = entries.size();
   items_.resize(n);
   scores_.resize(n);
-  by_item_.resize(n);
+  score_by_item_.resize(n);
+  position_by_item_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     items_[i] = entries[i].item;
     scores_[i] = entries[i].score;
-    by_item_[entries[i].item] =
-        PackedSlot{entries[i].score, static_cast<Position>(i + 1)};
+    score_by_item_[entries[i].item] = entries[i].score;
+    position_by_item_[entries[i].item] = static_cast<Position>(i + 1);
   }
 }
 

@@ -5,9 +5,14 @@
 //
 // Storage is structure-of-arrays: the sorted order lives in two parallel
 // arrays items_[]/scores_[] (position -> item, position -> score), and random
-// access goes through a single packed {score, position} array indexed by item,
-// so Lookup touches exactly one cache line instead of chasing two dependent
-// ones (position_of_[item] then entries_[pos]).
+// access goes through two by-item arrays (item -> score, item -> 32-bit
+// position). The by-item side used to be a packed 16-byte {score, position}
+// slot; splitting it saves the 4 alignment-padding bytes per (item, list) —
+// 12 instead of 16 bytes, 25% less random-access footprint at DRAM scale —
+// at the cost of a second array touch in Lookup. The library's hot random
+// accesses do not come through here at all: they read the Database's
+// interleaved item-major mirror rows (one cache line for all m lists), so
+// this trade only affects the audited/engine access path and cold callers.
 
 #ifndef TOPK_LISTS_SORTED_LIST_H_
 #define TOPK_LISTS_SORTED_LIST_H_
@@ -57,10 +62,8 @@ class SortedList {
   Result<ListEntry> EntryAtChecked(Position position) const;
 
   /// Random access: score and 1-based position of `item`. Item must be < n.
-  /// One cache-line touch: both fields come from the same packed slot.
   ItemLookup Lookup(ItemId item) const {
-    const PackedSlot& slot = by_item_[item];
-    return ItemLookup{slot.score, slot.position};
+    return ItemLookup{score_by_item_[item], position_by_item_[item]};
   }
 
   /// Checked variant of Lookup.
@@ -73,10 +76,10 @@ class SortedList {
   }
 
   /// Position of `item` (1-based). Item must be < n.
-  Position PositionOf(ItemId item) const { return by_item_[item].position; }
+  Position PositionOf(ItemId item) const { return position_by_item_[item]; }
 
   /// Local score of `item`. Item must be < n.
-  Score ScoreOf(ItemId item) const { return by_item_[item].score; }
+  Score ScoreOf(ItemId item) const { return score_by_item_[item]; }
 
   /// Highest local score (score at position 1). List must be non-empty.
   Score MaxScore() const { return scores_.front(); }
@@ -94,18 +97,12 @@ class SortedList {
   const std::vector<Score>& scores() const { return scores_; }
 
  private:
-  /// The by-item slot for random access: 16 bytes, so any slot is contained
-  /// in one 64-byte cache line.
-  struct PackedSlot {
-    Score score = 0.0;
-    Position position = kInvalidPosition;
-  };
-
   void BuildFrom(std::vector<ListEntry> entries);
 
-  std::vector<ItemId> items_;        // position-1 -> item (descending score)
-  std::vector<Score> scores_;        // position-1 -> local score
-  std::vector<PackedSlot> by_item_;  // item -> {score, 1-based position}
+  std::vector<ItemId> items_;   // position-1 -> item (descending score)
+  std::vector<Score> scores_;   // position-1 -> local score
+  std::vector<Score> score_by_item_;        // item -> local score
+  std::vector<Position> position_by_item_;  // item -> 1-based position
 };
 
 }  // namespace topk

@@ -45,6 +45,8 @@ Database MakeDb(const GridCase& c, uint64_t seed) {
       config.seed = seed;
       return MakeCorrelatedDatabase(config).ValueOrDie();
     }
+    case DatabaseKind::kZipf:
+      return MakeZipfDatabase(c.n, c.m, seed);
   }
   return Database();
 }
@@ -120,7 +122,9 @@ INSTANTIATE_TEST_SUITE_P(
         GridCase{DatabaseKind::kGaussian, 8, 300, 20},
         GridCase{DatabaseKind::kCorrelated, 3, 200, 5},
         GridCase{DatabaseKind::kCorrelated, 5, 500, 20},
-        GridCase{DatabaseKind::kCorrelated, 8, 400, 10}),
+        GridCase{DatabaseKind::kCorrelated, 8, 400, 10},
+        GridCase{DatabaseKind::kZipf, 3, 200, 5},
+        GridCase{DatabaseKind::kZipf, 5, 500, 20}),
     CaseName);
 
 // Edge cases around k.

@@ -53,6 +53,8 @@ Database MakeDb(const InvariantCase& c) {
       config.seed = c.seed;
       return MakeCorrelatedDatabase(config).ValueOrDie();
     }
+    case DatabaseKind::kZipf:
+      return MakeZipfDatabase(c.n, c.m, c.seed);
   }
   return Database();
 }
@@ -212,7 +214,9 @@ INSTANTIATE_TEST_SUITE_P(
         InvariantCase{DatabaseKind::kGaussian, 8, 300, 5, 9},
         InvariantCase{DatabaseKind::kCorrelated, 3, 400, 10, 10},
         InvariantCase{DatabaseKind::kCorrelated, 6, 600, 20, 11},
-        InvariantCase{DatabaseKind::kCorrelated, 8, 500, 5, 12}),
+        InvariantCase{DatabaseKind::kCorrelated, 8, 500, 5, 12},
+        InvariantCase{DatabaseKind::kZipf, 4, 500, 10, 13},
+        InvariantCase{DatabaseKind::kZipf, 6, 400, 20, 14}),
     CaseName);
 
 }  // namespace

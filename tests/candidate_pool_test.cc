@@ -172,6 +172,28 @@ TEST(CandidatePoolTest, EraseSwapsLastSlotAndKeepsIndexConsistent) {
   EXPECT_EQ(pool.KthItem(), 9u);
 }
 
+TEST(CandidatePoolTest, PeakSizeTracksHighWaterMarkAcrossErasesAndResets) {
+  CandidatePool pool;
+  pool.Reset(/*m=*/2, /*k=*/1, /*floor=*/0.0);
+  EXPECT_EQ(pool.peak_size(), 0u);
+  for (ItemId item = 0; item < 10; ++item) {
+    pool.SetSeen(pool.FindOrInsert(item), 0, 1.0);
+  }
+  pool.OfferLower(pool.FindSlot(9), 1.0);  // heap member; erases avoid it
+  EXPECT_EQ(pool.peak_size(), 10u);
+  pool.Erase(pool.FindSlot(0));
+  pool.Erase(pool.FindSlot(1));
+  EXPECT_EQ(pool.size(), 8u);
+  EXPECT_EQ(pool.peak_size(), 10u);  // the peak never shrinks...
+  pool.FindOrInsert(100);
+  EXPECT_EQ(pool.peak_size(), 10u);  // ...and re-inserts only raise it
+  pool.FindOrInsert(101);
+  pool.FindOrInsert(102);
+  EXPECT_EQ(pool.peak_size(), 11u);  // past the old high-water mark
+  pool.Reset(/*m=*/2, /*k=*/1, /*floor=*/0.0);
+  EXPECT_EQ(pool.peak_size(), 0u);  // a reset forgets the mark
+}
+
 // Reference model: hash map of rows plus a full sort for the k-th lower
 // bound, mirroring the seed implementation's per-query bookkeeping.
 struct ReferenceCandidate {

@@ -188,10 +188,50 @@ TEST(GeneratorsTest, CorrelatedSingleList) {
   EXPECT_EQ(db.num_lists(), 1u);
 }
 
+TEST(GeneratorsTest, ZipfDatabaseShapeScoresAndDeterminism) {
+  const Database db = MakeZipfDatabase(200, 3, 77);
+  EXPECT_EQ(db.num_lists(), 3u);
+  EXPECT_EQ(db.num_items(), 200u);
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    // By-rank Zipf scores: position p carries exactly 1/p^0.7, independent
+    // of which item landed there.
+    for (Position p = 1; p <= 200; ++p) {
+      EXPECT_DOUBLE_EQ(db.list(i).EntryAt(p).score, ZipfScore(p, 0.7));
+    }
+  }
+  EXPECT_TRUE(db.AllScoresNonNegative());
+
+  // Lists are independent permutations: with n = 200 the probability of two
+  // identical lists is astronomically small.
+  bool lists_differ = false;
+  for (Position p = 1; p <= 200 && !lists_differ; ++p) {
+    lists_differ = db.list(0).EntryAt(p).item != db.list(1).EntryAt(p).item;
+  }
+  EXPECT_TRUE(lists_differ);
+
+  // Deterministic per seed, different across seeds.
+  const Database same = MakeZipfDatabase(200, 3, 77);
+  const Database other = MakeZipfDatabase(200, 3, 78);
+  bool seeds_differ = false;
+  for (Position p = 1; p <= 200; ++p) {
+    EXPECT_EQ(db.list(0).EntryAt(p).item, same.list(0).EntryAt(p).item);
+    seeds_differ |= db.list(0).EntryAt(p).item != other.list(0).EntryAt(p).item;
+  }
+  EXPECT_TRUE(seeds_differ);
+}
+
+TEST(GeneratorsTest, ZipfDatabaseThetaControlsSkew) {
+  const Database flat = MakeZipfDatabase(100, 1, 5, /*theta=*/0.0);
+  const Database skewed = MakeZipfDatabase(100, 1, 5, /*theta=*/1.0);
+  EXPECT_DOUBLE_EQ(flat.list(0).MaxScore(), flat.list(0).MinScore());
+  EXPECT_GT(skewed.list(0).MaxScore(), 10 * skewed.list(0).MinScore());
+}
+
 TEST(GeneratorsTest, DatabaseKindNames) {
   EXPECT_EQ(ToString(DatabaseKind::kUniform), "uniform");
   EXPECT_EQ(ToString(DatabaseKind::kGaussian), "gaussian");
   EXPECT_EQ(ToString(DatabaseKind::kCorrelated), "correlated");
+  EXPECT_EQ(ToString(DatabaseKind::kZipf), "zipf");
 }
 
 }  // namespace

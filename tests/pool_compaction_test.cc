@@ -1,0 +1,148 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// NRA pool compaction (AlgorithmOptions::nra_pool_compaction) is specified to
+// be a behavioral no-op: erasing candidates whose upper bound is strictly
+// below the k-th lower bound must not change results, stop positions or
+// access counts — only the pool's memory footprint. These tests certify the
+// no-op differentially across the fuzz grid (compaction forced on at every
+// stop check vs. off) and pin the memory claim at DRAM scale: a million-item
+// NRA run must keep peak pool occupancy far below n while the uncompacted
+// run's pool grows toward every seen item.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/candidate_bounds.h"
+#include "core/execution_context.h"
+#include "gen/database_generator.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+struct NraRun {
+  TopKResult result;
+  size_t pool_size = 0;
+  size_t pool_peak = 0;
+};
+
+NraRun RunNra(const Database& db, size_t k, bool compaction,
+              size_t compaction_floor) {
+  AlgorithmOptions options;
+  options.score_floor = DeriveScoreFloor(db);
+  options.nra_pool_compaction = compaction;
+  options.nra_compaction_floor = compaction_floor;
+  SumScorer sum;
+  ExecutionContext context;
+  NraRun run;
+  run.result = MakeAlgorithm(AlgorithmKind::kNra, options)
+                   ->Execute(db, TopKQuery{k, &sum}, &context)
+                   .ValueOrDie();
+  run.pool_size = context.pool().size();
+  run.pool_peak = context.pool().peak_size();
+  return run;
+}
+
+void ExpectIdenticalBehavior(const NraRun& off, const NraRun& on,
+                             const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(off.result.stop_position, on.result.stop_position);
+  EXPECT_EQ(off.result.stats.sorted_accesses, on.result.stats.sorted_accesses);
+  EXPECT_EQ(off.result.stats.random_accesses, on.result.stats.random_accesses);
+  EXPECT_EQ(off.result.stats.direct_accesses, on.result.stats.direct_accesses);
+  ASSERT_EQ(off.result.items.size(), on.result.items.size());
+  for (size_t i = 0; i < off.result.items.size(); ++i) {
+    EXPECT_EQ(off.result.items[i].item, on.result.items[i].item);
+    EXPECT_EQ(off.result.items[i].score, on.result.items[i].score);
+  }
+}
+
+// Compaction with an aggressive watermark floor vs. off, across the fuzz
+// grid's families and shapes: the exact item sequence, the stop position and
+// every access counter must be identical.
+TEST(PoolCompactionTest, DifferentialAcrossGrid) {
+  char label[128];
+  bool any_erased = false;
+  for (DatabaseKind kind :
+       {DatabaseKind::kUniform, DatabaseKind::kGaussian,
+        DatabaseKind::kCorrelated, DatabaseKind::kZipf}) {
+    for (size_t n : {size_t{50}, size_t{200}, size_t{1000}}) {
+      for (size_t m : {size_t{1}, size_t{2}, size_t{5}}) {
+        for (uint64_t seed = 1; seed <= 2; ++seed) {
+          const Database db = MakeDatabaseOfKind(kind, n, m, seed);
+          for (size_t k : {size_t{1}, size_t{5}, n / 2, n}) {
+            if (k == 0 || k > n) {
+              continue;
+            }
+            const NraRun off = RunNra(db, k, /*compaction=*/false, 1);
+            const NraRun on = RunNra(db, k, /*compaction=*/true, 1);
+            std::snprintf(label, sizeof(label), "%s n=%zu m=%zu k=%zu s=%llu",
+                          ToString(kind).c_str(), n, m, k,
+                          static_cast<unsigned long long>(seed));
+            ExpectIdenticalBehavior(off, on, label);
+            // Compaction never grows the pool.
+            EXPECT_LE(on.pool_size, off.pool_size);
+            any_erased |= on.pool_size < off.pool_size;
+          }
+        }
+      }
+    }
+  }
+  // The differential must exercise real erasures somewhere in the grid —
+  // otherwise it would be comparing compaction against itself.
+  EXPECT_TRUE(any_erased);
+}
+
+// DRAM-scale smoke, part 1 — the memory claim. Gaussian m=2: the k-th lower
+// bound gets strong early (only two lists need to agree) while the scan
+// still runs deep, so the seen set is ~26% of n but the live set is tiny —
+// compaction must keep peak occupancy well over an order of magnitude under
+// the uncompacted pool's. Measured (Release, seed 11): stop 139528, peak
+// 259381 uncompacted vs 16426 compacted, final size 85.
+TEST(PoolCompactionTest, MillionItemSmokeBoundsPoolOccupancy) {
+  constexpr size_t kN = 1'000'000;
+  const Database db = MakeGaussianDatabase(kN, 2, 11);
+  const size_t default_floor = AlgorithmOptions().nra_compaction_floor;
+  const NraRun off = RunNra(db, 20, /*compaction=*/false, default_floor);
+  const NraRun on = RunNra(db, 20, /*compaction=*/true, default_floor);
+  ExpectIdenticalBehavior(off, on, "gaussian n=1M m=2 k=20");
+
+  // The uncompacted pool holds every distinct item the deep scan saw.
+  EXPECT_GT(off.pool_peak, kN / 8);
+  // The compacted peak is bounded well below n: productive passes keep the
+  // watermark at twice the surviving live set, so the peak tracks the live
+  // population (a few thousand here), not the number of seen items.
+  EXPECT_LT(on.pool_peak, kN / 25);
+  EXPECT_LT(on.pool_size, size_t{1000});
+}
+
+// DRAM-scale smoke, part 2 — the adversarially-live workload (uniform m=5).
+// Its live set is intrinsically large mid-scan (~26% of n: five independent
+// lists resolve top candidates slowly, so hundreds of thousands of
+// partially-seen items genuinely block the stop rule), which bounds what any
+// compaction schedule can do to the peak. The unproductive-pass backoff
+// (4x watermark growth when under 10% erases) exists exactly for this shape:
+// behavior must stay byte-identical, occupancy must never exceed the
+// uncompacted pool's, and the walk tax stays a few hundred thousand visits
+// per query instead of repeated O(live) sweeps. Measured (Release, seed 11):
+// both peaks 720173 (every ladder pass found a >90%-live pool and backed
+// off).
+TEST(PoolCompactionTest, MillionItemUniformLiveSetNeverExceedsUncompacted) {
+  constexpr size_t kN = 1'000'000;
+  const Database db = MakeUniformDatabase(kN, 5, 11);
+  const size_t default_floor = AlgorithmOptions().nra_compaction_floor;
+  const NraRun off = RunNra(db, 20, /*compaction=*/false, default_floor);
+  const NraRun on = RunNra(db, 20, /*compaction=*/true, default_floor);
+  ExpectIdenticalBehavior(off, on, "uniform n=1M m=5 k=20");
+
+  EXPECT_LE(on.pool_peak, off.pool_peak);
+  EXPECT_LE(on.pool_size, off.pool_size);
+  EXPECT_GT(off.pool_size, kN / 2);
+}
+
+}  // namespace
+}  // namespace topk

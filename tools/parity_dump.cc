@@ -11,10 +11,21 @@
 //   ... optimize ...
 //   ./build/parity_dump > after.txt && diff before.txt after.txt
 //
-// The workload grid covers the paper fixtures (Figures 1 and 2), the three
-// generator families (uniform, gaussian, correlated) across n/m/k/seed, the
-// tie-quantized variants the differential fuzz harness uses, and min-scoring
-// (the non-summation code path of NRA/CA).
+// The default workload grid covers the paper fixtures (Figures 1 and 2), the
+// three generator families (uniform, gaussian, correlated) across n/m/k/seed,
+// the tie-quantized variants the differential fuzz harness uses, and
+// min-scoring (the non-summation code path of NRA/CA).
+//
+// Passing any of the scenario flags switches to a single ad-hoc workload
+// instead of the grid — spot-check parity at sizes the grid cannot afford
+// (e.g. the DRAM-resident regime) without editing the binary:
+//
+//   ./build/parity_dump --n=1000000 --dist=zipf --k=20 > big_before.txt
+//
+// Flags: --n=<items> (default 1000), --m=<lists> (5), --k=<answers> (20),
+// --dist={uniform,gaussian,correlated,zipf} (uniform), --seed=<rng> (1).
+// Ad-hoc workloads dump summation scoring only (the min-scorer fallback
+// sweeps the whole pool per stop check — prohibitive at large n).
 
 #include <algorithm>
 #include <cmath>
@@ -22,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "common/rng.h"
 #include "core/algorithms.h"
 #include "core/candidate_bounds.h"
@@ -148,10 +160,79 @@ void DumpGrid() {
           20, sum);
 }
 
+// One ad-hoc workload from the scenario flags (see the file comment).
+struct AdhocConfig {
+  size_t n = 1000;
+  size_t m = 5;
+  size_t k = 20;
+  std::string dist = "uniform";
+  uint64_t seed = 1;
+};
+
+int DumpAdhoc(const AdhocConfig& config) {
+  if (config.n == 0 || config.m == 0 || config.k == 0 ||
+      config.k > config.n) {
+    std::fprintf(stderr, "invalid workload: n=%zu m=%zu k=%zu\n", config.n,
+                 config.m, config.k);
+    return 1;
+  }
+  DatabaseKind kind = DatabaseKind::kUniform;
+  ParseDatabaseKind(config.dist, &kind);  // validated during flag parsing
+  const Database db =
+      MakeDatabaseOfKind(kind, config.n, config.m, config.seed);
+  char label[128];
+  std::snprintf(label, sizeof(label), "adhoc %s n=%zu m=%zu s=%llu",
+                config.dist.c_str(), config.n, config.m,
+                static_cast<unsigned long long>(config.seed));
+  SumScorer sum;
+  DumpOne(label, db, config.k, sum);
+  return 0;
+}
+
 }  // namespace
 }  // namespace topk
 
-int main() {
+int main(int argc, char** argv) {
+  topk::AdhocConfig config;
+  bool adhoc = false;
+  bool ok = true;
+  // Shared CLI flag helpers (see common/flag_parse.h): same flag shapes and
+  // strict numeric parses as bench_micro.
+  const auto value_of = [&](const std::string& arg, const char* name,
+                            int* i) -> const char* {
+    return topk::FlagValue(arg, name, i, argc, argv);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const char* v = value_of(arg, "--n", &i)) {
+      ok &= topk::ParseFlagSize(v, &config.n);
+    } else if (const char* v = value_of(arg, "--m", &i)) {
+      ok &= topk::ParseFlagSize(v, &config.m);
+    } else if (const char* v = value_of(arg, "--k", &i)) {
+      ok &= topk::ParseFlagSize(v, &config.k);
+    } else if (const char* v = value_of(arg, "--seed", &i)) {
+      ok &= topk::ParseFlagU64(v, &config.seed);
+    } else if (const char* v = value_of(arg, "--dist", &i)) {
+      config.dist = v;
+      topk::DatabaseKind parsed;
+      ok &= topk::ParseDatabaseKind(config.dist, &parsed);
+    } else {
+      ok = false;
+    }
+    adhoc = true;  // any argument selects (or fails toward) ad-hoc mode
+  }
+  if (!ok) {
+    // A typo must not silently fingerprint a different workload.
+    std::fprintf(stderr,
+                 "usage: parity_dump [--n=<items>] [--m=<lists>]"
+                 " [--k=<answers>] [--seed=<rng>]"
+                 " [--dist={uniform,gaussian,correlated,zipf}]\n"
+                 "with no flags, dumps the built-in grid\n");
+    return 1;
+  }
+  if (adhoc) {
+    return topk::DumpAdhoc(config);
+  }
   topk::DumpGrid();
   return 0;
 }
