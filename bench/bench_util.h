@@ -7,6 +7,17 @@
 // Environment:
 //   BENCH_SMOKE=1  — run a reduced grid (small n, few m values, 1 repetition)
 //                    for quick checks; default is the paper's full scale.
+//
+// Measurement note — interleaved pairs: on this project's shared-vCPU hosts
+// the noise band is wide and drifts over minutes, so two configurations
+// measured as sequential blocks can order arbitrarily (BENCH_PR4.json
+// recorded the allocating fresh-context BPA path as 2% "faster" than the
+// zero-allocation reused path that way). Any A-vs-B comparison worth
+// reporting must interleave the two sides — alternate A/B chunks within one
+// process (bench_micro's fresh-vs-reused series does this), or alternate
+// whole A/B binary runs and take the min over >= 5 pairs (how the per-PR
+// speedups in CHANGES.md are measured). Block-vs-block deltas within the
+// noise band are phase artifacts, not results.
 
 #ifndef TOPK_BENCH_BENCH_UTIL_H_
 #define TOPK_BENCH_BENCH_UTIL_H_

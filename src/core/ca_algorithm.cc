@@ -40,10 +40,13 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
 
   // The group index serves only the summation stop rule and victim argmax;
   // the generic-scorer fallback sweeps per candidate, so it skips the index
-  // maintenance.
+  // maintenance. CA is the one consumer of the groups' min side: its
+  // prune-and-erase pass runs at every stop check (every h rows), which is
+  // what amortizes the min side's per-registration entry pushes.
+  constexpr bool kSumPath = std::is_same_v<ScorerT, SumScorer>;
   CandidatePool& pool =
       context->PreparePool(m, query.k, options.score_floor,
-                           /*eager_groups=*/std::is_same_v<ScorerT, SumScorer>);
+                           /*eager_groups=*/kSumPath, /*dual_heap=*/kSumPath);
   std::vector<Score>& last_scores = context->last_scores();
   std::vector<Score>& tmp = context->bound_scores();
   const double margin = SummationErrorMargin(db, options.score_floor);
@@ -69,6 +72,11 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
         std::min<Position>(depth + resolve_every, static_cast<Position>(n));
     for (size_t i = 0; i < m; ++i) {
       for (Position d = depth + 1; d <= round_end; ++d) {
+        // Probe-cell prefetch pipelining — uncounted, decision-free; see
+        // nra_algorithm.cc.
+        if (d + kPrefetchRowsAhead <= n) {
+          pool.PrefetchItem(db.list(i).items()[d - 1 + kPrefetchRowsAhead]);
+        }
         const AccessedEntry entry = io.Sorted(i, d);
         last_scores[i] = entry.score;
         const uint32_t slot = pool.FindOrInsert(entry.item);

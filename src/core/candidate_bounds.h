@@ -6,10 +6,25 @@
 // For summation scoring the checks run on the pool's per-mask group index in
 // O(#distinct masks), not O(pool size): a candidate's upper bound is its
 // lower bound plus the sum of the current depth scores of its unseen lists —
-// within one mask group that delta is shared, so the group's strongest member
-// by (lower bound, item id) majorizes every member's upper bound, and the
-// group's member heap is walked top-down with whole subtrees pruned once
-// their keys drop below the decision threshold.
+// within one mask group that delta is shared, so ordering members by the
+// immutable (lower bound, item id) key orders them by upper bound too, and
+// each walk picks the dual-heap side whose root bounds the answer it needs:
+//
+//   - the *max* side (strongest at root, every subtree root majorizes its
+//     descendants) serves the existence/argmax/bulk questions — "does any
+//     member still block the stop?" (GroupFindBlocker), "which member has
+//     the largest upper bound?" (GroupArgmaxUnresolved), TPUT's τ2 filter
+//     and NRA's rare compaction passes (GroupCompact) — pruning whole
+//     subtrees once their keys drop below the decision threshold;
+//   - CA's optional *min* side (weakest at root; see CandidatePool for the
+//     when-it-pays analysis) serves its per-stop-check prune-and-erase pass
+//     (GroupPruneAndFindBlocker): victims are peeled weakest-first and the
+//     peel stops at the frontier where keys rise above the prune threshold,
+//     so the pass costs what it erases (plus the margin band), not what is
+//     alive. Before the min side existed that pass had to descend through
+//     every surviving above-threshold member to reproduce the sweep's
+//     erasures — O(live set) per stop check, the dominant cost of CA at
+//     DRAM-resident n.
 //
 // The pruning comparison adds a safety margin that dominates the worst-case
 // floating-point summation error (see SummationErrorMargin), and every member
@@ -155,15 +170,16 @@ enum class GroupWalkAction {
   kStop,         // decision made: abort the whole walk
 };
 
-/// Top-down walk over (the subtree at heap position `root` of) a group's
-/// strongest-at-root member heap. The visitor is shown (heap position,
-/// member slot) and steers the walk via GroupWalkAction; since a member's
-/// (lower bound, item id) key majorizes its whole subtree, kSkipSubtree is
-/// sound whenever the visitor's test is monotone in the key. Returns false
-/// iff the visitor stopped the walk. The explicit stack holds at most one
-/// pending sibling per level (64 levels cover any 2^32-slot pool).
+/// Top-down walk over (the subtree at heap position `root` of) one side of a
+/// group's dual member heap. The visitor is shown (heap position, member
+/// slot) and steers the walk via GroupWalkAction; on the max side a member's
+/// (lower bound, item id) key majorizes its whole subtree, on the min side it
+/// minorizes it, so kSkipSubtree is sound whenever the visitor's test is
+/// monotone in the key in the matching direction. Returns false iff the
+/// visitor stopped the walk. The explicit stack holds at most one pending
+/// sibling per level (64 levels cover any 2^32-slot pool).
 template <typename Visitor>
-inline bool WalkGroupMembers(const std::vector<uint32_t>& members, size_t root,
+inline bool WalkGroupMembers(const ArenaVec<uint32_t>& members, size_t root,
                              Visitor&& visit) {
   size_t stack[64];
   size_t depth = 0;
@@ -201,7 +217,7 @@ inline bool GroupFindBlocker(const CandidatePool& pool,
   const Score kth_lower = pool.KthLower();
   const ItemId kth_item = pool.KthItem();
   for (size_t g = 0; g < pool.num_groups(); ++g) {
-    const std::vector<uint32_t>& members = pool.group_members(g);
+    const ArenaVec<uint32_t>& members = pool.group_members(g);
     if (members.empty()) {
       continue;
     }
@@ -240,57 +256,84 @@ inline bool GroupFindBlocker(const CandidatePool& pool,
 /// the pool (and with it the victim choice and the random-access pattern)
 /// only stays byte-identical to the sweep's if the erasures are too.
 ///
-/// The walk classifies each member against the margined threshold: a subtree
-/// whose root is certainly below is erased wholesale without per-member
-/// bound computations (amortized by the preceding insertions), a member
-/// certainly above blocks the stop at the cost of one compare, and only the
-/// members inside the margin band pay the exact interleaved bound. Walks the
-/// whole frontier (no early exit) because the erasures are a side effect the
-/// next round depends on. Requires a full heap; `victims` is caller scratch.
+/// Runs as a peel off each group's *min side*: entries are popped
+/// weakest-first and classified against the margined threshold — a stale
+/// entry is discarded (its pop amortizes the deregistration that orphaned
+/// it), certainly below is a victim with no bound arithmetic beyond one
+/// compare, the margin band pays the exact interleaved bound (band
+/// survivors are re-pushed — they are still registered), and the peel stops
+/// the moment the root key is certainly above the band: every remaining
+/// live member is then a surviving blocker, accounted for by size
+/// arithmetic instead of visits. The pass therefore costs O(#groups +
+/// #victims + #stale + #margin-band), not O(live set). A live entry's
+/// stored bound is bit-identical to the member's current bound (keys are
+/// immutable while registered), so the erased set and the blocked flag are
+/// decided per member by exactly the sweep's classification — byte-
+/// identical to the full sweep regardless of which members the peel never
+/// visits. Requires a full heap and the min side (eager mode); `victims` is
+/// caller scratch.
 inline bool GroupPruneAndFindBlocker(CandidatePool& pool,
                                      const std::vector<Score>& last_scores,
                                      Score floor, double margin,
                                      std::vector<ItemId>& victims) {
+  assert(pool.has_min_side());
   const size_t m = pool.num_lists();
   const Score kth_lower = pool.KthLower();
   const ItemId kth_item = pool.KthItem();
   bool blocked = false;
   victims.clear();
   for (size_t g = 0; g < pool.num_groups(); ++g) {
-    const std::vector<uint32_t>& members = pool.group_members(g);
-    if (members.empty()) {
+    if (pool.group_members(g).empty() && pool.group_min_entries(g).empty()) {
       continue;
     }
     const Score delta =
         GroupUnseenDelta(pool.group_mask(g), m, last_scores, floor);
-    WalkGroupMembers(members, 0, [&](size_t pos, uint32_t slot) {
-      const Score bound = pool.lower(slot) + delta;
-      if (bound < kth_lower - margin) {
-        // Certainly below the k-th lower bound, and so is every descendant:
-        // erase the whole subtree (collected first, erased by the loop
-        // below — erasing re-heapifies the group under our feet).
-        WalkGroupMembers(members, pos, [&](size_t, uint32_t victim) {
-          victims.push_back(pool.item_at(victim));
-          return GroupWalkAction::kDescend;
-        });
-        return GroupWalkAction::kSkipSubtree;
+    ArenaVec<CandidatePool::MinEntry>& band = pool.PeelScratch();
+    size_t victims_here = 0;
+    size_t band_here = 0;
+    while (!pool.group_min_entries(g).empty()) {
+      const CandidatePool::MinEntry entry = pool.group_min_entries(g).front();
+      // The root minorizes every stored key; once it is certainly above the
+      // band, no victim (and no band member) remains anywhere in the group.
+      if (entry.lower + delta > kth_lower + margin) {
+        break;
       }
-      if (bound > kth_lower + margin) {
-        // Certainly above: blocks the stop, survives, no exact bound needed.
-        blocked = true;
-        return GroupWalkAction::kDescend;
+      pool.PopGroupMin(g);
+      if (!pool.MinEntryLive(entry)) {
+        continue;  // orphaned by a past deregistration: discarded for good
+      }
+      // Live entry: entry.lower is bit-identical to the member's current
+      // lower bound, so this is the sweep's exact classification.
+      const Score bound = entry.lower + delta;
+      if (bound < kth_lower - margin) {
+        victims.push_back(entry.item);  // certainly below: no exact bound
+        ++victims_here;
+        continue;
       }
       // Inside the margin band: the exact bound decides, with the same
       // arithmetic and tie handling as the full sweep.
-      const Score upper = SumUpperBound(pool, slot, last_scores);
+      const Score upper =
+          SumUpperBound(pool, pool.FindSlot(entry.item), last_scores);
       if (upper < kth_lower) {
-        victims.push_back(pool.item_at(slot));
-      } else if (upper > kth_lower ||
-                 (upper == kth_lower && pool.item_at(slot) < kth_item)) {
-        blocked = true;
+        victims.push_back(entry.item);
+        ++victims_here;
+      } else {
+        pool.PushPeelScratch(entry);  // survives: still registered, must return
+        ++band_here;
+        if (upper > kth_lower ||
+            (upper == kth_lower && entry.item < kth_item)) {
+          blocked = true;
+        }
       }
-      return GroupWalkAction::kDescend;
-    });
+    }
+    for (const CandidatePool::MinEntry& entry : band) {
+      pool.PushGroupMin(g, entry);
+    }
+    // Every live member the peel did not reach is certainly above the band:
+    // a surviving blocker, exactly as the sweep would have classified it.
+    if (pool.group_members(g).size() > victims_here + band_here) {
+      blocked = true;
+    }
   }
   for (ItemId item : victims) {
     pool.Erase(pool.FindSlot(item));
@@ -305,6 +348,11 @@ inline bool GroupPruneAndFindBlocker(CandidatePool& pool,
 /// arithmetic, members inside the margin band pay the exact interleaved
 /// bound, members certainly above survive untouched — but with no blocker
 /// bookkeeping: compaction reclaims memory, it does not decide anything.
+/// Runs on the max side (NRA does not carry a min side: compactions are
+/// watermark-triggered and rare, so a per-registration min-side push costs
+/// far more than the occasional O(live) walk it would replace — measured
+/// ~2x end-to-end at n=1M; CA's per-stop-check pruning is the opposite
+/// trade, see GroupPruneAndFindBlocker).
 ///
 /// Erasure is behaviorally invisible to NRA (unlike CA, whose victim argmax
 /// ranges over the surviving pool): an erased candidate's exact upper bound
@@ -324,7 +372,7 @@ inline void GroupCompact(CandidatePool& pool,
   const Score kth_lower = pool.KthLower();
   victims.clear();
   for (size_t g = 0; g < pool.num_groups(); ++g) {
-    const std::vector<uint32_t>& members = pool.group_members(g);
+    const ArenaVec<uint32_t>& members = pool.group_members(g);
     if (members.empty()) {
       continue;
     }
@@ -388,7 +436,7 @@ inline uint32_t GroupArgmaxUnresolved(const CandidatePool& pool,
     if (pool.group_mask(g) == full_mask) {
       continue;  // fully known: nothing left to resolve
     }
-    const std::vector<uint32_t>& members = pool.group_members(g);
+    const ArenaVec<uint32_t>& members = pool.group_members(g);
     if (members.empty()) {
       continue;
     }

@@ -9,14 +9,6 @@ namespace topk {
 
 namespace {
 
-// Finalizing multiplicative hash over a 32-bit item id (same family as
-// TopKBuffer's).
-inline size_t HashItem(ItemId item) {
-  uint32_t h = item * 2654435761u;
-  h ^= h >> 16;
-  return h;
-}
-
 // splitmix64 finalizer over a seen mask (masks differ in few bits; the
 // finalizer spreads them over the whole table).
 inline size_t HashMask(uint64_t mask) {
@@ -33,32 +25,36 @@ constexpr size_t kInitialMaskTableSize = 128;   // power of two
 
 }  // namespace
 
-void CandidatePool::Reset(size_t m, size_t k, Score floor, bool eager_groups) {
+void CandidatePool::Reset(size_t m, size_t k, Score floor, bool eager_groups,
+                          bool dual_heap) {
   assert(m >= 1 && m <= kMaxLists);
+  assert(eager_groups || !dual_heap);  // a lazy index is never peeled
   m_ = m;
   k_ = k;
   floor_ = floor;
   eager_groups_ = eager_groups;
+  dual_heap_ = dual_heap;
   size_ = 0;
   peak_size_ = 0;
   heap_.clear();
   num_groups_ = 0;
-  if (table_items_.empty()) {
-    table_items_.resize(kInitialTableSize, kInvalidItem);
-    table_slots_.resize(kInitialTableSize, kNoSlot);
-    table_stamps_.resize(kInitialTableSize, 0);
+  if (table_.empty()) {
+    table_.resize(arena_, kInitialTableSize,
+                  TableCell{kInvalidItem, kNoSlot, 0});
     table_mask_ = kInitialTableSize - 1;
   }
   if (mask_table_masks_.empty()) {
-    mask_table_masks_.resize(kInitialMaskTableSize, 0);
-    mask_table_groups_.resize(kInitialMaskTableSize, kNoGroup);
-    mask_table_stamps_.resize(kInitialMaskTableSize, 0);
+    mask_table_masks_.resize(arena_, kInitialMaskTableSize, 0);
+    mask_table_groups_.resize(arena_, kInitialMaskTableSize, kNoGroup);
+    mask_table_stamps_.resize(arena_, kInitialMaskTableSize, 0);
     mask_table_mask_ = kInitialMaskTableSize - 1;
   }
   // Epoch 0 is reserved as "never valid"; on wrap fall back to one eager
   // clear (every 2^32 - 1 resets).
   if (++epoch_ == 0) {
-    std::fill(table_stamps_.begin(), table_stamps_.end(), 0u);
+    for (TableCell& cell : table_) {
+      cell.stamp = 0;
+    }
     std::fill(mask_table_stamps_.begin(), mask_table_stamps_.end(), 0u);
     epoch_ = 1;
   }
@@ -66,7 +62,7 @@ void CandidatePool::Reset(size_t m, size_t k, Score floor, bool eager_groups) {
 
 size_t CandidatePool::TableProbe(ItemId item) const {
   size_t cell = HashItem(item) & table_mask_;
-  while (table_stamps_[cell] == epoch_ && table_items_[cell] != item) {
+  while (table_[cell].stamp == epoch_ && table_[cell].item != item) {
     cell = (cell + 1) & table_mask_;
   }
   return cell;
@@ -74,34 +70,30 @@ size_t CandidatePool::TableProbe(ItemId item) const {
 
 uint32_t CandidatePool::FindSlot(ItemId item) const {
   const size_t cell = TableProbe(item);
-  return table_stamps_[cell] == epoch_ ? table_slots_[cell] : kNoSlot;
+  return table_[cell].stamp == epoch_ ? table_[cell].slot : kNoSlot;
 }
 
 void CandidatePool::TableInsert(ItemId item, uint32_t slot) {
   const size_t cell = TableProbe(item);
-  table_items_[cell] = item;
-  table_slots_[cell] = slot;
-  table_stamps_[cell] = epoch_;
+  table_[cell] = TableCell{item, slot, epoch_};
 }
 
 void CandidatePool::TableErase(ItemId item) {
   size_t hole = TableProbe(item);
-  if (table_stamps_[hole] != epoch_) {
+  if (table_[hole].stamp != epoch_) {
     return;
   }
   // Backward-shift deletion (no tombstones): slide later entries of the probe
   // chain into the hole whenever the hole lies on their probe path.
-  table_stamps_[hole] = 0;
+  table_[hole].stamp = 0;
   size_t cur = (hole + 1) & table_mask_;
-  while (table_stamps_[cur] == epoch_) {
-    const size_t ideal = HashItem(table_items_[cur]) & table_mask_;
+  while (table_[cur].stamp == epoch_) {
+    const size_t ideal = HashItem(table_[cur].item) & table_mask_;
     const size_t displacement = (cur - ideal) & table_mask_;
     const size_t hole_distance = (cur - hole) & table_mask_;
     if (displacement >= hole_distance) {
-      table_items_[hole] = table_items_[cur];
-      table_slots_[hole] = table_slots_[cur];
-      table_stamps_[hole] = epoch_;
-      table_stamps_[cur] = 0;
+      table_[hole] = table_[cur];
+      table_[cur].stamp = 0;
       hole = cur;
     }
     cur = (cur + 1) & table_mask_;
@@ -109,10 +101,8 @@ void CandidatePool::TableErase(ItemId item) {
 }
 
 void CandidatePool::TableGrow() {
-  const size_t new_size = table_items_.size() * 2;
-  table_items_.assign(new_size, kInvalidItem);
-  table_slots_.assign(new_size, kNoSlot);
-  table_stamps_.assign(new_size, 0);
+  const size_t new_size = table_.size() * 2;
+  table_.assign(arena_, new_size, TableCell{kInvalidItem, kNoSlot, 0});
   table_mask_ = new_size - 1;
   for (uint32_t slot = 0; slot < size_; ++slot) {
     TableInsert(items_[slot], slot);
@@ -122,28 +112,30 @@ void CandidatePool::TableGrow() {
 uint32_t CandidatePool::FindOrInsert(ItemId item) {
   {
     const size_t cell = TableProbe(item);
-    if (table_stamps_[cell] == epoch_) {
-      return table_slots_[cell];
+    if (table_[cell].stamp == epoch_) {
+      return table_[cell].slot;
     }
   }
   // Keep the load factor <= 1/2 so probe chains stay short.
-  if (2 * (size_ + 1) > table_items_.size()) {
+  if (2 * (size_ + 1) > table_.size()) {
     TableGrow();
   }
   const uint32_t slot = static_cast<uint32_t>(size_++);
   peak_size_ = std::max(peak_size_, size_);
   if (slot == items_.size()) {
     const size_t grown = std::max<size_t>(64, items_.size() * 2);
-    items_.resize(grown);
-    masks_.resize(grown);
-    known_.resize(grown);
-    lowers_.resize(grown);
-    heap_pos_.resize(grown);
-    group_of_.resize(grown);
-    group_pos_.resize(grown);
+    items_.resize(arena_, grown);
+    masks_.resize(arena_, grown);
+    known_.resize(arena_, grown);
+    lowers_.resize(arena_, grown);
+    heap_pos_.resize(arena_, grown);
+    group_of_.resize(arena_, grown);
+    group_pos_.resize(arena_, grown);
+    births_.resize(arena_, grown);
   }
   if (rows_.size() < static_cast<size_t>(size_) * m_) {
-    rows_.resize(std::max(rows_.size() * 2, static_cast<size_t>(size_) * m_));
+    rows_.resize(arena_,
+                 std::max(rows_.size() * 2, static_cast<size_t>(size_) * m_));
   }
   items_[slot] = item;
   masks_[slot] = 0;
@@ -151,6 +143,7 @@ uint32_t CandidatePool::FindOrInsert(ItemId item) {
   lowers_[slot] = -std::numeric_limits<Score>::infinity();
   heap_pos_[slot] = kNoSlot;
   group_of_[slot] = kNoGroup;
+  births_[slot] = 0;  // never a live min entry until the first registration
   std::fill_n(&rows_[static_cast<size_t>(slot) * m_], m_, floor_);
   TableInsert(item, slot);
   return slot;
@@ -200,9 +193,9 @@ void CandidatePool::SiftDown(size_t pos) {
 
 void CandidatePool::MaskTableGrow() {
   const size_t new_size = mask_table_masks_.size() * 2;
-  mask_table_masks_.assign(new_size, 0);
-  mask_table_groups_.assign(new_size, kNoGroup);
-  mask_table_stamps_.assign(new_size, 0);
+  mask_table_masks_.assign(arena_, new_size, 0);
+  mask_table_groups_.assign(arena_, new_size, kNoGroup);
+  mask_table_stamps_.assign(arena_, new_size, 0);
   mask_table_mask_ = new_size - 1;
   for (uint32_t g = 0; g < num_groups_; ++g) {
     size_t cell = HashMask(groups_[g].mask) & mask_table_mask_;
@@ -236,6 +229,7 @@ uint32_t CandidatePool::FindOrCreateGroup(uint64_t mask) {
   }
   groups_[g].mask = mask;
   groups_[g].members.clear();
+  groups_[g].min_entries.clear();
   mask_table_masks_[cell] = mask;
   mask_table_groups_[cell] = g;
   mask_table_stamps_[cell] = epoch_;
@@ -243,7 +237,7 @@ uint32_t CandidatePool::FindOrCreateGroup(uint64_t mask) {
 }
 
 void CandidatePool::GroupSiftUp(Group& group, size_t pos) {
-  std::vector<uint32_t>& members = group.members;
+  ArenaVec<uint32_t>& members = group.members;
   const uint32_t slot = members[pos];
   const Key key = KeyOf(slot);
   // Strongest at the root: a member rises while it beats its parent.
@@ -261,7 +255,7 @@ void CandidatePool::GroupSiftUp(Group& group, size_t pos) {
 }
 
 void CandidatePool::GroupSiftDown(Group& group, size_t pos) {
-  std::vector<uint32_t>& members = group.members;
+  ArenaVec<uint32_t>& members = group.members;
   const size_t count = members.size();
   const uint32_t slot = members[pos];
   const Key key = KeyOf(slot);
@@ -285,32 +279,121 @@ void CandidatePool::GroupSiftDown(Group& group, size_t pos) {
   group_pos_[slot] = static_cast<uint32_t>(pos);
 }
 
+void CandidatePool::MinSiftUp(ArenaVec<MinEntry>& entries, size_t pos) {
+  const MinEntry entry = entries[pos];
+  // Weakest at the root: an entry rises while it is weaker than its parent.
+  // Fresh registrations carry a just-grown bound, so they usually stop at
+  // the leaf — the min side's push cost is O(1) in the common case.
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!EntryWeaker(entry, entries[parent])) {
+      break;
+    }
+    entries[pos] = entries[parent];
+    pos = parent;
+  }
+  entries[pos] = entry;
+}
+
+void CandidatePool::MinSiftDown(ArenaVec<MinEntry>& entries, size_t pos) {
+  const size_t count = entries.size();
+  const MinEntry entry = entries[pos];
+  for (;;) {
+    size_t child = 2 * pos + 1;
+    if (child >= count) {
+      break;
+    }
+    if (child + 1 < count && EntryWeaker(entries[child + 1], entries[child])) {
+      ++child;
+    }
+    if (!EntryWeaker(entries[child], entry)) {
+      break;
+    }
+    entries[pos] = entries[child];
+    pos = child;
+  }
+  entries[pos] = entry;
+}
+
+void CandidatePool::MinRebuild(Group& group) {
+  // Refill from the live membership (one live entry per member, fresh copies
+  // of the immutable keys and current stamps), then Floyd-heapify. Amortized
+  // O(1) per deregistration: a rebuild of size L discards >= L stale
+  // entries, each of which was one past deregistration.
+  ArenaVec<MinEntry>& entries = group.min_entries;
+  entries.clear();
+  for (uint32_t slot : group.members) {
+    entries.push_back(arena_, MinEntry{lowers_[slot], items_[slot],
+                                       births_[slot]});
+  }
+  if (entries.size() > 1) {
+    for (size_t pos = entries.size() / 2; pos-- > 0;) {
+      MinSiftDown(entries, pos);
+    }
+  }
+}
+
+void CandidatePool::PopGroupMin(size_t g) {
+  ArenaVec<MinEntry>& entries = groups_[g].min_entries;
+  assert(!entries.empty());
+  entries[0] = entries.back();
+  entries.pop_back();
+  if (entries.size() > 1) {
+    MinSiftDown(entries, 0);
+  }
+}
+
+void CandidatePool::PushGroupMin(size_t g, const MinEntry& entry) {
+  ArenaVec<MinEntry>& entries = groups_[g].min_entries;
+  entries.push_back(arena_, entry);
+  MinSiftUp(entries, entries.size() - 1);
+}
+
 void CandidatePool::GroupInsert(uint32_t slot) {
   assert(group_of_[slot] == kNoGroup && !InHeap(slot));
   const uint32_t g = FindOrCreateGroup(masks_[slot]);
   Group& group = groups_[g];
   group_of_[slot] = g;
   group_pos_[slot] = static_cast<uint32_t>(group.members.size());
-  group.members.push_back(slot);
+  group.members.push_back(arena_, slot);
   GroupSiftUp(group, group.members.size() - 1);
+  if (dual_heap_) {
+    // A fresh stamp orphans every earlier entry of this slot; the one entry
+    // pushed here is the registration's single live representative.
+    births_[slot] = ++birth_counter_;
+    group.min_entries.push_back(
+        arena_, MinEntry{lowers_[slot], items_[slot], births_[slot]});
+    MinSiftUp(group.min_entries, group.min_entries.size() - 1);
+    // Stale entries outnumber live members: compact them away. (The peels
+    // also discard stale entries as they pop them; this bound covers groups
+    // whose min side is rarely peeled.)
+    if (group.min_entries.size() > 2 * group.members.size() + 64) {
+      MinRebuild(group);
+    }
+  }
 }
 
 void CandidatePool::GroupRemove(uint32_t slot) {
   const uint32_t g = group_of_[slot];
   assert(g != kNoGroup);
   Group& group = groups_[g];
-  const size_t pos = group_pos_[slot];
   group_of_[slot] = kNoGroup;
+  const size_t pos = group_pos_[slot];
   const uint32_t last = group.members.back();
   group.members.pop_back();
-  if (last == slot) {
-    return;
+  if (last != slot) {
+    group.members[pos] = last;
+    group_pos_[last] = static_cast<uint32_t>(pos);
+    // The filler may be stronger or weaker than the hole's old occupant.
+    GroupSiftUp(group, pos);
+    GroupSiftDown(group, group_pos_[last]);
   }
-  group.members[pos] = last;
-  group_pos_[last] = static_cast<uint32_t>(pos);
-  // The filler may be stronger or weaker than the hole's old occupant.
-  GroupSiftUp(group, pos);
-  GroupSiftDown(group, group_pos_[last]);
+  if (dual_heap_) {
+    // Min side: deregistration is free — re-stamping the slot orphans its
+    // entry wherever it sits (popped and discarded by a later peel, or
+    // swept out by a rebuild).
+    births_[slot] = ++birth_counter_;
+  }
 }
 
 void CandidatePool::OfferLower(uint32_t slot, Score lower) {
@@ -330,7 +413,7 @@ void CandidatePool::OfferLower(uint32_t slot, Score lower) {
     return;
   }
   if (heap_.size() < k_) {
-    heap_.push_back(slot);
+    heap_.push_back(arena_, slot);
     SiftUp(heap_.size() - 1);
     return;
   }
@@ -401,11 +484,14 @@ void CandidatePool::Erase(uint32_t slot) {
   }
   group_of_[slot] = group_of_[last];
   group_pos_[slot] = group_pos_[last];
+  // The min side needs no fixup: entries reference (item, stamp), not slots,
+  // and both move with the candidate.
+  births_[slot] = births_[last];
   if (group_of_[slot] != kNoGroup) {
     groups_[group_of_[slot]].members[group_pos_[slot]] = slot;
   }
   // Retarget the moved item's index cell at its new slot.
-  table_slots_[TableProbe(items_[slot])] = slot;
+  table_[TableProbe(items_[slot])].slot = slot;
 }
 
 }  // namespace topk

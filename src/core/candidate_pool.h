@@ -10,7 +10,11 @@
 // scores (unknown cells pre-filled with the query's score floor), the
 // seen-list bit mask, the known-list count and the cached lower bound. All
 // storage is retained across queries and only ever grows, so a warmed pool
-// serves an unbounded query stream without touching the heap allocator.
+// serves an unbounded query stream without touching the heap allocator. At
+// DRAM-resident n the arrays span tens of megabytes of randomly probed
+// memory, so they live on the pool's own mmap'd arena with hugepage-advised
+// chunks above a size threshold (see core/pool_arena.h) — the same TLB
+// treatment the Database's item-major mirror gets.
 //
 // On top of the store sit two index structures:
 //
@@ -28,16 +32,48 @@
 //     scoring). Grouping candidates by mask therefore turns the stop-rule
 //     sweep ("does any candidate still block?") and CA's victim selection
 //     ("which unresolved candidate has the largest upper bound?") from
-//     O(pool size) scans into O(#distinct masks) scans: each group maintains
-//     an eagerly-compacted max-heap of its members keyed by the immutable
-//     (lower bound, item id) pair — immutable because a candidate's lower
-//     bound changes exactly when its mask changes, which moves it to another
-//     group — whose root majorizes the whole group's upper bounds. Candidates
-//     move between groups on SetSeen/OfferLower/Erase in O(log group size).
-//     Threshold-heap members are deliberately absent from the groups: they
-//     are the current answer and never block the stop rule; callers that
-//     need them (CA's victim selection, TPUT's phase 3) scan the ≤ k heap
-//     slots directly.
+//     O(pool size) scans into O(#distinct masks) scans. Groups are keyed by
+//     the immutable (lower bound, item id) pair — immutable because a
+//     candidate's lower bound changes exactly when its mask changes, which
+//     moves it to another group — and carry up to two heap sides:
+//
+//       - a strongest-at-root *max side* (always present) whose root
+//         majorizes the group's upper bounds: the stop-rule blocking checks,
+//         CA's victim argmax, TPUT's τ2 filter and NRA's compaction walk it
+//         top-down, pruning whole subtrees against a threshold, and
+//       - an optional weakest-at-root *min side* whose root minorizes them:
+//         CA's prune-and-erase stop check peels victims weakest-first off it
+//         and stops the moment the root is provably above the prune
+//         threshold, decoupling the pass's cost from the live-set size.
+//
+//     The two sides trade update discipline for their access patterns. The
+//     max side is exact at all times: backlinked slots, O(log group) sift
+//     surgery on every registration change (its walks need every array
+//     entry live). The min side is **lazily invalidated**: entries are
+//     self-contained (lower bound, item id, registration stamp) keys in a
+//     plain binary min-heap; registering a member pushes one entry (usually
+//     O(1) — a freshly grown bound is strong, so it stays at a leaf) and
+//     deregistering merely re-stamps the slot, orphaning the entry where it
+//     sits. A stamp mismatch is detected when a peel pops the entry (each
+//     stale entry is popped exactly once — amortized against its own push)
+//     or when a group's entry count exceeds twice its live membership and
+//     the heap is rebuilt from the live members (amortized against the
+//     staling deregistrations). Because a member's key is immutable while
+//     it is registered, a live entry's stored bound is bit-identical to the
+//     member's current bound — the peels classify with exactly the
+//     arithmetic the pre-dual-heap sweeps used.
+//
+//     The min side is enabled per query (Reset's dual_heap) by the one
+//     consumer whose peel frequency pays for the per-registration pushes:
+//     CA. See Reset for the measured trade (an always-on min side — eagerly
+//     backlinked or lazy — made NRA ~2x slower at n=1M, because NRA
+//     registers ~10^6 times per query and peels only on its rare
+//     watermark-triggered compactions). Lazy index mode (TPUT, which
+//     consults the index exactly once and only ever walks strongest-first)
+//     defers all registration to one BuildGroups() call. Threshold-heap
+//     members are deliberately absent from the groups: they are the current
+//     answer and never block the stop rule; callers that need them (CA's
+//     victim selection, TPUT's phase 3) scan the ≤ k heap slots directly.
 //
 // Tie-breaking is deterministic everywhere: on equal lower bounds the smaller
 // item id is the stronger candidate, matching TopKBuffer and the library-wide
@@ -51,6 +87,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/pool_arena.h"
 #include "lists/types.h"
 
 namespace topk {
@@ -64,6 +101,10 @@ class CandidatePool {
   static constexpr uint32_t kNoSlot = UINT32_MAX;
   static constexpr uint32_t kNoGroup = UINT32_MAX;
 
+  CandidatePool() = default;
+  CandidatePool(const CandidatePool&) = delete;
+  CandidatePool& operator=(const CandidatePool&) = delete;
+
   /// Forgets all candidates and reconfigures for a query over `m` lists with
   /// a threshold heap of size `k`; `floor` pre-fills unknown score cells (the
   /// paper's lower-bound contribution for unseen lists). O(1) amortized: the
@@ -75,7 +116,21 @@ class CandidatePool {
   /// rows) or deferred until one explicit BuildGroups() call (TPUT, which
   /// consults the groups exactly once, for its phase-3 τ2 filter — paying
   /// per-access re-registration for an index read once is a net loss).
-  void Reset(size_t m, size_t k, Score floor, bool eager_groups = true);
+  ///
+  /// `dual_heap` adds the min side to each group. It defaults to off because
+  /// it is a consumer-driven trade: each registration pushes one min-side
+  /// entry (~one cache miss for the sift-up's parent compare), which only
+  /// pays off when the min side is peeled often relative to registrations.
+  /// CA peels at every stop check (every cr/cs rows) — its peels turned an
+  /// O(live set) sweep into the prunable tail and bought an order of
+  /// magnitude at DRAM-resident n. NRA peels only on watermark-triggered
+  /// compactions (a handful per query against ~10^6 registrations) — an
+  /// always-on min side measured ~2x slower end-to-end for NRA at n=1M, so
+  /// NRA runs max-side-only and compacts with the max-side walk. Requires
+  /// eager_groups (a lazily-built index is read strongest-first once and
+  /// never peeled).
+  void Reset(size_t m, size_t k, Score floor, bool eager_groups = true,
+             bool dual_heap = false);
 
   /// Registers every candidate outside the threshold heap in the group of
   /// its current mask (O(size) total). The one-shot complement of
@@ -98,6 +153,17 @@ class CandidatePool {
 
   /// Slot of `item`, or kNoSlot if the item is not a candidate.
   uint32_t FindSlot(ItemId item) const;
+
+  /// Pulls `item`'s primary probe cell toward the cache. The run loops call
+  /// this for the item of the sorted row a few iterations ahead of use
+  /// (decision-free and uncounted, like the TA/BPA mirror prefetches): at
+  /// DRAM-resident n the open-addressing table spans tens of MB, so the
+  /// FindOrInsert probe is otherwise a guaranteed stall per access. The
+  /// whole probe cell (item, slot, stamp) is one 12-byte struct — one line,
+  /// one prefetch.
+  void PrefetchItem(ItemId item) const {
+    __builtin_prefetch(&table_[HashItem(item) & table_mask_]);
+  }
 
   /// Slot of `item`, inserting a fresh candidate (floor-filled row, empty
   /// mask, lower bound -inf, in neither the heap nor any group) if absent.
@@ -166,7 +232,7 @@ class CandidatePool {
   /// The heap members' slots in heap order (callers that need the ≤ k
   /// current-answer candidates — CA's victim selection, TPUT's phase 3 —
   /// scan this directly; heap members are not in any group).
-  const std::vector<uint32_t>& heap_slots() const { return heap_; }
+  const ArenaVec<uint32_t>& heap_slots() const { return heap_; }
 
   Score lower(uint32_t slot) const { return lowers_[slot]; }
 
@@ -194,19 +260,87 @@ class CandidatePool {
   /// walk it top-down and prune whole subtrees against a bound threshold.
   /// Compaction is eager (members leave in O(log size) when their mask
   /// changes or they enter the threshold heap), so every entry is live.
-  const std::vector<uint32_t>& group_members(size_t g) const {
+  const ArenaVec<uint32_t>& group_members(size_t g) const {
     return groups_[g].members;
   }
+
+  /// One entry of a group's min side: the member's immutable key plus the
+  /// registration stamp that told it apart from every other (de)registration
+  /// of this query. The entry is self-contained — peels and heap sifts never
+  /// touch the slot arrays — and slot-independent, so Erase's slot moves
+  /// need no min-side fixups.
+  struct MinEntry {
+    Score lower;
+    ItemId item;
+    uint64_t birth;
+  };
+
+  /// The min side of the dual heap: a weakest-at-root binary heap of the
+  /// entries pushed by every registration into this group, including stale
+  /// ones (members that have since deregistered; MinEntryLive tells them
+  /// apart). The stored keys satisfy the heap invariant unconditionally, so
+  /// min_entries[0] carries the smallest stored key and every live member's
+  /// current key appears exactly once. Maintained in eager mode only (empty
+  /// for a lazily-built index — TPUT never prunes).
+  const ArenaVec<MinEntry>& group_min_entries(size_t g) const {
+    return groups_[g].min_entries;
+  }
+
+  /// True iff the entry refers to a currently registered member (its stamp
+  /// still matches — stamps are unique per (de)registration within a query,
+  /// so a match certifies the member is registered, in the group the entry
+  /// was pushed into, with lowers_[slot] bit-identical to entry.lower).
+  bool MinEntryLive(const MinEntry& entry) const {
+    const uint32_t slot = FindSlot(entry.item);
+    return slot != kNoSlot && births_[slot] == entry.birth;
+  }
+
+  /// Pops the min side's root entry (requires a non-empty min side).
+  void PopGroupMin(size_t g);
+
+  /// Re-pushes an entry a peel popped but did not consume (a margin-band
+  /// survivor). The entry must still be live.
+  void PushGroupMin(size_t g, const MinEntry& entry);
+
+  /// Scratch for the peels' popped-but-surviving entries; emptied, capacity
+  /// retained on the arena. Fill through PushPeelScratch (growth must go
+  /// through the pool's arena).
+  ArenaVec<MinEntry>& PeelScratch() {
+    peel_scratch_.clear();
+    return peel_scratch_;
+  }
+  void PushPeelScratch(const MinEntry& entry) {
+    peel_scratch_.push_back(arena_, entry);
+  }
+
+  /// True when the groups carry their min side (eager mode; see Reset).
+  bool has_min_side() const { return dual_heap_; }
 
   /// Group the slot is registered in, or kNoGroup for threshold-heap members
   /// and candidates whose OfferLower is still pending after SetSeen.
   uint32_t group_of(uint32_t slot) const { return group_of_[slot]; }
+
+  // --- arena introspection (see core/pool_arena.h) ---
+
+  /// Bytes of address space the pool's arena has reserved. Monotone, and
+  /// stable across warmed queries — the arena-growth test pins this.
+  size_t arena_bytes_reserved() const { return arena_.bytes_reserved(); }
+  size_t arena_bytes_used() const { return arena_.bytes_used(); }
+  size_t arena_chunks() const { return arena_.num_chunks(); }
 
  private:
   struct Key {
     Score lower;
     ItemId item;
   };
+
+  // Finalizing multiplicative hash over a 32-bit item id (same family as
+  // TopKBuffer's). In the header so PrefetchItem inlines into the run loops.
+  static size_t HashItem(ItemId item) {
+    uint32_t h = item * 2654435761u;
+    h ^= h >> 16;
+    return h;
+  }
   // `a` strictly weaker than `b`: smaller bound, or equal bound and larger
   // item id (mirrors TopKBuffer's deterministic tie-break).
   static bool Weaker(const Key& a, const Key& b) {
@@ -226,62 +360,96 @@ class CandidatePool {
   void TableGrow();
 
   // One per-mask candidate group: the member slots form a strongest-at-root
-  // binary heap under (lower, item id). Storage is retained across queries.
+  // binary heap in `members`; in eager mode `min_entries` holds the
+  // weakest-at-root entry heap of the min side (live entries + lazily
+  // invalidated stale ones). Storage is retained across queries.
   struct Group {
     uint64_t mask = 0;
-    std::vector<uint32_t> members;
+    ArenaVec<uint32_t> members;
+    ArenaVec<MinEntry> min_entries;
   };
 
   /// Index of the group for `mask`, materializing it if needed.
   uint32_t FindOrCreateGroup(uint64_t mask);
 
   /// Registers the slot (not in any group, not in the heap) in the group of
-  /// its current mask under its current (lower, item) key.
+  /// its current mask under its current (lower, item) key: max-side sift
+  /// insert plus, in eager mode, a fresh stamp and one min-side entry push.
   void GroupInsert(uint32_t slot);
 
-  /// Deregisters the slot from its group in O(log group size).
+  /// Deregisters the slot from its group: O(log group size) max-side
+  /// surgery; the min side is invalidated for free by re-stamping the slot.
   void GroupRemove(uint32_t slot);
 
   void GroupSiftUp(Group& group, size_t pos);
   void GroupSiftDown(Group& group, size_t pos);
+  static bool EntryWeaker(const MinEntry& a, const MinEntry& b) {
+    return Weaker(Key{a.lower, a.item}, Key{b.lower, b.item});
+  }
+  void MinSiftUp(ArenaVec<MinEntry>& entries, size_t pos);
+  void MinSiftDown(ArenaVec<MinEntry>& entries, size_t pos);
+  /// Discards every stale entry by rebuilding the min side from the live
+  /// max-side membership (triggered when stale entries outnumber live ones).
+  void MinRebuild(Group& group);
   void MaskTableGrow();
 
   size_t m_ = 0;
   size_t k_ = 0;
   Score floor_ = 0.0;
   bool eager_groups_ = true;
+  bool dual_heap_ = true;  // min sides maintained (eager mode)
   size_t size_ = 0;
   size_t peak_size_ = 0;
 
+  // The arena behind every flat array below (and the group member heaps):
+  // bump-allocated spans over mmap'd, hugepage-advised chunks, retained
+  // across queries. Declared first so it outlives the views during
+  // destruction.
+  PoolArena arena_;
+
   // SoA candidate store, indexed by slot < size_.
-  std::vector<ItemId> items_;
-  std::vector<uint64_t> masks_;
-  std::vector<uint32_t> known_;
-  std::vector<Score> lowers_;
-  std::vector<Score> rows_;        // size_ * m_, strided by m_
-  std::vector<uint32_t> heap_pos_;  // slot -> heap index, kNoSlot if outside
-  std::vector<uint32_t> group_of_;  // slot -> group index, kNoGroup if none
-  std::vector<uint32_t> group_pos_;  // slot -> index in its group's heap
+  ArenaVec<ItemId> items_;
+  ArenaVec<uint64_t> masks_;
+  ArenaVec<uint32_t> known_;
+  ArenaVec<Score> lowers_;
+  ArenaVec<Score> rows_;        // size_ * m_, strided by m_
+  ArenaVec<uint32_t> heap_pos_;  // slot -> heap index, kNoSlot if outside
+  ArenaVec<uint32_t> group_of_;  // slot -> group index, kNoGroup if none
+  ArenaVec<uint32_t> group_pos_;  // slot -> index in its group's max heap
+  // Registration stamp of the slot: bumped on every group (de)registration,
+  // so a min-side entry is live iff its stored stamp still matches. The
+  // 64-bit counter never resets, making stamps unique for the pool's whole
+  // lifetime — a stale entry can never be revived by a later registration,
+  // not even across epochs or slot reuse.
+  ArenaVec<uint64_t> births_;
+  uint64_t birth_counter_ = 0;
 
   // Open-addressing item→slot index; a cell is live iff its stamp equals the
-  // current epoch, so Reset never touches the table.
-  std::vector<ItemId> table_items_;
-  std::vector<uint32_t> table_slots_;
-  std::vector<uint32_t> table_stamps_;
+  // current epoch, so Reset never touches the table. The three fields live
+  // in one packed 12-byte cell: a probe reads item, stamp and slot from one
+  // cache line instead of three parallel arrays (three lines — measured on
+  // the probe-bound NRA/TPUT n=1M loops).
+  struct TableCell {
+    ItemId item;
+    uint32_t slot;
+    uint32_t stamp;
+  };
+  ArenaVec<TableCell> table_;
   size_t table_mask_ = 0;
   uint32_t epoch_ = 0;
 
   // Min-heap of slots: front = weakest of the k best (lower, item) pairs.
-  std::vector<uint32_t> heap_;
+  ArenaVec<uint32_t> heap_;
   mutable std::vector<Key> emit_scratch_;  // for sorted emission
+  ArenaVec<MinEntry> peel_scratch_;        // peels' band survivors
 
   // Mask groups: dense array of the groups materialized this query plus an
   // epoch-stamped open-addressing mask→group index.
   std::vector<Group> groups_;
   size_t num_groups_ = 0;
-  std::vector<uint64_t> mask_table_masks_;
-  std::vector<uint32_t> mask_table_groups_;
-  std::vector<uint32_t> mask_table_stamps_;
+  ArenaVec<uint64_t> mask_table_masks_;
+  ArenaVec<uint32_t> mask_table_groups_;
+  ArenaVec<uint32_t> mask_table_stamps_;
   size_t mask_table_mask_ = 0;
 };
 

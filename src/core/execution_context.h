@@ -118,18 +118,25 @@ class ExecutionContext {
 
   /// The flat candidate pool of the no-random-access family (NRA/CA/TPUT),
   /// reset for a query of `k` over `m` lists with the given score floor.
-  /// O(1) reset via epoch stamping; storage is retained across queries.
-  /// `eager_groups` picks the pool's per-mask group index maintenance mode
-  /// (see CandidatePool::Reset): eager for the repeated stop checks of
-  /// NRA/CA, deferred-to-BuildGroups for TPUT's single phase-3 filter.
+  /// O(1) reset via epoch stamping; storage — including the pool's mmap'd,
+  /// hugepage-advised arena (core/pool_arena.h) — is retained across
+  /// queries, so a warmed context sizes itself to the workload once and then
+  /// serves queries without growing. `eager_groups` picks the pool's
+  /// per-mask group index maintenance mode (see CandidatePool::Reset):
+  /// eager for the repeated stop checks of NRA/CA, deferred-to-BuildGroups
+  /// for TPUT's single phase-3 filter. `dual_heap` adds the min side CA's
+  /// per-stop-check prune peels (a per-registration cost only its peel
+  /// frequency justifies — NRA and TPUT leave it off).
   CandidatePool& PreparePool(size_t m, size_t k, Score floor,
-                             bool eager_groups = true) {
-    pool_.Reset(m, k, floor, eager_groups);
+                             bool eager_groups = true,
+                             bool dual_heap = false) {
+    pool_.Reset(m, k, floor, eager_groups, dual_heap);
     return pool_;
   }
 
   /// Read-only view of the candidate pool as the last pool algorithm left it
-  /// (tests inspect peak occupancy after a run; a later PreparePool resets).
+  /// (tests inspect peak occupancy and arena sizing after a run; a later
+  /// PreparePool resets).
   const CandidatePool& pool() const { return pool_; }
 
   /// Zero-filled scratch of `count` scores (FA/naive gather matrices).

@@ -40,7 +40,11 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
   const ScorerT& scorer = static_cast<const ScorerT&>(*query.scorer);
 
   // The group index serves only the summation stop rule; the generic-scorer
-  // fallback sweeps per candidate, so it skips the index maintenance.
+  // fallback sweeps per candidate, so it skips the index maintenance. NRA
+  // leaves the groups' min side off: it would be pushed on each of ~n
+  // registrations but peeled only by the rare watermark-triggered
+  // compactions (see CandidatePool::Reset), so compaction walks the max
+  // side instead.
   CandidatePool& pool =
       context->PreparePool(m, query.k, options.score_floor,
                            /*eager_groups=*/std::is_same_v<ScorerT, SumScorer>);
@@ -51,19 +55,33 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
   std::vector<ItemId>& winners = context->ClearedItems();
   // Pool-compaction watermark: once the pool reaches it, candidates whose
   // upper bound is strictly below the k-th lower bound are erased (a
-  // behavioral no-op for NRA, see GroupCompact) and the watermark doubles to
-  // twice the surviving size — total compaction work stays proportional to
-  // pool growth while occupancy stays O(live candidates) instead of O(every
-  // seen item), the difference between ~k-digit pools and n-sized pools at
-  // DRAM-scale n.
+  // behavioral no-op for NRA, see GroupCompact) and the watermark resets to
+  // 1.25x the surviving size — occupancy hugs the live population instead
+  // of O(every seen item), the difference between ~k-digit pools and
+  // n-sized pools at DRAM-scale n. The tight 1.25x productive schedule
+  // (PR 4 shipped 2x) is affordable because a productive pass's walk is
+  // dominated by the subtree-bulk victim collection it erases — the walk
+  // amortizes against the erasures, so re-triggering at 1.25x live instead
+  // of 2x only re-walks what genuinely survived.
   size_t compact_watermark =
       std::max<size_t>(options.nra_compaction_floor, 2 * query.k);
+  int unproductive_passes = 0;  // consecutive; escalates the backoff
   Position depth = 0;
   while (depth < n) {
     const Position round_end =
         std::min<Position>(depth + kCheckInterval, static_cast<Position>(n));
     for (size_t i = 0; i < m; ++i) {
       for (Position d = depth + 1; d <= round_end; ++d) {
+        // Prefetch pipelining (same discipline as the TA/BPA mirror
+        // prefetches): request the pool's probe cell for the item this list
+        // reveals kPrefetchRowsAhead rows from now — the item id is read
+        // straight off the list's sequential (cache-resident) item array,
+        // uncounted and decision-free, so the access pattern is untouched
+        // while the FindOrInsert probe's DRAM latency overlaps the rows in
+        // between.
+        if (d + kPrefetchRowsAhead <= n) {
+          pool.PrefetchItem(db.list(i).items()[d - 1 + kPrefetchRowsAhead]);
+        }
         const AccessedEntry entry = io.Sorted(i, d);
         last_scores[i] = entry.score;
         const uint32_t slot = pool.FindOrInsert(entry.item);
@@ -126,15 +144,31 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
         GroupCompact(pool, last_scores, options.score_floor, margin,
                      context->ClearedSlots());
         const size_t after = pool.size();
-        // Productive passes keep the watermark tight (2x the surviving live
-        // set) so occupancy tracks the live population; an unproductive pass
-        // (under 10% erased — the pool is genuinely live, as on uniform
-        // m=5 where hundreds of thousands of partially-seen candidates
-        // block mid-scan) backs off 4x so the O(live) walks cannot tax a
-        // workload that has nothing to reclaim yet.
-        compact_watermark = std::max<size_t>(
-            options.nra_compaction_floor,
-            before - after >= before / 10 ? 2 * after : 4 * before);
+        // Productive passes (a quarter or more erased — on the compactable
+        // shapes they erase 80%+) reset the watermark tight: 1.25x the
+        // surviving live set (PR 4 shipped 2x), so occupancy hugs the live
+        // population. The quarter bar also keeps marginally-dead pools out
+        // of the tight schedule: resetting tight on a 10% erase makes the
+        // live-heavy shapes churn (erase, re-see, re-insert) near the
+        // productivity boundary. Unproductive passes back off with
+        // escalation — 2x on the first, 4x from the second in a row: the
+        // first unproductive pass is usually just the threshold heap not
+        // being strong *yet* (its backoff bounds the peak, so it should be
+        // gentle — on the gaussian n=1M smoke the peak is exactly the first
+        // backoff's landing point), while a streak means the pool is
+        // genuinely live (uniform m=5: hundreds of thousands of
+        // partially-seen candidates block mid-scan) and each O(live) walk
+        // has nothing to amortize it, so the ladder must outrun the pool.
+        if (before - after >= before / 4) {
+          unproductive_passes = 0;
+          compact_watermark = std::max<size_t>(options.nra_compaction_floor,
+                                               after + after / 4);
+        } else {
+          ++unproductive_passes;
+          compact_watermark = std::max<size_t>(
+              options.nra_compaction_floor,
+              (unproductive_passes >= 2 ? 4 : 2) * before);
+        }
       }
     }
   }

@@ -65,9 +65,11 @@ struct AlgorithmOptions {
 
   /// Pool size below which NRA never bothers compacting (the group walks are
   /// cheap while everything fits in cache). Once the pool reaches the
-  /// watermark a compaction pass runs and the watermark doubles to twice the
-  /// surviving (live) size, so total compaction work stays O(pool growth).
-  /// Tests set 1 to compact at every stop check.
+  /// watermark a compaction pass runs; a productive pass (>= 1/4 erased)
+  /// resets the watermark to 1.25x the surviving live size, an unproductive
+  /// one backs it off 2x (4x from the second unproductive pass in a row), so
+  /// total compaction work stays O(pool growth) — see the schedule comment
+  /// in nra_algorithm.cc. Tests set 1 to compact at every stop check.
   size_t nra_compaction_floor = 4096;
 };
 

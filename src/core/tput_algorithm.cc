@@ -54,6 +54,11 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
                                       static_cast<Position>(n));
   for (size_t i = 0; i < m; ++i) {
     for (Position p = 1; p <= depth; ++p) {
+      // Probe-cell prefetch pipelining — uncounted, decision-free; see
+      // nra_algorithm.cc.
+      if (p + kPrefetchRowsAhead <= n) {
+        pool.PrefetchItem(db.list(i).items()[p - 1 + kPrefetchRowsAhead]);
+      }
       record(i, io.Sorted(i, p));
     }
   }
@@ -74,7 +79,11 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
     }
     for (size_t i = 0; i < m; ++i) {
       while (list_depths[i] < n && last_scores[i] >= threshold) {
-        const AccessedEntry entry = io.Sorted(i, ++list_depths[i]);
+        const Position p = ++list_depths[i];
+        if (p + kPrefetchRowsAhead <= n) {
+          pool.PrefetchItem(db.list(i).items()[p - 1 + kPrefetchRowsAhead]);
+        }
+        const AccessedEntry entry = io.Sorted(i, p);
         record(i, entry);
         last_scores[i] = entry.score;
         depth = std::max(depth, entry.position);
@@ -107,7 +116,7 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
   }
   const double margin = SummationErrorMargin(db, floor);
   for (size_t g = 0; g < pool.num_groups(); ++g) {
-    const std::vector<uint32_t>& members = pool.group_members(g);
+    const ArenaVec<uint32_t>& members = pool.group_members(g);
     if (members.empty()) {
       continue;
     }

@@ -307,8 +307,9 @@ bool Stronger(Score lower_a, ItemId item_a, Score lower_b, ItemId item_b) {
 
 // Brute-force verification of the whole group index against the flat
 // candidate store: membership (every non-heap candidate is registered in the
-// group of its exact mask), per-group counts, the strongest-at-root heap
-// invariant of every member array, and the group maximum.
+// group of its exact mask), per-group counts, both heap invariants of every
+// dual-heap group (strongest at the max root, weakest at the min root), the
+// group extrema, and min-side/max-side membership agreement.
 void ExpectGroupIndexConsistent(const CandidatePool& pool) {
   std::vector<size_t> expected_count(pool.num_groups(), 0);
   size_t grouped = 0;
@@ -330,7 +331,7 @@ void ExpectGroupIndexConsistent(const CandidatePool& pool) {
 
   size_t member_total = 0;
   for (size_t g = 0; g < pool.num_groups(); ++g) {
-    const std::vector<uint32_t>& members = pool.group_members(g);
+    const auto& members = pool.group_members(g);
     ASSERT_EQ(members.size(), expected_count[g]) << "group " << g;
     member_total += members.size();
     for (size_t pos = 0; pos < members.size(); ++pos) {
@@ -340,7 +341,7 @@ void ExpectGroupIndexConsistent(const CandidatePool& pool) {
         EXPECT_FALSE(Stronger(
             pool.lower(members[pos]), pool.item_at(members[pos]),
             pool.lower(members[parent]), pool.item_at(members[parent])))
-            << "group " << g << " heap violated at position " << pos;
+            << "group " << g << " max heap violated at position " << pos;
       }
     }
     if (!members.empty()) {
@@ -352,7 +353,71 @@ void ExpectGroupIndexConsistent(const CandidatePool& pool) {
         }
       }
       EXPECT_EQ(members[0], best)
-          << "group " << g << " root is not the strongest member";
+          << "group " << g << " max root is not the strongest member";
+    }
+
+    // Min side of the dual heap: a lazily-invalidated entry heap. The heap
+    // invariant must hold over the *stored* keys (stale entries included,
+    // keys can repeat across re-registrations, so non-strict), every live
+    // member must own exactly one live entry carrying its current key, and
+    // the root's stored key must minorize every live member — which makes
+    // the weakest live member reachable by popping stale roots only.
+    // Lazily-built indexes (TPUT) carry no min side at all.
+    const auto& min_entries = pool.group_min_entries(g);
+    if (!pool.has_min_side()) {
+      EXPECT_EQ(min_entries.size(), 0u)
+          << "group " << g << " grew a min side in lazy mode";
+      continue;
+    }
+    for (size_t pos = 1; pos < min_entries.size(); ++pos) {
+      const size_t parent = (pos - 1) / 2;
+      EXPECT_FALSE(Stronger(min_entries[parent].lower,
+                            min_entries[parent].item, min_entries[pos].lower,
+                            min_entries[pos].item))
+          << "group " << g << " min heap violated at position " << pos;
+    }
+    std::vector<size_t> live_entries_per_member(members.size(), 0);
+    for (size_t pos = 0; pos < min_entries.size(); ++pos) {
+      const auto& entry = min_entries[pos];
+      if (!pool.MinEntryLive(entry)) {
+        continue;
+      }
+      const uint32_t slot = pool.FindSlot(entry.item);
+      ASSERT_NE(slot, CandidatePool::kNoSlot);
+      EXPECT_EQ(pool.group_of(slot), g)
+          << "live entry for item " << entry.item << " in the wrong group";
+      // A live entry's stored key is bit-identical to the member's current
+      // key (keys are immutable while registered).
+      EXPECT_EQ(entry.lower, pool.lower(slot));
+      bool counted = false;
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (members[i] == slot) {
+          ++live_entries_per_member[i];
+          counted = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(counted) << "live entry for a slot outside the max side";
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(live_entries_per_member[i], 1u)
+          << "member " << pool.item_at(members[i]) << " of group " << g
+          << " owns " << live_entries_per_member[i] << " live entries";
+    }
+    if (!members.empty()) {
+      // Brute-force weakest live member vs the stored-key minimum: the root
+      // minorizes it (equal when the root itself is live).
+      uint32_t weakest = members[0];
+      for (uint32_t slot : members) {
+        if (Stronger(pool.lower(weakest), pool.item_at(weakest),
+                     pool.lower(slot), pool.item_at(slot))) {
+          weakest = slot;
+        }
+      }
+      ASSERT_FALSE(min_entries.empty());
+      EXPECT_FALSE(Stronger(min_entries[0].lower, min_entries[0].item,
+                            pool.lower(weakest), pool.item_at(weakest)))
+          << "group " << g << " min root is stronger than a live member";
     }
   }
   EXPECT_EQ(member_total, grouped);
@@ -365,7 +430,11 @@ TEST(CandidatePoolTest, GroupIndexMatchesBruteForceUnderRandomizedOps) {
     const size_t k = 1 + rng.NextBounded(6);
     const size_t universe = 1 + rng.NextBounded(150);
     CandidatePool pool;
-    pool.Reset(m, k, /*floor=*/0.0);
+    // Alternate CA's dual-heap mode (min side on) with NRA's max-side-only
+    // mode: the consistency check covers the min side's lazy-invalidation
+    // invariants in the former and its absence in the latter.
+    pool.Reset(m, k, /*floor=*/0.0, /*eager_groups=*/true,
+               /*dual_heap=*/round % 2 == 0);
 
     const size_t ops = 100 + rng.NextBounded(600);
     for (size_t op = 0; op < ops; ++op) {
@@ -412,7 +481,8 @@ TEST(CandidatePoolTest, GroupIndexMatchesBruteForceUnderRandomizedOps) {
 TEST(CandidatePoolTest, GroupIndexSurvivesEpochReuse) {
   CandidatePool pool;
   for (int query = 0; query < 4; ++query) {
-    pool.Reset(/*m=*/3, /*k=*/2, /*floor=*/0.0);
+    pool.Reset(/*m=*/3, /*k=*/2, /*floor=*/0.0, /*eager_groups=*/true,
+               /*dual_heap=*/true);
     for (ItemId item = 0; item < 40; ++item) {
       const uint32_t slot = pool.FindOrInsert(item);
       pool.SetSeen(slot, item % 3, 1.0 + item);

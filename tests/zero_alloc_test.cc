@@ -160,6 +160,42 @@ TEST(ZeroAllocTest, WarmedTputQueriesDoNotAllocate) {
   EXPECT_EQ(allocs, 0u);
 }
 
+// The pool's arena (mmap'd, hugepage-advised chunks — see core/pool_arena.h)
+// obeys the same warm-up contract as the heap: it grows while the first
+// queries size the pool (and its dual-heap group index) to the workload,
+// then stays byte-stable across an unbounded epoch-reused query stream — no
+// per-query mmap, madvise or heap allocation. This pins the contract the
+// PR 5 arena migration must not break: ArenaVec growth and group-heap
+// push_backs all hit retained capacity once warmed.
+TEST(ZeroAllocTest, WarmedPoolQueriesDoNotGrowTheArena) {
+  const Database db = MakeUniformDatabase(10000, 5, 42);
+  SumScorer sum;
+  const TopKQuery query{20, &sum};
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+    SCOPED_TRACE(ToString(kind));
+    auto algorithm = MakeAlgorithm(kind);
+    ExecutionContext context;
+    TopKResult result;
+    for (int i = 0; i < 3; ++i) {  // warm-up: grows pool storage + arena
+      ASSERT_TRUE(algorithm->ExecuteInto(db, query, &context, &result).ok());
+    }
+    const size_t reserved = context.pool().arena_bytes_reserved();
+    const size_t used = context.pool().arena_bytes_used();
+    const size_t chunks = context.pool().arena_chunks();
+    EXPECT_GT(reserved, 0u);  // the pool arrays really live on the arena
+    EXPECT_GE(reserved, used);
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(algorithm->ExecuteInto(db, query, &context, &result).ok());
+    }
+    EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+    EXPECT_EQ(context.pool().arena_bytes_reserved(), reserved);
+    EXPECT_EQ(context.pool().arena_bytes_used(), used);
+    EXPECT_EQ(context.pool().arena_chunks(), chunks);
+  }
+}
+
 TEST(ZeroAllocTest, HookCountsAllocations) {
   const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   auto* probe = new int(7);

@@ -26,6 +26,13 @@
 // --dist={uniform,gaussian,correlated,zipf} (uniform), --seed=<rng> (1).
 // Ad-hoc workloads dump summation scoring only (the min-scorer fallback
 // sweeps the whole pool per stop check — prohibitive at large n).
+//
+// --algos=<csv of nra,ca,tput> restricts which algorithms are dumped — an
+// ad-hoc DRAM-scale fingerprint of one algorithm under test need not pay for
+// the other deep scanners (CA alone at n=1M costs seconds; all three cost
+// tens). It composes with either mode and does not by itself select ad-hoc
+// mode: with no flags at all the full grid over all three algorithms is
+// dumped byte-identically to previous builds.
 
 #include <algorithm>
 #include <cmath>
@@ -44,6 +51,51 @@
 namespace topk {
 namespace {
 
+// The pool-family algorithms in fingerprint order; --algos restricts the
+// dump to a subset (defaults to all three, which reproduces the historical
+// output byte-for-byte).
+std::vector<AlgorithmKind> g_algos = {AlgorithmKind::kNra, AlgorithmKind::kCa,
+                                      AlgorithmKind::kTput};
+
+// Parses a comma-separated --algos value ("nra,ca", case-sensitive short
+// names) into g_algos, keeping fingerprint order and dropping duplicates.
+bool ParseAlgos(const std::string& csv) {
+  std::vector<AlgorithmKind> selected;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    const size_t comma = std::min(csv.find(',', begin), csv.size());
+    const std::string name = csv.substr(begin, comma - begin);
+    AlgorithmKind kind;
+    if (name == "nra") {
+      kind = AlgorithmKind::kNra;
+    } else if (name == "ca") {
+      kind = AlgorithmKind::kCa;
+    } else if (name == "tput") {
+      kind = AlgorithmKind::kTput;
+    } else {
+      return false;
+    }
+    if (std::find(selected.begin(), selected.end(), kind) == selected.end()) {
+      selected.push_back(kind);
+    }
+    begin = comma + 1;
+  }
+  // Fingerprint order is fixed (NRA, CA, TPUT) regardless of flag order so
+  // two dumps of the same subset always diff cleanly.
+  std::vector<AlgorithmKind> ordered;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+    if (std::find(selected.begin(), selected.end(), kind) != selected.end()) {
+      ordered.push_back(kind);
+    }
+  }
+  if (ordered.empty()) {
+    return false;
+  }
+  g_algos = ordered;
+  return true;
+}
+
 // Quantizes every score to multiples of 1/levels so ties are everywhere
 // (mirrors the fuzz harness's ties mode, including the inexact levels = 3).
 Database Quantize(const Database& db, double levels) {
@@ -61,8 +113,7 @@ void DumpOne(const char* workload, const Database& db, size_t k,
              const Scorer& scorer) {
   AlgorithmOptions options;
   options.score_floor = DeriveScoreFloor(db);
-  for (AlgorithmKind kind :
-       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
+  for (AlgorithmKind kind : g_algos) {
     const auto result =
         MakeAlgorithm(kind, options)->Execute(db, TopKQuery{k, &scorer});
     if (!result.ok()) {
@@ -204,6 +255,12 @@ int main(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (const char* v = value_of(arg, "--algos", &i)) {
+      // Restricts which algorithms are dumped; does not by itself select
+      // ad-hoc mode (a filtered full-grid dump is legal).
+      ok &= topk::ParseAlgos(v);
+      continue;
+    }
     if (const char* v = value_of(arg, "--n", &i)) {
       ok &= topk::ParseFlagSize(v, &config.n);
     } else if (const char* v = value_of(arg, "--m", &i)) {
@@ -219,15 +276,16 @@ int main(int argc, char** argv) {
     } else {
       ok = false;
     }
-    adhoc = true;  // any argument selects (or fails toward) ad-hoc mode
+    adhoc = true;  // any workload argument selects (or fails toward) ad-hoc
   }
   if (!ok) {
     // A typo must not silently fingerprint a different workload.
     std::fprintf(stderr,
                  "usage: parity_dump [--n=<items>] [--m=<lists>]"
                  " [--k=<answers>] [--seed=<rng>]"
-                 " [--dist={uniform,gaussian,correlated,zipf}]\n"
-                 "with no flags, dumps the built-in grid\n");
+                 " [--dist={uniform,gaussian,correlated,zipf}]"
+                 " [--algos=<csv of nra,ca,tput>]\n"
+                 "with no workload flags, dumps the built-in grid\n");
     return 1;
   }
   if (adhoc) {
