@@ -19,6 +19,17 @@
 //             reduced to one BPA + one CA series (CI per-push capture of
 //             the DRAM-resident regime — the random-access and dual-heap
 //             hot paths — not a stable measurement)
+//   --deadline-ms=MS --access-budget=N   arm the query governor for every
+//             measured execution: the batch then times the *anytime* path
+//             (stop at a round boundary, certify bounds) instead of the
+//             run-to-exact path, and each series records its completion
+//
+// `bench_micro --degrade-json[=path]` (default path: DEGRADE_PR6.json) runs
+// the degradation-quality sweep instead: for each algorithm it measures the
+// answer quality — recall against the Naive oracle, certified theta — at
+// access budgets set to fixed fractions of the algorithm's own ungoverned
+// access count, plus one targeted-kill fault scenario (failover quality).
+// CI uploads the artifact next to the --quick trajectory JSON.
 //
 // The BPA series is measured in two modes — a fresh ExecutionContext per
 // query (the pre-PR1 per-query allocation path) vs one reused context — so
@@ -38,6 +49,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -256,7 +268,8 @@ double MeasureBatchMillis(const TopKAlgorithm& algorithm, const Database& db,
     Timer timer;
     for (int i = 0; i < queries; ++i) {
       algorithm.ExecuteInto(db, query, &context, &result).Abort("bench query");
-      *checksum += result.items.front().score;
+      // A governed run may return fewer than k items (anytime answer).
+      *checksum += result.items.empty() ? 0.0 : result.items.front().score;
     }
     return timer.ElapsedMillis();
   }
@@ -265,7 +278,7 @@ double MeasureBatchMillis(const TopKAlgorithm& algorithm, const Database& db,
     ExecutionContext context;
     const TopKResult result =
         algorithm.Execute(db, query, &context).ValueOrDie();
-    *checksum += result.items.front().score;
+    *checksum += result.items.empty() ? 0.0 : result.items.front().score;
   }
   return timer.ElapsedMillis();
 }
@@ -301,7 +314,8 @@ void MeasureInterleavedBatch(const TopKAlgorithm& algorithm,
     Timer reused_timer;
     for (; done_reused < target; ++done_reused) {
       algorithm.ExecuteInto(db, query, &context, &result).Abort("bench query");
-      *reused_checksum += result.items.front().score;
+      *reused_checksum +=
+          result.items.empty() ? 0.0 : result.items.front().score;
     }
     *reused_ms += reused_timer.ElapsedMillis();
     Timer fresh_timer;
@@ -309,7 +323,8 @@ void MeasureInterleavedBatch(const TopKAlgorithm& algorithm,
       ExecutionContext fresh_context;
       const TopKResult fresh_result =
           algorithm.Execute(db, query, &fresh_context).ValueOrDie();
-      *fresh_checksum += fresh_result.items.front().score;
+      *fresh_checksum +=
+          fresh_result.items.empty() ? 0.0 : fresh_result.items.front().score;
     }
     *fresh_ms += fresh_timer.ElapsedMillis();
   }
@@ -332,7 +347,7 @@ struct ThroughputScenario {
   std::vector<ThroughputSeries> series;
 };
 
-// Command-line configuration of the throughput mode.
+// Command-line configuration of the throughput and degradation modes.
 struct ThroughputConfig {
   size_t n = 10000;
   size_t m = 5;
@@ -341,6 +356,10 @@ struct ThroughputConfig {
   bool explicit_workload = false;  // any of --n/--m/--k/--dist given
   bool quick = false;  // ~10x fewer queries: CI trajectory capture
   std::string json_path = "BENCH_PR5.json";
+  // Governor limits applied to every measured execution (0 = unlimited).
+  double deadline_ms = 0.0;
+  uint64_t access_budget = 0;
+  std::string degrade_path = "DEGRADE_PR6.json";
 };
 
 // The workloads a flag-less --json run measures: the historical
@@ -387,8 +406,9 @@ std::vector<ThroughputScenario> TrajectoryScenarios(bool quick) {
 
 // Measures one scenario and appends its JSON object to `json`. Returns false
 // on an unservable workload or checksum mismatch (already reported).
-bool AppendScenarioJson(const ThroughputScenario& scenario, bool quick,
-                        std::string& json) {
+bool AppendScenarioJson(const ThroughputScenario& scenario,
+                        const ThroughputConfig& config, std::string& json) {
+  const bool quick = config.quick;
   DatabaseKind kind = DatabaseKind::kUniform;
   ParseDatabaseKind(scenario.dist, &kind);  // validated by the caller
   const Database db = MakeDatabaseOfKind(kind, scenario.n, scenario.m, 11);
@@ -396,6 +416,8 @@ bool AppendScenarioJson(const ThroughputScenario& scenario, bool quick,
   // algorithms need a floor no local score undercuts.
   AlgorithmOptions options;
   options.score_floor = DeriveScoreFloor(db);
+  options.governor.deadline_ms = config.deadline_ms;
+  options.governor.total_access_budget = config.access_budget;
   SumScorer sum;
   const TopKQuery query{scenario.k, &sum};
 
@@ -431,7 +453,10 @@ bool AppendScenarioJson(const ThroughputScenario& scenario, bool quick,
     if (s.measure_fresh) {
       MeasureInterleavedBatch(*algorithm, db, query, s.queries, &reused_ms,
                               &fresh_ms, &reused_checksum, &fresh_checksum);
-      if (fresh_checksum != reused_checksum) {
+      // A wall-clock deadline trips nondeterministically, so the two modes
+      // may legitimately return different anytime prefixes; access-budget
+      // trips are deterministic and keep the checksums comparable.
+      if (config.deadline_ms == 0.0 && fresh_checksum != reused_checksum) {
         std::fprintf(stderr, "%s checksum mismatch: %f vs %f\n",
                      ToString(s.kind).c_str(), fresh_checksum,
                      reused_checksum);
@@ -462,6 +487,13 @@ bool AppendScenarioJson(const ThroughputScenario& scenario, bool quick,
         reused_ms, reused_qps);
     json += line;
 
+    if (options.governor.enabled()) {
+      std::snprintf(line, sizeof(line),
+                    ",\n       \"completion\": \"%s\", \"theta\": %.6f",
+                    ToString(probe.completion),
+                    std::isfinite(probe.theta) ? probe.theta : -1.0);
+      json += line;
+    }
     if (s.measure_fresh) {
       std::snprintf(line, sizeof(line),
                     ",\n       \"fresh_context_per_query\": {\"wall_ms\":"
@@ -512,7 +544,7 @@ int RunThroughputMode(const ThroughputConfig& config) {
     first = false;
     // The database is built (and freed) inside the call: the n=1M scenarios
     // each hold ~200 MB, and only one needs to live at a time.
-    if (!AppendScenarioJson(scenario, config.quick, json)) {
+    if (!AppendScenarioJson(scenario, config, json)) {
       return 1;
     }
   }
@@ -529,12 +561,191 @@ int RunThroughputMode(const ThroughputConfig& config) {
   return 0;
 }
 
+// --- degradation-quality mode (--degrade-json) ---
+
+// Fraction of the returned items that belong to the oracle's exact top-k.
+// Score ties are measure-zero under the generators' double scores, so the
+// id-set comparison is exact in practice.
+double RecallVsTruth(const TopKResult& result,
+                     const std::vector<ItemId>& truth_sorted, size_t k) {
+  size_t hits = 0;
+  for (const ResultItem& item : result.items) {
+    hits += std::binary_search(truth_sorted.begin(), truth_sorted.end(),
+                               item.item);
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+// Appends the per-run quality fields shared by the budget sweep and the
+// fault scenario. Theta can be +inf when nothing was certified; JSON has no
+// inf, so it is reported as -1 (meaning "no certificate").
+void AppendQualityJson(const TopKResult& result,
+                       const std::vector<ItemId>& truth_sorted, size_t k,
+                       std::string& json) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "\"completion\": \"%s\", \"returned\": %zu, \"recall\": %.4f,\n"
+      "         \"theta\": %.6f, \"kth_lower_bound\": %.6f,"
+      " \"unreturned_upper_bound\": %.6f,\n"
+      "         \"accesses\": %llu",
+      ToString(result.completion), result.items.size(),
+      RecallVsTruth(result, truth_sorted, k),
+      std::isfinite(result.theta) ? result.theta : -1.0,
+      std::isfinite(result.kth_lower_bound) ? result.kth_lower_bound : -1.0,
+      std::isfinite(result.unreturned_upper_bound)
+          ? result.unreturned_upper_bound
+          : -1.0,
+      static_cast<unsigned long long>(result.stats.TotalAccesses()));
+  json += line;
+}
+
+// Measures how gracefully each algorithm degrades: answer quality (recall vs
+// the Naive oracle, certified theta) at access budgets set to fractions of
+// the algorithm's own ungoverned access count, plus one targeted-kill fault
+// scenario exercising the failover path. Quality, not time, is the point —
+// every run executes once (the answers are deterministic).
+int RunDegradeMode(const ThroughputConfig& config) {
+  if (config.k == 0 || config.k > config.n || config.m < 2) {
+    std::fprintf(stderr, "invalid workload: n=%zu m=%zu k=%zu (need m >= 2)\n",
+                 config.n, config.m, config.k);
+    return 1;
+  }
+  DatabaseKind kind;
+  if (!ParseDatabaseKind(config.dist, &kind)) {
+    std::fprintf(stderr,
+                 "unknown --dist=%s (uniform|gaussian|correlated|zipf)\n",
+                 config.dist.c_str());
+    return 1;
+  }
+  const Database db = MakeDatabaseOfKind(kind, config.n, config.m, 11);
+  AlgorithmOptions base_options;
+  base_options.score_floor = DeriveScoreFloor(db);
+  SumScorer sum;
+  const TopKQuery query{config.k, &sum};
+
+  const TopKResult oracle = MakeAlgorithm(AlgorithmKind::kNaive)
+                                ->Execute(db, query)
+                                .ValueOrDie();
+  std::vector<ItemId> truth_sorted;
+  truth_sorted.reserve(oracle.items.size());
+  for (const ResultItem& item : oracle.items) {
+    truth_sorted.push_back(item.item);
+  }
+  std::sort(truth_sorted.begin(), truth_sorted.end());
+
+  constexpr double kBudgetFractions[] = {0.125, 0.25, 0.5, 0.75, 1.0};
+  const AlgorithmKind kinds[] = {AlgorithmKind::kFa,   AlgorithmKind::kTa,
+                                 AlgorithmKind::kBpa,  AlgorithmKind::kBpa2,
+                                 AlgorithmKind::kTput, AlgorithmKind::kNra,
+                                 AlgorithmKind::kCa};
+
+  std::string json;
+  json += "{\n";
+  json += "  \"benchmark\": \"degradation_quality\",\n";
+  char line[1024];
+  std::snprintf(line, sizeof(line),
+                "  \"workload\": {\"distribution\": \"%s\", \"n\": %zu,"
+                " \"m\": %zu, \"k\": %zu},\n"
+                "  \"series\": [\n",
+                config.dist.c_str(), config.n, config.m, config.k);
+  json += line;
+
+  bool first_series = true;
+  for (AlgorithmKind algo : kinds) {
+    const auto ungoverned = MakeAlgorithm(algo, base_options);
+    const auto probe_result = ungoverned->Execute(db, query);
+    if (!probe_result.ok()) {
+      std::fprintf(stderr, "%s cannot serve this workload: %s\n",
+                   ToString(algo).c_str(),
+                   probe_result.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t full_accesses =
+        probe_result.ValueOrDie().stats.TotalAccesses();
+
+    if (!first_series) {
+      json += ",\n";
+    }
+    first_series = false;
+    std::snprintf(line, sizeof(line),
+                  "    {\"algorithm\": \"%s\","
+                  " \"ungoverned_total_accesses\": %llu,\n"
+                  "     \"budget_sweep\": [\n",
+                  ToString(algo).c_str(),
+                  static_cast<unsigned long long>(full_accesses));
+    json += line;
+
+    bool first_point = true;
+    for (double fraction : kBudgetFractions) {
+      AlgorithmOptions options = base_options;
+      options.governor.total_access_budget = std::max<uint64_t>(
+          1, static_cast<uint64_t>(fraction * full_accesses));
+      const auto run = MakeAlgorithm(algo, options)->Execute(db, query);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s under budget failed: %s\n",
+                     ToString(algo).c_str(), run.status().ToString().c_str());
+        return 1;
+      }
+      if (!first_point) {
+        json += ",\n";
+      }
+      first_point = false;
+      std::snprintf(
+          line, sizeof(line),
+          "       {\"budget_fraction\": %.3f, \"budget\": %llu, ", fraction,
+          static_cast<unsigned long long>(
+              options.governor.total_access_budget));
+      json += line;
+      AppendQualityJson(run.ValueOrDie(), truth_sorted, config.k, json);
+      json += "}";
+    }
+    json += "\n     ],\n";
+
+    // Targeted kill: list 1 dies after 100 accesses. The random-access
+    // algorithms fail over to NRA over the survivors; NRA/CA degrade in
+    // place with widened bounds.
+    AlgorithmOptions fault_options = base_options;
+    fault_options.fault_plan.kill_list = 1;
+    fault_options.fault_plan.kill_after_accesses = 100;
+    const auto faulted = MakeAlgorithm(algo, fault_options)->Execute(db, query);
+    if (!faulted.ok()) {
+      std::fprintf(stderr, "%s under targeted kill failed: %s\n",
+                   ToString(algo).c_str(),
+                   faulted.status().ToString().c_str());
+      return 1;
+    }
+    const TopKResult& fault_result = faulted.ValueOrDie();
+    std::snprintf(line, sizeof(line),
+                  "     \"targeted_kill\": {\"kill_list\": 1,"
+                  " \"kill_after_accesses\": 100, \"failed_over\": %s,"
+                  " \"dead_lists\": %u,\n         ",
+                  fault_result.failed_over ? "true" : "false",
+                  fault_result.dead_lists);
+    json += line;
+    AppendQualityJson(fault_result, truth_sorted, config.k, json);
+    json += "}}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen(config.degrade_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", config.degrade_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace topk
 
 int main(int argc, char** argv) {
   topk::ThroughputConfig config;
   bool throughput_mode = false;
+  bool degrade_mode = false;
   bool scenario_flags_ok = true;
   // Shared CLI flag helpers (see common/flag_parse.h): --flag=value and
   // --flag value shapes, strict numeric parses.
@@ -550,6 +761,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       throughput_mode = true;
       config.json_path = arg.substr(7);
+    } else if (arg == "--degrade-json") {
+      degrade_mode = true;
+    } else if (arg.rfind("--degrade-json=", 0) == 0) {
+      degrade_mode = true;
+      config.degrade_path = arg.substr(15);
     } else if (arg == "--quick") {
       config.quick = true;
     } else if (const char* v = value_of(arg, "--n", &i)) {
@@ -564,6 +780,10 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of(arg, "--dist", &i)) {
       config.dist = v;
       config.explicit_workload = true;
+    } else if (const char* v = value_of(arg, "--deadline-ms", &i)) {
+      scenario_flags_ok &= topk::ParseFlagDouble(v, &config.deadline_ms);
+    } else if (const char* v = value_of(arg, "--access-budget", &i)) {
+      scenario_flags_ok &= topk::ParseFlagU64(v, &config.access_budget);
     } else {
       // Not a scenario flag. In throughput mode that is an error (a typoed
       // flag must not silently measure — and label — the default workload);
@@ -571,13 +791,17 @@ int main(int argc, char** argv) {
       scenario_flags_ok = false;
     }
   }
-  if (throughput_mode) {
+  if (throughput_mode || degrade_mode) {
     if (!scenario_flags_ok) {
       std::fprintf(stderr,
-                   "unrecognized argument in --json mode; scenario flags: "
-                   "--n --m --k --dist {uniform,gaussian,correlated,zipf} "
-                   "--quick\n");
+                   "unrecognized argument in --json/--degrade-json mode; "
+                   "scenario flags: --n --m --k --dist "
+                   "{uniform,gaussian,correlated,zipf} --quick "
+                   "--deadline-ms --access-budget\n");
       return 1;
+    }
+    if (degrade_mode) {
+      return topk::RunDegradeMode(config);
     }
     return topk::RunThroughputMode(config);
   }

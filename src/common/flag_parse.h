@@ -52,6 +52,17 @@ inline bool ParseFlagSize(const char* v, size_t* out) {
   return true;
 }
 
+/// Strict non-negative finite double parse (same contract as ParseFlagU64:
+/// no sign, no trailing garbage).
+inline bool ParseFlagDouble(const char* v, double* out) {
+  if (*v < '0' || *v > '9') {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(v, &end);
+  return end != v && *end == '\0' && *out >= 0.0 && *out - *out == 0.0;
+}
+
 }  // namespace topk
 
 #endif  // TOPK_COMMON_FLAG_PARSE_H_

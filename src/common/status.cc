@@ -21,6 +21,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode : int {
   kOutOfRange = 3,
   kNotImplemented = 4,
   kInternal = 5,
+  kResourceExhausted = 6,
+  kUnavailable = 7,
 };
 
 /// Returns a human-readable name for a status code (e.g. "Invalid argument").
@@ -76,6 +78,20 @@ class Status {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
   }
 
+  /// Builds a ResourceExhausted status (a query-governance limit — deadline,
+  /// access budget, pool byte budget — stopped the run under StrictMode).
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
+
+  /// Builds an Unavailable status (a data source died mid-query; the answer
+  /// could not be produced, or was degraded under StrictMode).
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
+
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
 
@@ -92,6 +108,10 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -39,7 +39,9 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
   // λ cache: best positions only ever grow, so the bp sum is an exact
   // change signature — λ is recomputed only on rounds where some bp advanced.
   uint64_t bp_signature = ~uint64_t{0};
-  Score lambda = 0.0;
+  Score lambda = std::numeric_limits<Score>::infinity();
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
   for (;;) {
     // One round: per list, direct access to the smallest unseen position
     // (bpi + 1 evaluated *now*, so random accesses earlier in this round that
@@ -59,9 +61,29 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
       }
     }
     for (size_t i = 0; i < m; ++i) {
+      if constexpr (IoT::kFaultAware) {
+        // A dead list stops contributing direct accesses (its bp freezes,
+        // which keeps λ sound); whether the answer stays exact is decided
+        // at the exhaustion exit below.
+        if (!io.SortedAlive(i)) {
+          continue;
+        }
+      }
       const Position bp = tracker(i).best_position();
       if (bp >= n) {
         continue;  // list fully seen
+      }
+      if constexpr (IoT::kFaultAware) {
+        // The revealed item needs (m-1) random accesses; a dead list makes
+        // BPA2 unservable — fail over to NRA.
+        for (size_t j = 0; j < m; ++j) {
+          if (j != i && !io.RandomAlive(j)) {
+            io.Flush();
+            return Status::Unavailable(
+                "BPA2: list ", j,
+                " died permanently; random access is unavailable");
+          }
+        }
       }
       const AccessedEntry entry = io.Direct(i, bp + 1);
       // Request the revealed item's mirror row before the tracker walks its
@@ -98,7 +120,17 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
       buffer.Offer(entry.item, overall);
     }
     if (!any_access) {
-      break;  // every position of every list has been seen
+      if constexpr (IoT::kFaultAware) {
+        // Exhaustion with a dead, not-fully-seen list means unseen data
+        // remains: the answer is complete only over the survivors.
+        for (size_t i = 0; i < m; ++i) {
+          if (!io.SortedAlive(i) && tracker(i).best_position() < n) {
+            reason = Completion::kListFailure;
+            break;
+          }
+        }
+      }
+      break;  // every position of every live list has been seen
     }
     ++rounds;
     // λ over the best-position scores; the owners return si(bpi) alongside
@@ -131,6 +163,11 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
     if (buffer.HasKAbove(lambda)) {
       break;
     }
+    // Governance: one predictable branch per round when nothing is armed.
+    if ((reason = governor.Charge(io.stats(), 0, io.VirtualLatencyMs())) !=
+        Completion::kExact) {
+      break;
+    }
   }
   io.Flush();
 
@@ -141,6 +178,14 @@ Status RunBpa2Loop(const AlgorithmOptions& options, const Database& db,
     min_bp = std::min(min_bp, tracker(i).best_position());
   }
   result->min_best_position = min_bp;
+  if (reason != Completion::kExact) {
+    // Anytime exit: buffered scores are exact (BPA2 fully resolves every
+    // revealed item in-round), λ bounds every unseen item.
+    const Score kth = result->items.empty()
+                          ? -std::numeric_limits<Score>::infinity()
+                          : result->items.back().score;
+    CertifyAnytime(reason, kth, lambda, result);
+  }
   return Status::OK();
 }
 
@@ -170,6 +215,10 @@ Status Bpa2Algorithm::Run(const Database& db, const TopKQuery& query,
   if (options().audit_accesses) {
     return DispatchBpa2(options(), db, query, context,
                         EngineIo(&context->engine()), result);
+  }
+  if (context->faults().armed()) {
+    return DispatchBpa2(options(), db, query, context,
+                        FaultIo(&context->faults()), result);
   }
   return DispatchBpa2(options(), db, query, context,
                       RawListIo(&db, &context->engine()), result);

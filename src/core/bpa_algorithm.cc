@@ -54,10 +54,22 @@ Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
   // λ cache: best positions only ever grow, so the bp sum is an exact
   // change signature — λ is recomputed only on rows where some bp advanced.
   uint64_t bp_signature = ~uint64_t{0};
-  Score lambda = 0.0;
+  Score lambda = std::numeric_limits<Score>::infinity();
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
   while (!stopped && depth < n) {
     ++depth;
+    // Fault injection: a dead list's sorted scan is skipped. λ stays a sound
+    // upper bound on unseen items — the best-position argument is
+    // depth-independent (an item never seen anywhere sits below every bp).
+    [[maybe_unused]] bool row_progress = !IoT::kFaultAware;
     for (size_t i = 0; i < m; ++i) {
+      if constexpr (IoT::kFaultAware) {
+        if (!io.SortedAlive(i)) {
+          continue;
+        }
+        row_progress = true;
+      }
       const AccessedEntry entry = io.Sorted(i, depth);
       // Prefetch pipelining (see ta_algorithm.cc): request the mirror row
       // (and memo entry) of this list's row kPrefetchRowsAhead iterations
@@ -91,6 +103,18 @@ Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
         buffer.Offer(entry.item, resolved->Get(entry.item));
         continue;
       }
+      if constexpr (IoT::kFaultAware) {
+        // BPA resolves every newly seen item with (m-1) random accesses; a
+        // dead list makes that impossible — fail over to NRA.
+        for (size_t j = 0; j < m; ++j) {
+          if (j != i && !io.RandomAlive(j)) {
+            io.Flush();
+            return Status::Unavailable(
+                "BPA: list ", j,
+                " died permanently; random access is unavailable");
+          }
+        }
+      }
       Score overall;
       if constexpr (std::is_same_v<ScorerT, SumScorer>) {
         // Summation needs no per-list score vector: accumulate in a register
@@ -122,6 +146,12 @@ Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
       }
       buffer.Offer(entry.item, overall);
     }
+    if constexpr (IoT::kFaultAware) {
+      if (!row_progress) {
+        reason = Completion::kListFailure;
+        break;
+      }
+    }
     // Best positions overall score λ. Reading si(bpi) is not a charged list
     // access: the entry at the best position was necessarily seen already.
     uint64_t signature = 0;
@@ -152,6 +182,12 @@ Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
     if (buffer.HasKAbove(lambda)) {
       stopped = true;
     }
+    // Governance: one predictable branch per row when nothing is armed.
+    if (!stopped &&
+        (reason = governor.Charge(io.stats(), 0, io.VirtualLatencyMs())) !=
+            Completion::kExact) {
+      break;
+    }
   }
   io.Flush();
 
@@ -162,6 +198,15 @@ Status RunBpaLoop(const AlgorithmOptions& options, const Database& db,
     min_bp = std::min(min_bp, tracker(i).best_position());
   }
   result->min_best_position = min_bp;
+  if (reason != Completion::kExact) {
+    // Anytime exit: buffered scores are exact; λ (from the last completed
+    // row) bounds every unseen item, and rejected seen items sit below the
+    // k-th buffered score, which CertifyAnytime folds in.
+    const Score kth = result->items.empty()
+                          ? -std::numeric_limits<Score>::infinity()
+                          : result->items.back().score;
+    CertifyAnytime(reason, kth, lambda, result);
+  }
   return Status::OK();
 }
 
@@ -190,6 +235,10 @@ Status BpaAlgorithm::Run(const Database& db, const TopKQuery& query,
   if (options().audit_accesses) {
     return DispatchBpa(options(), db, query, context,
                        EngineIo(&context->engine()), result);
+  }
+  if (context->faults().armed()) {
+    return DispatchBpa(options(), db, query, context,
+                       FaultIo(&context->faults()), result);
   }
   return DispatchBpa(options(), db, query, context,
                      RawListIo(&db, &context->engine()), result);

@@ -48,14 +48,29 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
       context->PreparePool(m, query.k, options.score_floor,
                            /*eager_groups=*/kSumPath, /*dual_heap=*/kSumPath);
   std::vector<Score>& last_scores = context->last_scores();
+  if constexpr (IoT::kFaultAware) {
+    // Sound cursor bounds even for a list dead before its first read (see
+    // nra_algorithm.cc; defensive here — CA is never the failover target).
+    for (size_t i = 0; i < m; ++i) {
+      last_scores[i] = db.list(i).MaxScore();
+    }
+  }
   std::vector<Score>& tmp = context->bound_scores();
   const double margin = SummationErrorMargin(db, options.score_floor);
 
   // Fully resolves a candidate with charged random accesses; afterwards its
-  // lower bound is its exact overall score.
+  // lower bound is its exact overall score. Under fault injection dead lists
+  // are skipped: their cells stay unresolved (the candidate may be selected
+  // again, which re-resolves nothing — harmless), so the offered bound stays
+  // a lower bound over the survivors.
   const auto resolve = [&](uint32_t slot) {
     const ItemId item = pool.item_at(slot);
     for (size_t i = 0; i < m; ++i) {
+      if constexpr (IoT::kFaultAware) {
+        if (!io.RandomAlive(i)) {
+          continue;
+        }
+      }
       if (!(pool.mask(slot) >> i & 1)) {
         pool.SetSeen(slot, i, io.Random(i, item).score);
       }
@@ -64,6 +79,9 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
   };
 
   std::vector<ItemId>& winners = context->ClearedItems();
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
+  Score unseen_upper = std::numeric_limits<Score>::infinity();
   Position depth = 0;
   while (depth < n) {
     // One round: a block of rows per list up to the next resolution/stop
@@ -72,6 +90,14 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
         std::min<Position>(depth + resolve_every, static_cast<Position>(n));
     for (size_t i = 0; i < m; ++i) {
       for (Position d = depth + 1; d <= round_end; ++d) {
+        if constexpr (IoT::kFaultAware) {
+          // A dead list's scan freezes; its last_scores entry keeps bounding
+          // its unseen entries (they sit below the frozen cursor), so all
+          // bounds stay sound over the survivors.
+          if (!io.SortedAlive(i)) {
+            break;
+          }
+        }
         // Probe-cell prefetch pipelining — uncounted, decision-free; see
         // nra_algorithm.cc.
         if (d + kPrefetchRowsAhead <= n) {
@@ -86,6 +112,7 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
       }
     }
     depth = round_end;
+    unseen_upper = scorer.Combine(last_scores.data(), m);
 
     // Every h rows: fully resolve the unresolved candidate with the largest
     // upper bound (the one blocking the stop rule the hardest). Ties are
@@ -119,17 +146,26 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
     }
 
     // Stop rule (NRA-style, checked with the same cadence as the resolver).
-    if (depth % resolve_every != 0 && depth != n) {
-      continue;
-    }
-    if (!pool.HeapFull()) {
+    // The governor is charged on every path out of the round — after the
+    // natural stop check where one exists, so an exact stop always wins.
+    if ((depth % resolve_every != 0 && depth != n) || !pool.HeapFull()) {
+      if ((reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                    io.VirtualLatencyMs())) !=
+          Completion::kExact) {
+        break;
+      }
       continue;
     }
     // Strict against unseen items (unknown ids could win the deterministic
     // tie-break); the id-aware blocking check against seen candidates is the
     // group walk (summation) or the fallback sweep. See nra_algorithm.cc.
-    bool can_stop =
-        pool.KthLower() > scorer.Combine(last_scores.data(), m) || depth == n;
+    bool can_stop = pool.KthLower() > unseen_upper;
+    if constexpr (IoT::kFaultAware) {
+      // A full scan only certifies when every list was read to the bottom.
+      can_stop = can_stop || (depth == n && io.DeadLists() == 0);
+    } else {
+      can_stop = can_stop || depth == n;
+    }
     if constexpr (std::is_same_v<ScorerT, SumScorer>) {
       // Unlike NRA, the check must also reproduce the sweep's pruning: the
       // victim selection above ranges over the surviving pool, so erasures
@@ -147,6 +183,55 @@ Status RunCaLoop(const AlgorithmOptions& options, const Database& db,
       pool.AppendHeapItems(&winners);
       break;
     }
+    if ((reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                  io.VirtualLatencyMs())) !=
+        Completion::kExact) {
+      break;
+    }
+  }
+
+  if constexpr (IoT::kFaultAware) {
+    if (reason == Completion::kExact && io.DeadLists() > 0) {
+      // With a dead list CA cannot resolve winners exactly (its contract is
+      // charged resolution — no uncounted raw reads), so even a certified
+      // membership degrades to lower-bound scores.
+      reason = Completion::kListFailure;
+    }
+  }
+  if (reason != Completion::kExact) {
+    // Anytime exit. On a list failure the membership may still be certified
+    // (winners already appended); tighten each winner with charged random
+    // accesses over the surviving lists, then report its lower bound. On a
+    // budget/deadline trip no further accesses are spent.
+    if (winners.empty()) {
+      pool.AppendHeapItems(&winners);
+    }
+    const bool tighten = reason == Completion::kListFailure;
+    Score kth = std::numeric_limits<Score>::infinity();
+    result->items.reserve(winners.size());
+    for (ItemId item : winners) {
+      const uint32_t slot = pool.FindSlot(item);
+      if (tighten) {
+        resolve(slot);
+      }
+      const Score lower = pool.lower(slot);
+      kth = std::min(kth, lower);
+      result->items.push_back(ResultItem{item, lower});
+    }
+    if (result->items.empty()) {
+      kth = -std::numeric_limits<Score>::infinity();
+    }
+    Score upper = unseen_upper;
+    for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+      if (!pool.InHeap(slot)) {
+        upper = std::max(
+            upper, PoolUpperBound(pool, slot, scorer, last_scores, tmp));
+      }
+    }
+    io.Flush();
+    CertifyAnytime(reason, kth, upper, result);
+    result->stop_position = depth;
+    return Status::OK();
   }
 
   if (winners.empty()) {
@@ -192,6 +277,10 @@ Status CaAlgorithm::Run(const Database& db, const TopKQuery& query,
   if (options().audit_accesses) {
     return DispatchCa(options(), db, query, context,
                       EngineIo(&context->engine()), result);
+  }
+  if (context->faults().armed()) {
+    return DispatchCa(options(), db, query, context,
+                      FaultIo(&context->faults()), result);
   }
   return DispatchCa(options(), db, query, context,
                     RawListIo(&db, &context->engine()), result);

@@ -149,6 +149,21 @@ class CandidatePool {
 
   size_t num_lists() const { return m_; }
 
+  /// Approximate bytes of live candidate state: the SoA row (m scores) plus
+  /// fixed per-slot bookkeeping, times the current candidate count. This is
+  /// what the governor's pool_byte_budget meters — the footprint of *this*
+  /// query's candidates, deliberately not the arena capacity a warmed
+  /// context retains from earlier queries.
+  size_t LiveCandidateBytes() const {
+    return size_ * (m_ * sizeof(Score) + kSlotOverheadBytes);
+  }
+
+  /// Per-slot bookkeeping outside the score row: item id, seen mask, lower
+  /// bound, heap/group positions and the group-index entries (see the flat
+  /// arrays below).
+  static constexpr size_t kSlotOverheadBytes =
+      sizeof(ItemId) + sizeof(uint64_t) + sizeof(Score) + 4 * sizeof(uint32_t);
+
   bool Contains(ItemId item) const { return FindSlot(item) != kNoSlot; }
 
   /// Slot of `item`, or kNoSlot if the item is not a candidate.

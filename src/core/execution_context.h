@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "core/candidate_pool.h"
+#include "core/query_governor.h"
 #include "core/topk_buffer.h"
 #include "lists/access_engine.h"
 #include "lists/database.h"
+#include "lists/fault_injection.h"
 #include "lists/types.h"
 #include "tracker/best_position_tracker.h"
 #include "tracker/bitarray_tracker.h"
@@ -82,6 +84,17 @@ class ExecutionContext {
 
   /// The paper's set Y, reset to the k of the last Prepare.
   TopKBuffer& buffer() { return buffer_; }
+
+  /// The per-query governance limits (deadline, budgets, cancellation).
+  /// Armed by ExecuteInto from AlgorithmOptions::governor; callers that hold
+  /// the context may RequestCancel() on it from another thread.
+  QueryGovernor& governor() { return governor_; }
+
+  /// The fault-injection decorator over engine(). Armed by ExecuteInto when
+  /// AlgorithmOptions::fault_plan is enabled; stays armed across an
+  /// in-flight NRA failover so dead lists stay dead and the deterministic
+  /// schedule continues.
+  FaultInjectingAccessEngine& faults() { return faults_; }
 
   // --- per-list score scratch, sized m and zero-filled by Prepare ---
 
@@ -179,6 +192,8 @@ class ExecutionContext {
 
  private:
   AccessEngine engine_;
+  QueryGovernor governor_;
+  FaultInjectingAccessEngine faults_;
   TopKBuffer buffer_;
   std::vector<Score> local_scores_;
   std::vector<Score> last_scores_;

@@ -2,18 +2,25 @@
 
 #include "core/fa_algorithm.h"
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
+#include "core/list_io.h"
 #include "core/topk_buffer.h"
 
 namespace topk {
+namespace {
 
-Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
-                        ExecutionContext* context, TopKResult* result) const {
+// Templated on the access policy: EngineIo is the default (FA leans on the
+// engine's sorted cursors), FaultIo when a fault plan is armed. The loops'
+// aliveness guards are `if constexpr`-eliminated for the fault-free policy.
+template <typename IoT>
+Status RunFaLoop(const AlgorithmOptions& /*options*/, const Database& db,
+                 const TopKQuery& query, ExecutionContext* context, IoT io,
+                 TopKResult* result) {
   const size_t n = db.num_items();
   const size_t m = db.num_lists();
-
-  AccessEngine* engine = &context->engine();
 
   // Phase 1: sorted access in parallel until >= k items are seen in all lists.
   // seen_lists[d] counts the lists where d was seen under sorted access;
@@ -22,15 +29,32 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
   std::vector<Score>& local = context->ZeroedScoreMatrix(n * m);
   std::vector<uint8_t>& known = context->ZeroedFlags(n * m);
   std::vector<Score>& last_scores = context->last_scores();
+  for (size_t i = 0; i < m; ++i) {
+    // Cursor-score bound for lists a fault kills before their first read (an
+    // uncounted, decision-free metadata read; overwritten by every access).
+    last_scores[i] = db.list(i).MaxScore();
+  }
 
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
   size_t fully_seen = 0;
   Position depth = 0;
   std::vector<ItemId>& row_items = context->ClearedItems();  // last row's items
-  const auto scan_row = [&] {
+  // Returns false when no list is left alive (the row made no progress).
+  const auto scan_row = [&]() -> bool {
     ++depth;
     row_items.clear();
+    [[maybe_unused]] bool progress = !IoT::kFaultAware;
     for (size_t i = 0; i < m; ++i) {
-      const AccessedEntry entry = engine->SortedAccess(i);
+      if constexpr (IoT::kFaultAware) {
+        // A dead list's scan freezes; its last_scores entry keeps bounding
+        // its unseen entries (they sit below the frozen cursor).
+        if (!io.SortedAlive(i)) {
+          continue;
+        }
+        progress = true;
+      }
+      const AccessedEntry entry = io.Sorted(i, depth);
       last_scores[i] = entry.score;
       row_items.push_back(entry.item);
       const size_t cell = static_cast<size_t>(entry.item) * m + i;
@@ -40,13 +64,9 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
         ++fully_seen;
       }
     }
+    return progress;
   };
-  while (fully_seen < query.k && depth < n) {
-    scan_row();
-  }
 
-  // Phase 2: for every item seen somewhere, resolve missing local scores via
-  // random access, aggregate, and keep the k best.
   TopKBuffer& buffer = context->buffer();
   std::vector<Score>& scores = context->local_scores();
   const auto resolve_and_offer = [&](ItemId item) {
@@ -55,16 +75,91 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
       if (known[cell]) {
         scores[i] = local[cell];
       } else {
-        scores[i] = engine->RandomAccess(i, item).score;
+        scores[i] = io.Random(i, item).score;
         local[cell] = scores[i];
         known[cell] = 1;
       }
     }
     buffer.Offer(item, query.scorer->Combine(scores.data(), m));
   };
-  for (ItemId item = 0; item < n; ++item) {
-    if (seen_lists[item] > 0) {
-      resolve_and_offer(item);
+
+  // Anytime exit: fully-seen items resolve with zero extra accesses, so they
+  // are offered before emitting; the unreturned upper bound sweeps the
+  // partially-seen items (unknown cells bounded by their list's cursor
+  // score) and folds the all-unseen bound f(last scores).
+  const auto anytime = [&](Completion why) -> Status {
+    for (ItemId item = 0; item < static_cast<ItemId>(n); ++item) {
+      if (seen_lists[item] == m) {
+        resolve_and_offer(item);  // every cell is known: no accesses
+      }
+    }
+    io.Flush();
+    buffer.AppendSortedItems(&result->items);
+    result->stop_position = depth;
+    const Score kth = result->items.empty()
+                          ? -std::numeric_limits<Score>::infinity()
+                          : result->items.back().score;
+    Score upper = query.scorer->Combine(last_scores.data(), m);
+    for (ItemId item = 0; item < static_cast<ItemId>(n); ++item) {
+      if (seen_lists[item] == 0) {
+        continue;
+      }
+      bool partial = false;
+      for (size_t i = 0; i < m; ++i) {
+        const size_t cell = static_cast<size_t>(item) * m + i;
+        if (known[cell]) {
+          scores[i] = local[cell];
+        } else {
+          scores[i] = last_scores[i];
+          partial = true;
+        }
+      }
+      if (partial) {
+        // Fully-known items were offered (their exact score is either
+        // returned or already below the k-th), so only partial items can
+        // still beat the answer.
+        upper = std::max(upper, query.scorer->Combine(scores.data(), m));
+      }
+    }
+    CertifyAnytime(why, kth, upper, result);
+    return Status::OK();
+  };
+
+  while (fully_seen < query.k && depth < n) {
+    if (!scan_row()) {
+      return anytime(Completion::kListFailure);  // every list is dead
+    }
+    // Governance: one predictable branch per row when nothing is armed.
+    if ((reason = governor.Charge(io.stats(), 0, io.VirtualLatencyMs())) !=
+        Completion::kExact) {
+      return anytime(reason);
+    }
+  }
+
+  // Phase 2: for every item seen somewhere, resolve missing local scores via
+  // random access, aggregate, and keep the k best.
+  size_t offered = 0;
+  for (ItemId item = 0; item < static_cast<ItemId>(n); ++item) {
+    if (seen_lists[item] == 0) {
+      continue;
+    }
+    if constexpr (IoT::kFaultAware) {
+      // Resolution needs random access to every unknown cell; a dead list
+      // makes FA unservable — fail over to NRA over the survivors.
+      for (size_t i = 0; i < m; ++i) {
+        if (!known[static_cast<size_t>(item) * m + i] && !io.RandomAlive(i)) {
+          io.Flush();
+          return Status::Unavailable(
+              "FA: list ", i,
+              " died permanently; random access is unavailable");
+        }
+      }
+    }
+    resolve_and_offer(item);
+    if ((++offered & 63u) == 0 &&
+        (reason = governor.Charge(io.stats(), 0, io.VirtualLatencyMs())) !=
+            Completion::kExact) {
+      return anytime(reason);
     }
   }
 
@@ -77,15 +172,45 @@ Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
   // re-offering its deterministic score is a no-op.
   while (depth < n &&
          !buffer.HasKAbove(query.scorer->Combine(last_scores.data(), m))) {
-    scan_row();
+    if (!scan_row()) {
+      return anytime(Completion::kListFailure);  // unseen data remains
+    }
     for (ItemId item : row_items) {
+      if constexpr (IoT::kFaultAware) {
+        for (size_t i = 0; i < m; ++i) {
+          if (!known[static_cast<size_t>(item) * m + i] &&
+              !io.RandomAlive(i)) {
+            io.Flush();
+            return Status::Unavailable(
+                "FA: list ", i,
+                " died permanently; random access is unavailable");
+          }
+        }
+      }
       resolve_and_offer(item);
     }
+    if ((reason = governor.Charge(io.stats(), 0, io.VirtualLatencyMs())) !=
+        Completion::kExact) {
+      return anytime(reason);
+    }
   }
+  io.Flush();
 
   buffer.AppendSortedItems(&result->items);
   result->stop_position = depth;
   return Status::OK();
+}
+
+}  // namespace
+
+Status FaAlgorithm::Run(const Database& db, const TopKQuery& query,
+                        ExecutionContext* context, TopKResult* result) const {
+  if (context->faults().armed()) {
+    return RunFaLoop(options(), db, query, context,
+                     FaultIo(&context->faults()), result);
+  }
+  return RunFaLoop(options(), db, query, context, EngineIo(&context->engine()),
+                   result);
 }
 
 }  // namespace topk

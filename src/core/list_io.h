@@ -14,12 +14,23 @@
 //    (one increment per primitive call); what disappears is the per-access
 //    read-modify-write traffic through the shared engine object, which the
 //    optimizer cannot keep in registers. Only valid with audit mode off.
+//  * FaultIo routes every access through the FaultInjectingAccessEngine
+//    decorator and is the only policy whose lists can die: it reports
+//    kFaultAware = true, so the loops' aliveness guards compile in. On the
+//    other two policies those guards are `if constexpr`-eliminated —
+//    fault-free instantiations keep byte-identical behaviour and codegen
+//    shape.
+//
+// Shared contract: stats() exposes the run's access counts so far (for the
+// governor's budget checks) and VirtualLatencyMs() the injected latency to
+// charge against its deadline (0 except under FaultIo).
 
 #ifndef TOPK_CORE_LIST_IO_H_
 #define TOPK_CORE_LIST_IO_H_
 
 #include "lists/access_engine.h"
 #include "lists/database.h"
+#include "lists/fault_injection.h"
 #include "lists/types.h"
 
 namespace topk {
@@ -74,6 +85,8 @@ inline void PrefetchSortedEntry(const SortedList& list, Position position) {
 /// Faithful policy: every access goes through the counted engine.
 class EngineIo {
  public:
+  static constexpr bool kFaultAware = false;
+
   explicit EngineIo(AccessEngine* engine) : engine_(engine) {}
 
   AccessedEntry Sorted(size_t list_index, Position /*position*/) {
@@ -87,6 +100,12 @@ class EngineIo {
   }
   void Flush() {}
 
+  const AccessStats& stats() const { return engine_->stats(); }
+  static constexpr bool SortedAlive(size_t) { return true; }
+  static constexpr bool RandomAlive(size_t) { return true; }
+  static constexpr uint32_t DeadLists() { return 0; }
+  static constexpr double VirtualLatencyMs() { return 0.0; }
+
  private:
   AccessEngine* engine_;
 };
@@ -96,6 +115,8 @@ class EngineIo {
 /// depth), so no cursor state is maintained; the engine's cursors stay at 0.
 class RawListIo {
  public:
+  static constexpr bool kFaultAware = false;
+
   RawListIo(const Database* db, AccessEngine* engine)
       : db_(db), engine_(engine) {}
 
@@ -118,10 +139,51 @@ class RawListIo {
   }
   void Flush() { engine_->AddStats(stats_); }
 
+  const AccessStats& stats() const { return stats_; }
+  static constexpr bool SortedAlive(size_t) { return true; }
+  static constexpr bool RandomAlive(size_t) { return true; }
+  static constexpr uint32_t DeadLists() { return 0; }
+  static constexpr double VirtualLatencyMs() { return 0.0; }
+
  private:
   const Database* db_;
   AccessEngine* engine_;
   AccessStats stats_;
+};
+
+/// Fault-aware policy: every access goes through the fault decorator (and
+/// from there through the counted engine, so counts and cursors stay
+/// faithful). The loops must check SortedAlive/RandomAlive before every
+/// access — see the death contract in lists/fault_injection.h.
+class FaultIo {
+ public:
+  static constexpr bool kFaultAware = true;
+
+  explicit FaultIo(FaultInjectingAccessEngine* faults) : faults_(faults) {}
+
+  AccessedEntry Sorted(size_t list_index, Position /*position*/) {
+    return faults_->SortedAccess(list_index);
+  }
+  ItemLookup Random(size_t list_index, ItemId item) {
+    return faults_->RandomAccess(list_index, item);
+  }
+  AccessedEntry Direct(size_t list_index, Position position) {
+    return faults_->DirectAccess(list_index, position);
+  }
+  void Flush() {}
+
+  const AccessStats& stats() const { return faults_->stats(); }
+  bool SortedAlive(size_t list_index) const {
+    return faults_->ListAlive(list_index);
+  }
+  bool RandomAlive(size_t list_index) const {
+    return faults_->ListAlive(list_index);
+  }
+  uint32_t DeadLists() const { return faults_->dead_lists(); }
+  double VirtualLatencyMs() const { return faults_->virtual_latency_ms(); }
+
+ private:
+  FaultInjectingAccessEngine* faults_;
 };
 
 }  // namespace topk

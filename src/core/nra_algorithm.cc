@@ -49,6 +49,16 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
       context->PreparePool(m, query.k, options.score_floor,
                            /*eager_groups=*/std::is_same_v<ScorerT, SumScorer>);
   std::vector<Score>& last_scores = context->last_scores();
+  if constexpr (IoT::kFaultAware) {
+    // A list can be dead before its first read (the NRA failover after a
+    // random-access algorithm lost it) and then never writes its cursor
+    // score; seed every cursor with the list maximum (an uncounted,
+    // decision-free metadata read) so the bounds stay sound instead of
+    // reading whatever the previous run left in the scratch buffer.
+    for (size_t i = 0; i < m; ++i) {
+      last_scores[i] = db.list(i).MaxScore();
+    }
+  }
   std::vector<Score>& tmp = context->bound_scores();
   const double margin = SummationErrorMargin(db, options.score_floor);
 
@@ -66,12 +76,23 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
   size_t compact_watermark =
       std::max<size_t>(options.nra_compaction_floor, 2 * query.k);
   int unproductive_passes = 0;  // consecutive; escalates the backoff
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
+  Score unseen_upper = std::numeric_limits<Score>::infinity();
   Position depth = 0;
   while (depth < n) {
     const Position round_end =
         std::min<Position>(depth + kCheckInterval, static_cast<Position>(n));
     for (size_t i = 0; i < m; ++i) {
       for (Position d = depth + 1; d <= round_end; ++d) {
+        if constexpr (IoT::kFaultAware) {
+          // A dead list's scan freezes; its last_scores entry keeps
+          // bounding the list's unseen entries (they all sit below the
+          // frozen cursor), so every bound stays sound over the survivors.
+          if (!io.SortedAlive(i)) {
+            break;
+          }
+        }
         // Prefetch pipelining (same discipline as the TA/BPA mirror
         // prefetches): request the pool's probe cell for the item this list
         // reveals kPrefetchRowsAhead rows from now — the item id is read
@@ -96,7 +117,7 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
     }
     depth = round_end;
 
-    const Score unseen_upper = scorer.Combine(last_scores.data(), m);
+    unseen_upper = scorer.Combine(last_scores.data(), m);
     if (options.collect_trace) {
       result->trace.push_back(StopRuleTrace{
           depth, unseen_upper,
@@ -105,6 +126,13 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
           pool.heap_size(), 0});
     }
     if (!pool.HeapFull()) {
+      // The round still consumed accesses (and possibly pool bytes), so the
+      // governor must see it even though no stop rule can fire yet.
+      if ((reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                    io.VirtualLatencyMs())) !=
+          Completion::kExact) {
+        break;
+      }
       continue;
     }
     // Unseen items are bounded by the row threshold. Their ids are unknown,
@@ -115,7 +143,14 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
     // on any candidate whose (upper bound, id) still beats the weakest heap
     // member. This keeps the returned set exactly the deterministic
     // (score desc, item id asc) top-k.
-    bool can_stop = pool.KthLower() > unseen_upper || depth == n;
+    bool can_stop = pool.KthLower() > unseen_upper;
+    if constexpr (IoT::kFaultAware) {
+      // A full scan only certifies exactness when every list was actually
+      // read to the bottom — dead cells never resolve.
+      can_stop = can_stop || (depth == n && io.DeadLists() == 0);
+    } else {
+      can_stop = can_stop || depth == n;
+    }
     if constexpr (std::is_same_v<ScorerT, SumScorer>) {
       // Deliberate trade vs the old sweep: disqualified candidates are never
       // erased (the group walk just skips their subtrees), so the pool grows
@@ -171,8 +206,52 @@ Status RunNraLoop(const AlgorithmOptions& options, const Database& db,
         }
       }
     }
+    // Governance: one predictable branch per round when nothing is armed.
+    // Placed after the stop check so an exact stop always wins.
+    if ((reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                  io.VirtualLatencyMs())) !=
+        Completion::kExact) {
+      break;
+    }
   }
   io.Flush();
+
+  if constexpr (IoT::kFaultAware) {
+    if (reason == Completion::kExact && winners.empty() &&
+        io.DeadLists() > 0) {
+      // The scan ran out of live rows without a certified stop: unseen data
+      // remains behind the dead cursors, so the answer degrades.
+      reason = Completion::kListFailure;
+    }
+  }
+  if (reason != Completion::kExact) {
+    // Anytime exit: report the threshold heap with its certified lower
+    // bounds — NRA's contract charges every read, so a degraded answer gets
+    // no uncounted raw-score resolution. The unreturned upper bound folds
+    // the unseen-item threshold with the strongest surviving non-heap
+    // candidate's upper bound.
+    pool.AppendHeapItems(&winners);
+    Score kth = std::numeric_limits<Score>::infinity();
+    result->items.reserve(winners.size());
+    for (ItemId item : winners) {
+      const Score lower = pool.lower(pool.FindSlot(item));
+      kth = std::min(kth, lower);
+      result->items.push_back(ResultItem{item, lower});
+    }
+    if (result->items.empty()) {
+      kth = -std::numeric_limits<Score>::infinity();
+    }
+    Score upper = unseen_upper;
+    for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+      if (!pool.InHeap(slot)) {
+        upper = std::max(
+            upper, PoolUpperBound(pool, slot, scorer, last_scores, tmp));
+      }
+    }
+    CertifyAnytime(reason, kth, upper, result);
+    result->stop_position = depth;
+    return Status::OK();
+  }
 
   if (winners.empty()) {
     // Defensive: a full scan resolves every bound exactly, so the heap is the
@@ -216,6 +295,10 @@ Status NraAlgorithm::Run(const Database& db, const TopKQuery& query,
   if (options().audit_accesses) {
     return DispatchNra(options(), db, query, context,
                        EngineIo(&context->engine()), result);
+  }
+  if (context->faults().armed()) {
+    return DispatchNra(options(), db, query, context,
+                       FaultIo(&context->faults()), result);
   }
   return DispatchNra(options(), db, query, context,
                      RawListIo(&db, &context->engine()), result);

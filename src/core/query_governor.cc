@@ -1,0 +1,83 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "core/query_governor.h"
+
+#include <cmath>
+
+namespace topk {
+
+Status GovernorLimits::Validate(const char* algorithm) const {
+  if (std::isnan(deadline_ms) || std::isinf(deadline_ms)) {
+    return Status::Invalid(algorithm, ": governor deadline_ms must be finite; ",
+                           "got deadline_ms = ", deadline_ms);
+  }
+  if (deadline_ms < 0.0) {
+    return Status::Invalid(algorithm,
+                           ": governor deadline_ms must be >= 0 (0 disables); ",
+                           "got deadline_ms = ", deadline_ms);
+  }
+  return Status::OK();
+}
+
+void QueryGovernor::Arm(const GovernorLimits& limits) {
+  limits_ = limits;
+  armed_ = limits.enabled();
+  cancel_.store(false, std::memory_order_relaxed);
+  if (limits_.deadline_ms > 0.0) {
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+Completion QueryGovernor::ChargeSlow(const AccessStats& stats,
+                                     size_t pool_bytes,
+                                     double virtual_ms) const {
+  if (limits_.deadline_ms > 0.0) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count() +
+        virtual_ms;
+    if (elapsed_ms >= limits_.deadline_ms) {
+      return Completion::kDeadline;
+    }
+  }
+  if (limits_.sorted_access_budget != 0 &&
+      stats.sorted_accesses + stats.direct_accesses >=
+          limits_.sorted_access_budget) {
+    return Completion::kAccessBudget;
+  }
+  if (limits_.random_access_budget != 0 &&
+      stats.random_accesses >= limits_.random_access_budget) {
+    return Completion::kAccessBudget;
+  }
+  if (limits_.total_access_budget != 0 &&
+      stats.TotalAccesses() >= limits_.total_access_budget) {
+    return Completion::kAccessBudget;
+  }
+  if (limits_.pool_byte_budget != 0 && pool_bytes >= limits_.pool_byte_budget) {
+    return Completion::kMemoryBudget;
+  }
+  return Completion::kExact;
+}
+
+void CertifyAnytime(Completion reason, Score kth_lower, Score unreturned_upper,
+                    TopKResult* result) {
+  // Widen the unreturned bound to cover items proven weaker than the answer
+  // set (candidates pruned against the running k-th lower bound).
+  if (kth_lower > unreturned_upper) {
+    unreturned_upper = kth_lower;
+  }
+  result->completion = reason;
+  result->kth_lower_bound = kth_lower;
+  result->unreturned_upper_bound = unreturned_upper;
+  if (unreturned_upper <= kth_lower) {
+    result->theta = 1.0;
+  } else if (kth_lower > 0.0) {
+    result->theta = unreturned_upper / kth_lower;
+  } else {
+    // A non-positive k-th lower bound cannot certify a multiplicative factor.
+    result->theta = std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace topk

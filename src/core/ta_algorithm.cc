@@ -31,10 +31,25 @@ Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
   // paper's accounting model re-issues the random accesses, see Lemma 2).
   ScoreMemo* resolved = memoize ? &context->PrepareMemo(n) : nullptr;
 
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
+  Score threshold = std::numeric_limits<Score>::infinity();
+
   Position depth = 0;
   while (depth < n) {
     ++depth;
+    // Under fault injection a dead list's sorted scan is skipped (its
+    // last_scores entry freezes, which keeps δ a sound upper bound on unseen
+    // items: everything unseen still sits below every frozen cursor). A row
+    // where no list is left alive can make no progress at all.
+    [[maybe_unused]] bool row_progress = !IoT::kFaultAware;
     for (size_t i = 0; i < m; ++i) {
+      if constexpr (IoT::kFaultAware) {
+        if (!io.SortedAlive(i)) {
+          continue;
+        }
+        row_progress = true;
+      }
       const AccessedEntry entry = io.Sorted(i, depth);
       // Prefetch pipelining: the sorted prefix is known ahead of time, so
       // the mirror row (and memo entry) of the row this list will reach
@@ -53,6 +68,19 @@ Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
       if (memoize && resolved->Contains(entry.item)) {
         buffer.Offer(entry.item, resolved->Get(entry.item));
         continue;
+      }
+      if constexpr (IoT::kFaultAware) {
+        // TA cannot resolve an item without random access to every other
+        // list; a dead list makes the whole algorithm unservable, so signal
+        // ExecuteInto to fail over to NRA over the survivors.
+        for (size_t j = 0; j < m; ++j) {
+          if (j != i && !io.RandomAlive(j)) {
+            io.Flush();
+            return Status::Unavailable(
+                "TA: list ", j,
+                " died permanently; random access is unavailable");
+          }
+        }
       }
       Score overall;
       if constexpr (std::is_same_v<ScorerT, SumScorer>) {
@@ -73,7 +101,13 @@ Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
       }
       buffer.Offer(entry.item, overall);
     }
-    const Score threshold = scorer.Combine(last_scores.data(), m);
+    if constexpr (IoT::kFaultAware) {
+      if (!row_progress) {
+        reason = Completion::kListFailure;
+        break;
+      }
+    }
+    threshold = scorer.Combine(last_scores.data(), m);
     if (options.collect_trace) {
       result->trace.push_back(StopRuleTrace{
           depth, threshold,
@@ -87,11 +121,26 @@ Status RunTaLoop(const AlgorithmOptions& options, const Database& db,
     if (buffer.HasKAbove(threshold)) {
       break;
     }
+    // Governance: one predictable branch per row when nothing is armed.
+    if ((reason = governor.Charge(io.stats(), 0, io.VirtualLatencyMs())) !=
+        Completion::kExact) {
+      break;
+    }
   }
   io.Flush();
 
   buffer.AppendSortedItems(&result->items);
   result->stop_position = depth;
+  if (reason != Completion::kExact) {
+    // Anytime exit: every buffered score is exact (TA resolves at offer
+    // time), so the weakest returned item is its own lower bound, and δ
+    // bounds everything unseen; seen-but-unreturned items were rejected
+    // against the k-th buffered score, which CertifyAnytime folds in.
+    const Score kth = result->items.empty()
+                          ? -std::numeric_limits<Score>::infinity()
+                          : result->items.back().score;
+    CertifyAnytime(reason, kth, threshold, result);
+  }
   return Status::OK();
 }
 
@@ -112,6 +161,10 @@ Status TaAlgorithm::Run(const Database& db, const TopKQuery& query,
   if (options().audit_accesses) {
     return DispatchTa(options(), db, query, context,
                       EngineIo(&context->engine()), result);
+  }
+  if (context->faults().armed()) {
+    return DispatchTa(options(), db, query, context,
+                      FaultIo(&context->faults()), result);
   }
   return DispatchTa(options(), db, query, context,
                     RawListIo(&db, &context->engine()), result);

@@ -40,21 +40,56 @@ Status TopKAlgorithm::ExecuteInto(const Database& db, const TopKQuery& query,
                                   ExecutionContext* context,
                                   TopKResult* result) const {
   if (query.scorer == nullptr) {
-    return Status::Invalid("query has no scoring function");
+    return Status::Invalid(name(),
+                           ": query has no scoring function (a Scorer is "
+                           "required); got scorer = nullptr");
   }
   if (query.k == 0) {
-    return Status::Invalid("k must be >= 1");
+    return Status::Invalid(name(), ": k must be >= 1; got k = 0");
   }
   if (query.k > db.num_items()) {
-    return Status::Invalid("k = ", query.k, " exceeds database size n = ",
-                           db.num_items());
+    return Status::Invalid(name(), ": k = ", query.k,
+                           " exceeds database size n = ", db.num_items());
+  }
+  TOPK_RETURN_NOT_OK(options_.governor.Validate(name().c_str()));
+  TOPK_RETURN_NOT_OK(options_.fault_plan.Validate(name().c_str(),
+                                                  db.num_lists()));
+  if (options_.fault_plan.enabled() && options_.audit_accesses) {
+    return Status::Invalid(
+        name(),
+        ": fault injection (fault_plan) cannot be combined with "
+        "audit_accesses; the audit trail assumes the faithful engine path");
   }
   TOPK_RETURN_NOT_OK(ValidateFor(db, query));
 
   context->Prepare(db, options_.audit_accesses, query.k);
+  context->governor().Arm(options_.governor);
+  if (options_.fault_plan.enabled()) {
+    context->faults().Arm(&context->engine(), options_.fault_plan);
+  } else {
+    context->faults().Disarm();
+  }
   result->Clear();
   Timer timer;
-  TOPK_RETURN_NOT_OK(Run(db, query, context, result));
+  Status run_status = Run(db, query, context, result);
+  if (run_status.IsUnavailable() && context->faults().armed()) {
+    // A random-access algorithm lost a list permanently mid-run. Fail over
+    // to NRA over the survivors: accesses already spent stay counted
+    // (carried across the engine reset), the fault layer stays armed — dead
+    // lists stay dead and the deterministic schedule continues — and the
+    // governor keeps running down the same deadline and budgets.
+    NraAlgorithm fallback_nra(options_);
+    TopKAlgorithm& fallback = fallback_nra;  // protected Run/ValidateFor
+    if (fallback.ValidateFor(db, query).ok()) {
+      const AccessStats spent = context->engine().stats();
+      context->Prepare(db, /*audit=*/false, query.k);
+      context->engine().AddStats(spent);
+      result->Clear();
+      run_status = fallback.Run(db, query, context, result);
+      result->failed_over = true;
+    }
+  }
+  TOPK_RETURN_NOT_OK(run_status);
   result->elapsed_ms = timer.ElapsedMillis();
 
   const AccessEngine& engine = context->engine();
@@ -69,10 +104,21 @@ Status TopKAlgorithm::ExecuteInto(const Database& db, const TopKQuery& query,
       result->max_touches_per_list[i] = engine.MaxTouchCount(i);
     }
   }
+  if (context->faults().armed()) {
+    const FaultStats& faults = context->faults().fault_stats();
+    result->dead_lists = faults.dead_lists;
+    result->fault_retries = faults.transient_faults;
+  }
 
-  if (result->items.size() != query.k) {
+  if (result->completion == Completion::kExact) {
+    if (result->items.size() != query.k) {
+      return Status::Internal(name(), " produced ", result->items.size(),
+                              " items for k = ", query.k);
+    }
+  } else if (result->items.size() > query.k) {
     return Status::Internal(name(), " produced ", result->items.size(),
-                            " items for k = ", query.k);
+                            " items for k = ", query.k,
+                            " (anytime results must not exceed k)");
   }
   std::sort(result->items.begin(), result->items.end(),
             [](const ResultItem& a, const ResultItem& b) {
@@ -81,6 +127,30 @@ Status TopKAlgorithm::ExecuteInto(const Database& db, const TopKQuery& query,
               }
               return a.item < b.item;
             });
+  if (result->completion == Completion::kExact) {
+    // Exact results collapse the certificate: the k-th score bounds both
+    // sides and theta is exactly 1.
+    const Score kth = result->items.back().score;
+    result->kth_lower_bound = kth;
+    result->unreturned_upper_bound = kth;
+    result->theta = 1.0;
+  } else if (options_.governor.strict) {
+    // StrictMode: the caller wants exact answers only — surface the
+    // degradation as an error instead of an anytime result.
+    if (result->completion == Completion::kListFailure) {
+      return Status::Unavailable(
+          name(), ": ", result->dead_lists,
+          " list(s) died permanently; StrictMode rejects the degraded ",
+          "anytime answer (", result->items.size(), " of ", query.k,
+          " items, theta = ", result->theta, ")");
+    }
+    return Status::ResourceExhausted(
+        name(), ": stopped by ", ToString(result->completion), " after ",
+        result->stats.TotalAccesses(),
+        " accesses; StrictMode rejects the anytime answer (",
+        result->items.size(), " of ", query.k,
+        " items, theta = ", result->theta, ")");
+  }
   return Status::OK();
 }
 

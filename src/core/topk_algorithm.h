@@ -13,9 +13,11 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/execution_context.h"
+#include "core/query_governor.h"
 #include "core/topk_result.h"
 #include "lists/access_engine.h"
 #include "lists/database.h"
+#include "lists/fault_injection.h"
 #include "tracker/best_position_tracker.h"
 
 namespace topk {
@@ -71,6 +73,22 @@ struct AlgorithmOptions {
   /// total compaction work stays O(pool growth) — see the schedule comment
   /// in nra_algorithm.cc. Tests set 1 to compact at every stop check.
   size_t nra_compaction_floor = 4096;
+
+  /// Per-query governance limits (deadline, access budgets, pool byte
+  /// budget, StrictMode). Defaults arm nothing; see core/query_governor.h.
+  /// On a tripped limit the run stops at the next round boundary and returns
+  /// an anytime result (TopKResult::completion/theta) — or, under
+  /// GovernorLimits::strict, a ResourceExhausted/Unavailable error. Naive is
+  /// the oracle and ignores governance.
+  GovernorLimits governor;
+
+  /// Seeded deterministic fault schedule injected into the access layer
+  /// (lists/fault_injection.h). Defaults inject nothing. Incompatible with
+  /// audit_accesses. When a list dies permanently, NRA/CA degrade to
+  /// bound-widened answers over the survivors and the random-access
+  /// algorithms (FA/TA/BPA/BPA2/TPUT) transparently fail over to an NRA run
+  /// (TopKResult::failed_over). Naive ignores faults.
+  FaultPlan fault_plan;
 };
 
 /// Base class: validates the query, times the run, applies the cost model.

@@ -34,6 +34,39 @@ struct ResultItem {
   }
 };
 
+/// How an execution ended. kExact is the normal case: the algorithm's stop
+/// rule certified the exact deterministic top-k. Every other value tags an
+/// *anytime* result — the run was stopped early by the QueryGovernor (or
+/// degraded by a permanent list failure) and the returned items carry
+/// certified lower-bound scores plus a θ approximation factor (see
+/// TopKResult::theta).
+enum class Completion : uint8_t {
+  kExact = 0,         ///< stop rule fired; result is the exact top-k
+  kDeadline = 1,      ///< wall-clock deadline (incl. injected latency) hit
+  kAccessBudget = 2,  ///< sorted/random/total access budget exhausted
+  kMemoryBudget = 3,  ///< candidate-pool byte budget exhausted
+  kCancelled = 4,     ///< cooperative cancellation requested by the caller
+  kListFailure = 5,   ///< a list died permanently; answer covers survivors
+};
+
+inline const char* ToString(Completion completion) {
+  switch (completion) {
+    case Completion::kExact:
+      return "exact";
+    case Completion::kDeadline:
+      return "deadline";
+    case Completion::kAccessBudget:
+      return "access-budget";
+    case Completion::kMemoryBudget:
+      return "memory-budget";
+    case Completion::kCancelled:
+      return "cancelled";
+    case Completion::kListFailure:
+      return "list-failure";
+  }
+  return "unknown";
+}
+
 /// One stop-rule evaluation, recorded when AlgorithmOptions::collect_trace
 /// is set. For TA the threshold is δ (last sorted scores); for BPA/BPA2 it is
 /// λ (best-position scores). `position` is the sorted depth (TA/BPA) or the
@@ -76,6 +109,36 @@ struct TopKResult {
   /// Final best position, minimized over lists (BPA/BPA2 only; 0 otherwise).
   Position min_best_position = 0;
 
+  /// How the run ended. Anything other than kExact marks an anytime result:
+  /// `items` may hold fewer than k entries and each score is a certified
+  /// *lower bound* on the item's true overall score (exact for the
+  /// buffer-based algorithms, pool lower bounds for NRA/CA/TPUT).
+  Completion completion = Completion::kExact;
+
+  /// Certified approximation factor (Fagin's θ-approximation): for every
+  /// returned item y and every unreturned item z, θ·score(y) >= score(z)
+  /// holds for the true overall scores. Exactly 1.0 for exact results;
+  /// +infinity when nothing could be certified (e.g. an empty answer).
+  /// Meaningful as a multiplicative factor only for positive scores.
+  double theta = 1.0;
+
+  /// Certified lower bound on the true score of every returned item
+  /// (the weakest returned item's bound). -infinity when `items` is empty.
+  double kth_lower_bound = 0.0;
+
+  /// Certified upper bound on the true score of every item NOT returned.
+  double unreturned_upper_bound = 0.0;
+
+  /// True when a random-access algorithm lost a list permanently and the
+  /// engine transparently re-ran the query with NRA over the survivors.
+  bool failed_over = false;
+
+  /// Number of lists that died permanently during the run (fault injection).
+  uint32_t dead_lists = 0;
+
+  /// Transient access faults absorbed by in-engine retry (fault injection).
+  uint64_t fault_retries = 0;
+
   /// Per-list maximum number of times any single position was touched.
   /// Filled only when AlgorithmOptions::audit_accesses is set.
   std::vector<uint32_t> max_touches_per_list;
@@ -93,6 +156,13 @@ struct TopKResult {
     elapsed_ms = 0.0;
     stop_position = 0;
     min_best_position = 0;
+    completion = Completion::kExact;
+    theta = 1.0;
+    kth_lower_bound = 0.0;
+    unreturned_upper_bound = 0.0;
+    failed_over = false;
+    dead_lists = 0;
+    fault_retries = 0;
     max_touches_per_list.clear();
     trace.clear();
   }

@@ -3,6 +3,7 @@
 #include "core/tput_algorithm.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/candidate_bounds.h"
@@ -49,18 +50,99 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
     }
   };
 
-  // ---- Phase 1: top-k prefix of every list, read one list at a time. ----
+  QueryGovernor& governor = context->governor();
+  Completion reason = Completion::kExact;
+  // Cursor scores, maintained from the very first access so an anytime exit
+  // can always bound the unseen items; lists not yet scanned are bounded by
+  // their maximum (an uncounted, decision-free metadata read).
+  std::vector<Score>& last_scores = context->last_scores();
+  for (size_t i = 0; i < m; ++i) {
+    last_scores[i] = db.list(i).MaxScore();
+  }
   Position depth = std::min<Position>(static_cast<Position>(query.k),
                                       static_cast<Position>(n));
+
+  // Anytime exit (deadline/budget trips): the threshold heap's lower bounds
+  // are the best certified answer; the unreturned upper bound folds the
+  // unseen-item bound (cursor-score sum) with the strongest non-heap
+  // candidate. TPUT is summation-only, so SumUpperBound is the one
+  // arithmetic.
+  const auto anytime = [&](Completion why) -> Status {
+    io.Flush();
+    std::vector<ItemId>& winners = context->ClearedItems();
+    pool.AppendHeapItems(&winners);
+    Score kth = std::numeric_limits<Score>::infinity();
+    result->items.reserve(winners.size());
+    for (ItemId item : winners) {
+      const Score lower = pool.lower(pool.FindSlot(item));
+      kth = std::min(kth, lower);
+      result->items.push_back(ResultItem{item, lower});
+    }
+    if (result->items.empty()) {
+      kth = -std::numeric_limits<Score>::infinity();
+    }
+    Score upper = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      upper += last_scores[i];
+    }
+    for (uint32_t slot = 0; slot < pool.size(); ++slot) {
+      if (!pool.InHeap(slot)) {
+        upper = std::max(upper, SumUpperBound(pool, slot, last_scores));
+      }
+    }
+    CertifyAnytime(why, kth, upper, result);
+    result->stop_position = depth;
+    return Status::OK();
+  };
+  // Permanent deaths break TPUT's drain guarantee (an undrained dead list
+  // can hide arbitrarily strong unseen items), so any death surfaces as the
+  // Unavailable marker and ExecuteInto fails over to NRA.
+  const auto first_dead_list = [&]() -> size_t {
+    for (size_t i = 0; i < m; ++i) {
+      if (!io.SortedAlive(i)) {
+        return i;
+      }
+    }
+    return m;
+  };
+
+  // ---- Phase 1: top-k prefix of every list, read one list at a time. ----
   for (size_t i = 0; i < m; ++i) {
     for (Position p = 1; p <= depth; ++p) {
+      if constexpr (IoT::kFaultAware) {
+        if (!io.SortedAlive(i)) {
+          break;
+        }
+      }
       // Probe-cell prefetch pipelining — uncounted, decision-free; see
       // nra_algorithm.cc.
       if (p + kPrefetchRowsAhead <= n) {
         pool.PrefetchItem(db.list(i).items()[p - 1 + kPrefetchRowsAhead]);
       }
-      record(i, io.Sorted(i, p));
+      const AccessedEntry entry = io.Sorted(i, p);
+      last_scores[i] = entry.score;
+      record(i, entry);
+      // Governance inside long prefix reads (k can be large).
+      if ((p & 255u) == 0 &&
+          (reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                    io.VirtualLatencyMs())) !=
+              Completion::kExact) {
+        return anytime(reason);
+      }
     }
+  }
+  if constexpr (IoT::kFaultAware) {
+    if (const size_t dead = first_dead_list(); dead < m) {
+      io.Flush();
+      return Status::Unavailable(
+          "TPUT: list ", dead,
+          " died permanently; the τ1/m drain guarantee no longer covers its "
+          "unseen entries");
+    }
+  }
+  if ((reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                io.VirtualLatencyMs())) != Completion::kExact) {
+    return anytime(reason);
   }
   // Phase 1 sees >= k distinct items (k rows of one list are distinct), so
   // the heap is full and its weakest entry is τ1.
@@ -68,7 +150,6 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
 
   // ---- Phase 2: drain every list down to local score >= τ1/m. ----
   const Score threshold = tau1 / static_cast<Score>(m);
-  std::vector<Score>& last_scores = context->last_scores();
   std::vector<Position>& list_depths = context->ClearedPositions();
   list_depths.assign(m, depth);
   {
@@ -79,6 +160,11 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
     }
     for (size_t i = 0; i < m; ++i) {
       while (list_depths[i] < n && last_scores[i] >= threshold) {
+        if constexpr (IoT::kFaultAware) {
+          if (!io.SortedAlive(i)) {
+            break;
+          }
+        }
         const Position p = ++list_depths[i];
         if (p + kPrefetchRowsAhead <= n) {
           pool.PrefetchItem(db.list(i).items()[p - 1 + kPrefetchRowsAhead]);
@@ -87,8 +173,28 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
         record(i, entry);
         last_scores[i] = entry.score;
         depth = std::max(depth, entry.position);
+        // Governance inside the drain (it can run deep into the lists).
+        if ((p & 255u) == 0 &&
+            (reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                      io.VirtualLatencyMs())) !=
+                Completion::kExact) {
+          return anytime(reason);
+        }
       }
     }
+  }
+  if constexpr (IoT::kFaultAware) {
+    if (const size_t dead = first_dead_list(); dead < m) {
+      io.Flush();
+      return Status::Unavailable(
+          "TPUT: list ", dead,
+          " died permanently; the τ1/m drain guarantee no longer covers its "
+          "unseen entries");
+    }
+  }
+  if ((reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                io.VirtualLatencyMs())) != Completion::kExact) {
+    return anytime(reason);
   }
   const Score tau2 = pool.KthLower();
 
@@ -135,15 +241,35 @@ Status RunTputLoop(const AlgorithmOptions& options, const Database& db,
   }
 
   TopKBuffer& buffer = context->buffer();
+  size_t resolved = 0;
   for (uint32_t slot : survivors) {
     const ItemId item = pool.item_at(slot);
     const Score* row = pool.row(slot);
     const uint64_t mask = pool.mask(slot);
+    if constexpr (IoT::kFaultAware) {
+      // Phase 3 needs random access to every unseen list of the survivor.
+      for (size_t i = 0; i < m; ++i) {
+        if (!(mask >> i & 1) && !io.RandomAlive(i)) {
+          io.Flush();
+          return Status::Unavailable(
+              "TPUT: list ", i,
+              " died permanently; random access is unavailable");
+        }
+      }
+    }
     Score sum = 0.0;
     for (size_t i = 0; i < m; ++i) {
       sum += (mask >> i & 1) ? row[i] : io.Random(i, item).score;
     }
     buffer.Offer(item, sum);
+    // Governance across the survivor resolutions (their count is unbounded
+    // by k); the heap's lower bounds stay the certified anytime answer.
+    if ((++resolved & 31u) == 0 &&
+        (reason = governor.Charge(io.stats(), pool.LiveCandidateBytes(),
+                                  io.VirtualLatencyMs())) !=
+            Completion::kExact) {
+      return anytime(reason);
+    }
   }
   io.Flush();
 
@@ -170,6 +296,10 @@ Status TputAlgorithm::Run(const Database& db, const TopKQuery& query,
   if (options().audit_accesses) {
     return RunTputLoop(options(), db, query, context,
                        EngineIo(&context->engine()), result);
+  }
+  if (context->faults().armed()) {
+    return RunTputLoop(options(), db, query, context,
+                       FaultIo(&context->faults()), result);
   }
   return RunTputLoop(options(), db, query, context,
                      RawListIo(&db, &context->engine()), result);

@@ -147,5 +147,43 @@ TEST(AccessParityTest, WarmedReRunsReproduceAccessCountsExactly) {
   }
 }
 
+// Governance parity: a default (off) governor is not merely equivalent — it
+// compiles to the very same ungoverned loop, and an *armed* governor whose
+// limits never trip only observes at round boundaries. Both must reproduce
+// the ungoverned fingerprint exactly: stop position, every access counter,
+// and the deterministic result sequence.
+TEST(AccessParityTest, GovernanceOffOrUntrippedLeavesTheFingerprintIdentical) {
+  const Database db = MakeUniformDatabase(600, 4, 77);
+  SumScorer sum;
+  const TopKQuery query{9, &sum};
+
+  AlgorithmOptions off;  // default: governor off
+  AlgorithmOptions armed = off;
+  armed.governor.deadline_ms = 1e9;
+  armed.governor.sorted_access_budget = uint64_t{1} << 40;
+  armed.governor.random_access_budget = uint64_t{1} << 40;
+  armed.governor.total_access_budget = uint64_t{1} << 40;
+  armed.governor.pool_byte_budget = size_t{1} << 40;
+
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput,
+        AlgorithmKind::kFa, AlgorithmKind::kTa, AlgorithmKind::kBpa,
+        AlgorithmKind::kBpa2}) {
+    const auto baseline =
+        MakeAlgorithm(kind, off)->Execute(db, query).ValueOrDie();
+    EXPECT_EQ(baseline.completion, Completion::kExact) << ToString(kind);
+    const auto governed =
+        MakeAlgorithm(kind, armed)->Execute(db, query).ValueOrDie();
+    EXPECT_EQ(governed.completion, Completion::kExact) << ToString(kind);
+    EXPECT_EQ(governed.stop_position, baseline.stop_position)
+        << ToString(kind);
+    EXPECT_TRUE(governed.stats == baseline.stats) << ToString(kind);
+    ASSERT_EQ(governed.items.size(), baseline.items.size()) << ToString(kind);
+    for (size_t i = 0; i < baseline.items.size(); ++i) {
+      EXPECT_EQ(governed.items[i], baseline.items[i]) << ToString(kind);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace topk

@@ -286,6 +286,106 @@ TEST_P(FuzzDifferentialTest, Bpa2NeverReaccessesUnderFuzz) {
   }
 }
 
+// Governance/fault-injection sweep: random access budgets and random fault
+// schedules (transient faults, latency spikes, list deaths) over random
+// databases, for all seven algorithms. Whatever the degradation, the
+// θ-certificate must stay sound against the naive oracle's true scores:
+// every returned score is a lower bound, every unreturned item's true score
+// is covered by unreturned_upper_bound (and by θ · kth_lower_bound), and an
+// exact completion must BE the exact deterministic top-k. A rerun on a fresh
+// context must reproduce the partial result byte-for-byte.
+TEST_P(FuzzDifferentialTest, GovernedAndFaultedBoundsAreSoundVsNaive) {
+  Rng rng(GetParam() ^ 0x60f3);
+  SumScorer sum;
+  const double eps = 1e-9;
+  for (int round = 0; round < 12; ++round) {
+    const Distribution dist =
+        round % 2 == 0 ? Distribution::kUniform : Distribution::kGaussian;
+    const size_t n = 16 + rng.NextBounded(49);  // 16 .. 64
+    const size_t m = 1 + rng.NextBounded(5);
+    const Database db = MakeFuzzDatabase(&rng, n, m, dist, round % 3 == 0);
+    const size_t k = 1 + rng.NextBounded(n);
+    const TopKQuery query{k, &sum};
+    AlgorithmOptions options;
+    options.score_floor = DeriveScoreFloor(db);
+    options.governor.total_access_budget = 1 + rng.NextBounded(400);
+    options.fault_plan.seed = rng.NextBounded(1 << 20);
+    options.fault_plan.transient_rate = 0.25 * rng.NextDouble();
+    options.fault_plan.spike_rate = 0.25 * rng.NextDouble();
+    options.fault_plan.spike_ms = 0.01;
+    options.fault_plan.death_rate =
+        round % 2 == 0 ? 0.4 * rng.NextDouble() : 0.0;
+    options.fault_plan.death_min_accesses = 1;
+    options.fault_plan.death_max_accesses = 1 + rng.NextBounded(64);
+
+    const TopKResult naive = MakeAlgorithm(AlgorithmKind::kNaive, options)
+                                 ->Execute(db, query)
+                                 .ValueOrDie();
+    std::vector<Score> truth(n);
+    std::vector<Score> locals(m);
+    for (ItemId item = 0; item < static_cast<ItemId>(n); ++item) {
+      for (size_t j = 0; j < m; ++j) {
+        locals[j] = db.list(j).ScoreOf(item);
+      }
+      truth[item] = sum.Combine(locals.data(), m);
+    }
+
+    const std::string label = "round " + std::to_string(round) + " n=" +
+                              std::to_string(n) + " m=" + std::to_string(m) +
+                              " k=" + std::to_string(k) + " budget=" +
+                              std::to_string(options.governor.total_access_budget);
+    for (AlgorithmKind kind : AllAlgorithmKinds()) {
+      if (kind == AlgorithmKind::kNaive) {
+        continue;
+      }
+      SCOPED_TRACE(ToString(kind) + " " + label);
+      const Result<TopKResult> run = MakeAlgorithm(kind, options)->Execute(db, query);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      const TopKResult& got = run.ValueUnsafe();
+      ASSERT_LE(got.items.size(), k);
+      ASSERT_GE(got.theta, 1.0);
+      if (got.completion == Completion::kExact) {
+        ASSERT_EQ(got.theta, 1.0);
+        ASSERT_EQ(got.Items(), naive.Items());
+        for (size_t i = 0; i < k; ++i) {
+          ASSERT_NEAR(got.items[i].score, naive.items[i].score, eps);
+        }
+      } else {
+        std::vector<bool> returned(n, false);
+        for (const ResultItem& item : got.items) {
+          returned[item.item] = true;
+          ASSERT_LE(item.score, truth[item.item] + eps)
+              << "returned score is not a lower bound for item " << item.item;
+        }
+        for (ItemId item = 0; item < static_cast<ItemId>(n); ++item) {
+          if (returned[item]) {
+            continue;
+          }
+          ASSERT_LE(truth[item], got.unreturned_upper_bound + eps)
+              << "unreturned item " << item << " beats the certificate";
+          if (got.kth_lower_bound > 0.0) {
+            ASSERT_LE(truth[item], got.theta * got.kth_lower_bound + eps)
+                << "theta fails to cover unreturned item " << item;
+          }
+        }
+      }
+      // Deterministic degradation: a fresh run reproduces the partial result
+      // byte-for-byte (same seed, same schedule, same budget).
+      const TopKResult again =
+          MakeAlgorithm(kind, options)->Execute(db, query).ValueOrDie();
+      ASSERT_EQ(again.completion, got.completion);
+      ASSERT_EQ(again.Items(), got.Items());
+      ASSERT_EQ(again.Scores(), got.Scores());
+      ASSERT_EQ(again.theta, got.theta);
+      ASSERT_EQ(again.kth_lower_bound, got.kth_lower_bound);
+      ASSERT_EQ(again.unreturned_upper_bound, got.unreturned_upper_bound);
+      ASSERT_TRUE(again.stats == got.stats);
+      ASSERT_EQ(again.failed_over, got.failed_over);
+      ASSERT_EQ(again.dead_lists, got.dead_lists);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {

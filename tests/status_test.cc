@@ -4,10 +4,35 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+
+#include "core/query_governor.h"
+#include "core/topk_algorithm.h"
+#include "gen/database_generator.h"
+#include "lists/fault_injection.h"
+#include "lists/scorer.h"
 
 namespace topk {
 namespace {
+
+// True when `status` is an error whose message contains every fragment —
+// the rejection-message contract: name the algorithm, the limit, and the
+// observed value.
+::testing::AssertionResult MentionsAll(
+    const Status& status, std::initializer_list<const char*> fragments) {
+  if (status.ok()) {
+    return ::testing::AssertionFailure() << "status is OK";
+  }
+  for (const char* fragment : fragments) {
+    if (status.message().find(fragment) == std::string::npos) {
+      return ::testing::AssertionFailure()
+             << "message \"" << status.message() << "\" lacks \"" << fragment
+             << "\"";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
 
 TEST(StatusTest, DefaultIsOk) {
   Status st;
@@ -84,6 +109,145 @@ TEST(StatusTest, CodeNames) {
 
 TEST(StatusTest, AbortOnOkIsNoop) {
   Status::OK().Abort();  // must not abort
+}
+
+TEST(StatusTest, ResourceExhaustedAndUnavailable) {
+  Status exhausted = Status::ResourceExhausted("budget spent");
+  EXPECT_TRUE(exhausted.IsResourceExhausted());
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "Resource exhausted: budget spent");
+  Status unavailable = Status::Unavailable("list died");
+  EXPECT_TRUE(unavailable.IsUnavailable());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: list died");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "Resource exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+// ---- Rejection-message contract -------------------------------------------
+// Every validation failure names the algorithm, the offending limit/knob, and
+// the observed value — one test case per message.
+
+TEST(RejectionMessageTest, QueryWithoutScorer) {
+  Database db = MakeUniformDatabase(32, 2, 1);
+  auto status = MakeAlgorithm(AlgorithmKind::kTa)
+                    ->Execute(db, TopKQuery{1, nullptr})
+                    .status();
+  EXPECT_TRUE(status.IsInvalid());
+  EXPECT_TRUE(MentionsAll(status, {"TA", "Scorer", "nullptr"}));
+}
+
+TEST(RejectionMessageTest, ZeroK) {
+  Database db = MakeUniformDatabase(32, 2, 1);
+  SumScorer scorer;
+  auto status = MakeAlgorithm(AlgorithmKind::kNra)
+                    ->Execute(db, TopKQuery{0, &scorer})
+                    .status();
+  EXPECT_TRUE(status.IsInvalid());
+  EXPECT_TRUE(MentionsAll(status, {"NRA", "k must be >= 1", "k = 0"}));
+}
+
+TEST(RejectionMessageTest, KBeyondDatabaseSize) {
+  Database db = MakeUniformDatabase(32, 2, 1);
+  SumScorer scorer;
+  auto status = MakeAlgorithm(AlgorithmKind::kBpa)
+                    ->Execute(db, TopKQuery{33, &scorer})
+                    .status();
+  EXPECT_TRUE(status.IsInvalid());
+  EXPECT_TRUE(MentionsAll(status, {"BPA", "k = 33", "n = 32"}));
+}
+
+TEST(RejectionMessageTest, GovernorDeadlineNaN) {
+  GovernorLimits limits;
+  limits.deadline_ms = std::nan("");
+  EXPECT_TRUE(
+      MentionsAll(limits.Validate("CA"), {"CA", "deadline_ms", "finite"}));
+}
+
+TEST(RejectionMessageTest, GovernorDeadlineInfinite) {
+  GovernorLimits limits;
+  limits.deadline_ms = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(
+      MentionsAll(limits.Validate("TA"), {"TA", "deadline_ms", "finite"}));
+}
+
+TEST(RejectionMessageTest, GovernorDeadlineNegative) {
+  GovernorLimits limits;
+  limits.deadline_ms = -3.0;
+  EXPECT_TRUE(MentionsAll(limits.Validate("FA"),
+                          {"FA", "deadline_ms must be >= 0", "-3"}));
+}
+
+TEST(RejectionMessageTest, FaultTransientRateOutOfRange) {
+  FaultPlan plan;
+  plan.transient_rate = 1.5;
+  EXPECT_TRUE(MentionsAll(plan.Validate("TA", 4),
+                          {"TA", "transient_rate", "[0, 1]", "1.5"}));
+}
+
+TEST(RejectionMessageTest, FaultSpikeRateOutOfRange) {
+  FaultPlan plan;
+  plan.spike_rate = -0.25;
+  EXPECT_TRUE(MentionsAll(plan.Validate("NRA", 4),
+                          {"NRA", "spike_rate", "[0, 1]", "-0.25"}));
+}
+
+TEST(RejectionMessageTest, FaultDeathRateOutOfRange) {
+  FaultPlan plan;
+  plan.death_rate = 2.0;
+  EXPECT_TRUE(
+      MentionsAll(plan.Validate("CA", 4), {"CA", "death_rate", "[0, 1]", "2"}));
+}
+
+TEST(RejectionMessageTest, FaultRetriesBelowOne) {
+  FaultPlan plan;
+  plan.max_retries = 0;
+  EXPECT_TRUE(MentionsAll(plan.Validate("BPA2", 4),
+                          {"BPA2", "max_retries must be >= 1", "0"}));
+}
+
+TEST(RejectionMessageTest, FaultSpikeMsNegative) {
+  FaultPlan plan;
+  plan.spike_ms = -1.0;
+  EXPECT_TRUE(MentionsAll(plan.Validate("FA", 4),
+                          {"FA", "spike_ms must be >= 0", "-1"}));
+}
+
+TEST(RejectionMessageTest, FaultDeathWindowInverted) {
+  FaultPlan plan;
+  plan.death_min_accesses = 10;
+  plan.death_max_accesses = 5;
+  EXPECT_TRUE(MentionsAll(plan.Validate("TPUT", 4),
+                          {"TPUT", "death window", "[10, 5]"}));
+}
+
+TEST(RejectionMessageTest, FaultKillListBeyondLastIndex) {
+  FaultPlan plan;
+  plan.kill_list = 4;
+  EXPECT_TRUE(MentionsAll(plan.Validate("TA", 4),
+                          {"TA", "kill_list = 4", "last list index 3"}));
+}
+
+TEST(RejectionMessageTest, FaultKillAfterZero) {
+  FaultPlan plan;
+  plan.kill_list = 0;
+  plan.kill_after_accesses = 0;
+  EXPECT_TRUE(MentionsAll(plan.Validate("BPA", 4),
+                          {"BPA", "kill_after_accesses must be >= 1", "0"}));
+}
+
+TEST(RejectionMessageTest, FaultPlanConflictsWithAudit) {
+  Database db = MakeUniformDatabase(32, 2, 1);
+  SumScorer scorer;
+  AlgorithmOptions options;
+  options.audit_accesses = true;
+  options.fault_plan.spike_rate = 0.5;
+  auto status = MakeAlgorithm(AlgorithmKind::kTa, options)
+                    ->Execute(db, TopKQuery{1, &scorer})
+                    .status();
+  EXPECT_TRUE(status.IsInvalid());
+  EXPECT_TRUE(MentionsAll(status, {"TA", "fault_plan", "audit_accesses"}));
 }
 
 }  // namespace

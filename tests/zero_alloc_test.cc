@@ -196,6 +196,54 @@ TEST(ZeroAllocTest, WarmedPoolQueriesDoNotGrowTheArena) {
   }
 }
 
+// Governance keeps the zero-allocation contract: arming limits (whether they
+// trip or not) adds one predictable branch per round and never touches the
+// allocator on a warmed context — including the anytime exit, which reuses
+// the context's scratch and the result's retained capacity.
+TEST(ZeroAllocTest, WarmedGovernedQueriesDoNotAllocate) {
+  AlgorithmOptions options;
+  options.governor.total_access_budget = uint64_t{1} << 40;  // armed, no trip
+  options.governor.pool_byte_budget = size_t{1} << 40;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    SCOPED_TRACE(ToString(kind));
+    bool all_ok = false;
+    const uint64_t allocs = AllocationsPerWarmedLoop(kind, options, 5, &all_ok);
+    EXPECT_TRUE(all_ok);
+    EXPECT_EQ(allocs, 0u);
+  }
+}
+
+TEST(ZeroAllocTest, WarmedTrippedQueriesDoNotAllocate) {
+  AlgorithmOptions options;
+  options.governor.total_access_budget = 500;  // trips on every algorithm
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    if (kind == AlgorithmKind::kNaive) {
+      continue;  // the oracle ignores governance
+    }
+    SCOPED_TRACE(ToString(kind));
+    bool all_ok = false;
+    const uint64_t allocs = AllocationsPerWarmedLoop(kind, options, 5, &all_ok);
+    EXPECT_TRUE(all_ok);
+    EXPECT_EQ(allocs, 0u);
+  }
+}
+
+TEST(ZeroAllocTest, WarmedFaultInjectedQueriesDoNotAllocate) {
+  AlgorithmOptions options;
+  options.fault_plan.transient_rate = 0.3;  // absorbed; answers stay exact
+  options.fault_plan.spike_rate = 0.1;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    if (kind == AlgorithmKind::kNaive) {
+      continue;  // the oracle ignores faults
+    }
+    SCOPED_TRACE(ToString(kind));
+    bool all_ok = false;
+    const uint64_t allocs = AllocationsPerWarmedLoop(kind, options, 5, &all_ok);
+    EXPECT_TRUE(all_ok);
+    EXPECT_EQ(allocs, 0u);
+  }
+}
+
 TEST(ZeroAllocTest, HookCountsAllocations) {
   const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   auto* probe = new int(7);

@@ -33,6 +33,14 @@
 // tens). It composes with either mode and does not by itself select ad-hoc
 // mode: with no flags at all the full grid over all three algorithms is
 // dumped byte-identically to previous builds.
+//
+// --governor=off|<spec> arms the query governor for every dumped execution.
+// `off` (the default) keeps the historical byte-identical output. A <spec>
+// is comma-separated key=value pairs over deadline-ms, sorted, random,
+// total (access budgets) and pool-bytes, e.g.
+// `--governor=total=5000,pool-bytes=65536`; governed lines append the
+// completion and theta so anytime fingerprints are diffable too. Like
+// --algos it composes with either mode without selecting ad-hoc mode.
 
 #include <algorithm>
 #include <cmath>
@@ -44,6 +52,7 @@
 #include "common/rng.h"
 #include "core/algorithms.h"
 #include "core/candidate_bounds.h"
+#include "core/query_governor.h"
 #include "gen/database_generator.h"
 #include "gen/paper_fixtures.h"
 #include "lists/scorer.h"
@@ -56,6 +65,47 @@ namespace {
 // output byte-for-byte).
 std::vector<AlgorithmKind> g_algos = {AlgorithmKind::kNra, AlgorithmKind::kCa,
                                       AlgorithmKind::kTput};
+
+// Governor limits applied to every dumped execution; default-constructed
+// (everything unlimited) reproduces the historical output byte-for-byte.
+GovernorLimits g_governor;
+
+// Parses a --governor value: "off" or comma-separated key=value pairs
+// (deadline-ms, sorted, random, total, pool-bytes).
+bool ParseGovernor(const std::string& spec) {
+  if (spec == "off") {
+    g_governor = GovernorLimits{};
+    return true;
+  }
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', begin), spec.size());
+    const std::string pair = spec.substr(begin, comma - begin);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    const std::string key = pair.substr(0, eq);
+    const char* value = pair.c_str() + eq + 1;
+    bool ok = false;
+    if (key == "deadline-ms") {
+      ok = ParseFlagDouble(value, &g_governor.deadline_ms);
+    } else if (key == "sorted") {
+      ok = ParseFlagU64(value, &g_governor.sorted_access_budget);
+    } else if (key == "random") {
+      ok = ParseFlagU64(value, &g_governor.random_access_budget);
+    } else if (key == "total") {
+      ok = ParseFlagU64(value, &g_governor.total_access_budget);
+    } else if (key == "pool-bytes") {
+      ok = ParseFlagSize(value, &g_governor.pool_byte_budget);
+    }
+    if (!ok) {
+      return false;
+    }
+    begin = comma + 1;
+  }
+  return g_governor.enabled();
+}
 
 // Parses a comma-separated --algos value ("nra,ca", case-sensitive short
 // names) into g_algos, keeping fingerprint order and dropping duplicates.
@@ -113,6 +163,7 @@ void DumpOne(const char* workload, const Database& db, size_t k,
              const Scorer& scorer) {
   AlgorithmOptions options;
   options.score_floor = DeriveScoreFloor(db);
+  options.governor = g_governor;
   for (AlgorithmKind kind : g_algos) {
     const auto result =
         MakeAlgorithm(kind, options)->Execute(db, TopKQuery{k, &scorer});
@@ -124,18 +175,28 @@ void DumpOne(const char* workload, const Database& db, size_t k,
     }
     const TopKResult& r = result.ValueOrDie();
     std::string items;
-    char buf[64];
+    char buf[96];
     for (const ResultItem& item : r.items) {
       std::snprintf(buf, sizeof(buf), " %u:%.17g", item.item, item.score);
       items += buf;
     }
-    std::printf("%s k=%zu f=%s %s: stop=%u as=%llu ar=%llu ad=%llu items=%s\n",
-                workload, k, scorer.name().c_str(), ToString(kind).c_str(),
-                r.stop_position,
-                static_cast<unsigned long long>(r.stats.sorted_accesses),
-                static_cast<unsigned long long>(r.stats.random_accesses),
-                static_cast<unsigned long long>(r.stats.direct_accesses),
-                items.c_str());
+    // Governed lines append the completion + certificate; with the governor
+    // off the format (and so the whole dump) stays byte-identical to the
+    // historical fingerprint.
+    std::string governed;
+    if (g_governor.enabled()) {
+      std::snprintf(buf, sizeof(buf), " completion=%s theta=%.17g",
+                    ToString(r.completion), r.theta);
+      governed = buf;
+    }
+    std::printf(
+        "%s k=%zu f=%s %s: stop=%u as=%llu ar=%llu ad=%llu%s items=%s\n",
+        workload, k, scorer.name().c_str(), ToString(kind).c_str(),
+        r.stop_position,
+        static_cast<unsigned long long>(r.stats.sorted_accesses),
+        static_cast<unsigned long long>(r.stats.random_accesses),
+        static_cast<unsigned long long>(r.stats.direct_accesses),
+        governed.c_str(), items.c_str());
   }
 }
 
@@ -261,6 +322,11 @@ int main(int argc, char** argv) {
       ok &= topk::ParseAlgos(v);
       continue;
     }
+    if (const char* v = value_of(arg, "--governor", &i)) {
+      // Governs every dumped execution; a governed full-grid dump is legal.
+      ok &= topk::ParseGovernor(v);
+      continue;
+    }
     if (const char* v = value_of(arg, "--n", &i)) {
       ok &= topk::ParseFlagSize(v, &config.n);
     } else if (const char* v = value_of(arg, "--m", &i)) {
@@ -284,7 +350,9 @@ int main(int argc, char** argv) {
                  "usage: parity_dump [--n=<items>] [--m=<lists>]"
                  " [--k=<answers>] [--seed=<rng>]"
                  " [--dist={uniform,gaussian,correlated,zipf}]"
-                 " [--algos=<csv of nra,ca,tput>]\n"
+                 " [--algos=<csv of nra,ca,tput>]"
+                 " [--governor=off|<key=value,...>]\n"
+                 "governor keys: deadline-ms sorted random total pool-bytes\n"
                  "with no workload flags, dumps the built-in grid\n");
     return 1;
   }

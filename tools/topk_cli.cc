@@ -40,11 +40,16 @@ int Usage() {
       "               [--alpha A] [--theta T] [--seed S] --out FILE[.csv|.bin]\n"
       "  topk query   --db FILE --k K [--algo ALGO] [--scorer SCORER]\n"
       "               [--weights w1,w2,...] [--tracker KIND] [--verbose]\n"
+      "               [--deadline-ms MS] [--access-budget N]\n"
       "  topk compare --db FILE --k K [--scorer SCORER] [--weights ...]\n"
       "\n"
       "algos:    naive fa ta bpa bpa2 tput nra ca   (default bpa2)\n"
       "scorers:  sum min max average weighted       (default sum)\n"
-      "trackers: bitarray btree set                 (default bitarray)\n";
+      "trackers: bitarray btree set                 (default bitarray)\n"
+      "\n"
+      "--deadline-ms / --access-budget govern the query: on a tripped limit\n"
+      "the run stops at the next round boundary and reports an anytime\n"
+      "answer with certified lower-bound scores and Fagin's theta factor.\n";
   return 2;
 }
 
@@ -206,6 +211,9 @@ Status RunQuery(const std::map<std::string, std::string>& flags) {
     options.score_floor = std::min(options.score_floor, db.list(i).MinScore());
   }
   const size_t k = std::stoul(FlagOr(flags, "k", "10"));
+  options.governor.deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  options.governor.total_access_budget =
+      std::stoull(FlagOr(flags, "access-budget", "0"));
   auto algorithm = MakeAlgorithm(algo, options);
   TOPK_ASSIGN_OR_RETURN(TopKResult result,
                         algorithm->Execute(db, TopKQuery{k, scorer.get()}));
@@ -218,10 +226,23 @@ Status RunQuery(const std::map<std::string, std::string>& flags) {
                  result.items[i].score);
   }
   table.Print(std::cout);
+  if (result.completion != Completion::kExact) {
+    std::cout << "anytime answer (" << ToString(result.completion) << "): "
+              << result.items.size() << " of " << k
+              << " items, scores are certified lower bounds, theta = "
+              << result.theta << " (unreturned <= "
+              << result.unreturned_upper_bound << ")\n";
+    if (result.failed_over) {
+      std::cout << "note: " << result.dead_lists
+                << " list(s) died; the query failed over to NRA over the "
+                   "survivors\n";
+    }
+  }
   if (flags.count("verbose")) {
     std::cout << "\naccesses: " << result.stats.ToString()
               << "\nexecution cost: " << result.execution_cost
               << "\nstop position:  " << result.stop_position
+              << "\ncompletion:     " << ToString(result.completion)
               << "\nelapsed:        " << result.elapsed_ms << " ms\n";
   }
   return Status::OK();
