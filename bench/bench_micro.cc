@@ -31,6 +31,15 @@
 // access count, plus one targeted-kill fault scenario (failover quality).
 // CI uploads the artifact next to the --quick trajectory JSON.
 //
+// `bench_micro --serve-json[=path]` (default path: BENCH_PR7.json) runs the
+// open-loop serving benchmark: a TopKServer (--threads workers, every request
+// arming the --serve-deadline-ms SLA) is offered Poisson arrivals at swept
+// fractions of its nominal capacity — below, near and above saturation — and
+// each point reports p50/p95/p99 latency (measured from the *scheduled*
+// arrival, so a backed-up server is charged its queueing delay instead of
+// hiding it: no coordinated omission), the shed rate, and the achieved
+// throughput next to the single-thread closed-loop baseline.
+//
 // The BPA series is measured in two modes — a fresh ExecutionContext per
 // query (the pre-PR1 per-query allocation path) vs one reused context — so
 // the number stays comparable with BENCH_PR1.json. The two modes run as
@@ -49,11 +58,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flag_parse.h"
@@ -61,6 +74,7 @@
 #include "common/timer.h"
 #include "core/algorithms.h"
 #include "core/candidate_bounds.h"
+#include "core/topk_server.h"
 #include "gen/database_generator.h"
 #include "lists/scorer.h"
 #include "tracker/best_position_tracker.h"
@@ -360,6 +374,11 @@ struct ThroughputConfig {
   double deadline_ms = 0.0;
   uint64_t access_budget = 0;
   std::string degrade_path = "DEGRADE_PR6.json";
+  // Open-loop serving mode (--serve-json).
+  std::string serve_path = "BENCH_PR7.json";
+  size_t threads = 0;  // 0 = hardware concurrency
+  double serve_deadline_ms = 25.0;
+  size_t serve_requests = 0;  // 0 = auto (scaled down by --quick)
 };
 
 // The workloads a flag-less --json run measures: the historical
@@ -739,6 +758,248 @@ int RunDegradeMode(const ThroughputConfig& config) {
   return 0;
 }
 
+// --- open-loop serving mode (--serve-json) ---
+
+// Nearest-rank-with-interpolation percentile over a sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+// One offered-rate point of the open-loop sweep: Poisson arrivals at
+// `offered_qps` submitted against a fresh TopKServer. Latency is measured
+// from each request's *scheduled* arrival time, not from the (possibly late)
+// Submit call — the standard guard against coordinated omission: when the
+// server backs up, the queueing delay the client would have experienced is
+// charged to the request instead of silently skipped.
+struct ServePoint {
+  double offered_qps = 0.0;
+  size_t requests = 0;
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;  // completed ok / wall
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;  // rejected + expired, as a fraction of offered
+  ServerStats stats;
+};
+
+ServePoint MeasureServePoint(const Database& db, AlgorithmKind algo,
+                             const TopKQuery& query,
+                             const AlgorithmOptions& options,
+                             const ThroughputConfig& config, size_t threads,
+                             double offered_qps, size_t requests,
+                             uint64_t seed) {
+  ServerOptions server_options;
+  server_options.num_threads = threads;
+  server_options.queue_capacity = 2 * threads + 16;
+  server_options.shed_policy = ShedPolicy::kReject;
+  server_options.algorithm_options = options;
+
+  ServePoint point;
+  point.offered_qps = offered_qps;
+  point.requests = requests;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t delivered = 0;
+  std::vector<double> ok_latencies_ms;
+  ok_latencies_ms.reserve(requests);
+
+  Rng rng(seed);
+  using Clock = std::chrono::steady_clock;
+  {
+    TopKServer server(&db, server_options);
+    // A couple of warm-up requests size every worker context before the
+    // measured window (not counted; the server is per-point anyway).
+    for (size_t w = 0; w < 2 * threads; ++w) {
+      server.Submit(ServerRequest{algo, query, 0.0}).wait();
+    }
+
+    Timer wall;
+    Clock::time_point next_arrival = Clock::now();
+    for (size_t i = 0; i < requests; ++i) {
+      // Exponential inter-arrival at the offered rate (Poisson process).
+      const double u = std::max(1e-12, 1.0 - rng.NextDouble());
+      next_arrival += std::chrono::nanoseconds(static_cast<int64_t>(
+          -std::log(u) / offered_qps * 1e9));
+      std::this_thread::sleep_until(next_arrival);
+      const Clock::time_point scheduled = next_arrival;
+      ServerRequest request{algo, query, config.serve_deadline_ms};
+      server.SubmitWithCallback(request, [&, scheduled](
+                                             Result<TopKResult> result) {
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+                .count();
+        std::lock_guard<std::mutex> lock(mu);
+        if (result.ok()) {
+          ok_latencies_ms.push_back(latency_ms);
+        }
+        ++delivered;
+        cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return delivered == requests; });
+    }
+    point.wall_seconds = wall.ElapsedSeconds();
+    point.stats = server.stats();
+    // Warm-up requests completed before the measured window; subtract them.
+    point.stats.submitted -= 2 * threads;
+    point.stats.completed -= 2 * threads;
+  }
+
+  std::sort(ok_latencies_ms.begin(), ok_latencies_ms.end());
+  point.p50_ms = Percentile(ok_latencies_ms, 0.50);
+  point.p95_ms = Percentile(ok_latencies_ms, 0.95);
+  point.p99_ms = Percentile(ok_latencies_ms, 0.99);
+  point.achieved_qps =
+      static_cast<double>(ok_latencies_ms.size()) / point.wall_seconds;
+  point.shed_rate =
+      static_cast<double>(point.stats.shed_rejected +
+                          point.stats.expired_at_dequeue) /
+      static_cast<double>(requests);
+  return point;
+}
+
+// Open-loop latency sweep: for each algorithm, measure the single-thread
+// closed-loop throughput (the PR 1–5 trajectory number), then offer Poisson
+// arrivals at fractions of the server's nominal capacity (threads x
+// closed-loop qps) — below, near and above saturation — and report latency
+// percentiles, shed rate and achieved throughput. Every request arms the
+// --serve-deadline-ms SLA, so the overload point demonstrates the full
+// governance path: queue -> watchdog cancel -> certified anytime answer, or
+// shed before execution.
+int RunServeMode(const ThroughputConfig& config) {
+  if (config.k == 0 || config.k > config.n || config.m == 0) {
+    std::fprintf(stderr, "invalid workload: n=%zu m=%zu k=%zu\n", config.n,
+                 config.m, config.k);
+    return 1;
+  }
+  DatabaseKind kind;
+  if (!ParseDatabaseKind(config.dist, &kind)) {
+    std::fprintf(stderr,
+                 "unknown --dist=%s (uniform|gaussian|correlated|zipf)\n",
+                 config.dist.c_str());
+    return 1;
+  }
+  const size_t threads =
+      config.threads != 0
+          ? config.threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const Database db = MakeDatabaseOfKind(kind, config.n, config.m, 11);
+  AlgorithmOptions options;
+  options.score_floor = DeriveScoreFloor(db);
+  SumScorer sum;
+  const TopKQuery query{config.k, &sum};
+
+  struct ServeSeries {
+    AlgorithmKind kind;
+    int baseline_queries;
+  };
+  const int scale = config.quick ? 4 : 1;
+  const ServeSeries series[] = {{AlgorithmKind::kBpa, 600 / scale},
+                                {AlgorithmKind::kNra, 60 / scale},
+                                {AlgorithmKind::kCa, 120 / scale},
+                                {AlgorithmKind::kTput, 120 / scale}};
+  const size_t requests_per_point =
+      config.serve_requests != 0 ? config.serve_requests
+                                 : (config.quick ? 80 : 300);
+  constexpr double kLoadFractions[] = {0.4, 0.8, 1.2};
+
+  std::string json;
+  json += "{\n  \"benchmark\": \"open_loop_serving\",\n";
+  char line[1024];
+  std::snprintf(line, sizeof(line),
+                "  \"workload\": {\"distribution\": \"%s\", \"n\": %zu,"
+                " \"m\": %zu, \"k\": %zu, \"quick\": %s},\n"
+                "  \"server\": {\"threads\": %zu, \"shed_policy\": \"reject\","
+                " \"deadline_ms\": %.3f},\n"
+                "  \"series\": [\n",
+                config.dist.c_str(), config.n, config.m, config.k,
+                config.quick ? "true" : "false", threads,
+                config.serve_deadline_ms);
+  json += line;
+
+  bool first_series = true;
+  uint64_t seed = 1007;
+  for (const ServeSeries& s : series) {
+    const auto algorithm = MakeAlgorithm(s.kind, options);
+    const auto probe = algorithm->Execute(db, query);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s cannot serve this workload: %s\n",
+                   ToString(s.kind).c_str(),
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    Score checksum = 0.0;
+    const double closed_ms =
+        MeasureBatchMillis(*algorithm, db, query, s.baseline_queries,
+                           /*reuse_context=*/true, &checksum);
+    const double closed_qps = 1000.0 * s.baseline_queries / closed_ms;
+
+    if (!first_series) {
+      json += ",\n";
+    }
+    first_series = false;
+    std::snprintf(line, sizeof(line),
+                  "    {\"algorithm\": \"%s\","
+                  " \"closed_loop_1thread_qps\": %.1f,\n"
+                  "     \"points\": [\n",
+                  ToString(s.kind).c_str(), closed_qps);
+    json += line;
+
+    bool first_point = true;
+    for (double fraction : kLoadFractions) {
+      const double offered = fraction * closed_qps * threads;
+      const ServePoint point =
+          MeasureServePoint(db, s.kind, query, options, config, threads,
+                            offered, requests_per_point, ++seed);
+      if (!first_point) {
+        json += ",\n";
+      }
+      first_point = false;
+      std::snprintf(
+          line, sizeof(line),
+          "       {\"load_fraction\": %.2f, \"offered_qps\": %.1f,"
+          " \"requests\": %zu,\n"
+          "        \"achieved_qps\": %.1f, \"speedup_vs_closed_loop\": %.2f,\n"
+          "        \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f,"
+          " \"p99\": %.3f},\n"
+          "        \"shed_rate\": %.4f, \"completed\": %llu,"
+          " \"shed_rejected\": %llu, \"expired_at_dequeue\": %llu,"
+          " \"deadline_cancelled\": %llu}",
+          fraction, point.offered_qps, point.requests, point.achieved_qps,
+          point.achieved_qps / closed_qps, point.p50_ms, point.p95_ms,
+          point.p99_ms, point.shed_rate,
+          static_cast<unsigned long long>(point.stats.completed),
+          static_cast<unsigned long long>(point.stats.shed_rejected),
+          static_cast<unsigned long long>(point.stats.expired_at_dequeue),
+          static_cast<unsigned long long>(point.stats.deadline_cancelled));
+      json += line;
+    }
+    json += "\n     ]}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen(config.serve_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", config.serve_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace topk
 
@@ -746,6 +1007,7 @@ int main(int argc, char** argv) {
   topk::ThroughputConfig config;
   bool throughput_mode = false;
   bool degrade_mode = false;
+  bool serve_mode = false;
   bool scenario_flags_ok = true;
   // Shared CLI flag helpers (see common/flag_parse.h): --flag=value and
   // --flag value shapes, strict numeric parses.
@@ -766,6 +1028,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--degrade-json=", 0) == 0) {
       degrade_mode = true;
       config.degrade_path = arg.substr(15);
+    } else if (arg == "--serve-json") {
+      serve_mode = true;
+    } else if (arg.rfind("--serve-json=", 0) == 0) {
+      serve_mode = true;
+      config.serve_path = arg.substr(13);
+    } else if (const char* v = value_of(arg, "--threads", &i)) {
+      scenario_flags_ok &= parse_size(v, &config.threads);
+    } else if (const char* v = value_of(arg, "--serve-deadline-ms", &i)) {
+      scenario_flags_ok &= topk::ParseFlagDouble(v, &config.serve_deadline_ms);
+    } else if (const char* v = value_of(arg, "--serve-requests", &i)) {
+      scenario_flags_ok &= parse_size(v, &config.serve_requests);
     } else if (arg == "--quick") {
       config.quick = true;
     } else if (const char* v = value_of(arg, "--n", &i)) {
@@ -791,14 +1064,18 @@ int main(int argc, char** argv) {
       scenario_flags_ok = false;
     }
   }
-  if (throughput_mode || degrade_mode) {
+  if (throughput_mode || degrade_mode || serve_mode) {
     if (!scenario_flags_ok) {
       std::fprintf(stderr,
-                   "unrecognized argument in --json/--degrade-json mode; "
-                   "scenario flags: --n --m --k --dist "
+                   "unrecognized argument in --json/--degrade-json/"
+                   "--serve-json mode; scenario flags: --n --m --k --dist "
                    "{uniform,gaussian,correlated,zipf} --quick "
-                   "--deadline-ms --access-budget\n");
+                   "--deadline-ms --access-budget --threads "
+                   "--serve-deadline-ms --serve-requests\n");
       return 1;
+    }
+    if (serve_mode) {
+      return topk::RunServeMode(config);
     }
     if (degrade_mode) {
       return topk::RunDegradeMode(config);

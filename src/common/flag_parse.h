@@ -9,8 +9,10 @@
 #ifndef TOPK_COMMON_FLAG_PARSE_H_
 #define TOPK_COMMON_FLAG_PARSE_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace topk {
@@ -32,20 +34,24 @@ inline const char* FlagValue(const std::string& arg, const char* name,
   return nullptr;
 }
 
-/// Strict non-negative integer parse: trailing garbage or a sign makes the
-/// flag invalid.
+/// Strict non-negative integer parse: trailing garbage, a sign, or a value
+/// that does not fit uint64 makes the flag invalid. strtoull saturates to
+/// ULLONG_MAX on overflow and only reports it via errno == ERANGE — without
+/// the check, `--n 99999999999999999999999` would silently measure (and
+/// label) a 2^64-item workload.
 inline bool ParseFlagU64(const char* v, uint64_t* out) {
   if (*v < '0' || *v > '9') {
     return false;
   }
   char* end = nullptr;
+  errno = 0;
   *out = std::strtoull(v, &end, 10);
-  return end != v && *end == '\0';
+  return end != v && *end == '\0' && errno != ERANGE;
 }
 
 inline bool ParseFlagSize(const char* v, size_t* out) {
   uint64_t u = 0;
-  if (!ParseFlagU64(v, &u)) {
+  if (!ParseFlagU64(v, &u) || u > std::numeric_limits<size_t>::max()) {
     return false;
   }
   *out = static_cast<size_t>(u);
@@ -53,14 +59,19 @@ inline bool ParseFlagSize(const char* v, size_t* out) {
 }
 
 /// Strict non-negative finite double parse (same contract as ParseFlagU64:
-/// no sign, no trailing garbage).
+/// no sign, no trailing garbage, no out-of-range value). The finiteness
+/// check already rejects overflow (strtod saturates to +inf); errno == ERANGE
+/// additionally rejects underflowed values (e.g. 1e-999), which strtod
+/// silently flushes toward zero.
 inline bool ParseFlagDouble(const char* v, double* out) {
   if (*v < '0' || *v > '9') {
     return false;
   }
   char* end = nullptr;
+  errno = 0;
   *out = std::strtod(v, &end);
-  return end != v && *end == '\0' && *out >= 0.0 && *out - *out == 0.0;
+  return end != v && *end == '\0' && errno != ERANGE && *out >= 0.0 &&
+         *out - *out == 0.0;
 }
 
 }  // namespace topk

@@ -1,6 +1,8 @@
 // Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
 //
-// Wall-clock stopwatch used for the paper's "response time" metric.
+// Monotonic (steady-clock) stopwatch used for the paper's "response time"
+// metric. Deliberately NOT wall-clock: elapsed times and armed deadlines must
+// never jump backwards under NTP slew or manual clock changes.
 
 #ifndef TOPK_COMMON_TIMER_H_
 #define TOPK_COMMON_TIMER_H_
@@ -13,6 +15,14 @@ namespace topk {
 /// Monotonic stopwatch. Starts running on construction.
 class Timer {
  public:
+  /// The clock every measurement is taken on. Public so callers mixing Timer
+  /// readings with their own time points (deadline math in the serving layer)
+  /// can name the same clock; must stay steady.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Timer must be monotonic: response times and deadlines break "
+                "if the clock can be set backwards");
+
   Timer() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.
@@ -36,7 +46,6 @@ class Timer {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -8,35 +8,52 @@
 
 namespace topk {
 
-ExecutionContext* QueryEngine::ContextFor(size_t worker) const {
-  while (contexts_.size() <= worker) {
-    contexts_.push_back(std::make_unique<ExecutionContext>());
+std::vector<size_t> QueryEngine::AcquireSlots(size_t count) const {
+  std::vector<size_t> slots;
+  slots.reserve(count);
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  while (slots.size() < count && !free_slots_.empty()) {
+    slots.push_back(free_slots_.back());
+    free_slots_.pop_back();
   }
-  return contexts_[worker].get();
+  while (slots.size() < count) {
+    slots.push_back(minted_slots_++);
+  }
+  return slots;
 }
 
-std::vector<Result<TopKResult>> QueryEngine::ExecuteBatch(
-    AlgorithmKind kind, const std::vector<TopKQuery>& queries,
-    size_t num_threads) const {
-  std::vector<Result<TopKResult>> results(
-      queries.size(), Result<TopKResult>(Status::Internal("not executed")));
+void QueryEngine::ReleaseSlots(const std::vector<size_t>& slots) const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  // Released in descending order so the next AcquireSlots pops the lowest
+  // (longest-warmed) indices first.
+  free_slots_.insert(free_slots_.end(), slots.rbegin(), slots.rend());
+}
+
+BatchResult QueryEngine::ExecuteBatch(AlgorithmKind kind,
+                                      const std::vector<TopKQuery>& queries,
+                                      size_t num_threads) const {
+  BatchResult batch;
+  batch.results.assign(queries.size(),
+                       Result<TopKResult>(Status::Internal("not executed")));
   if (queries.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     last_batch_stats_ = AccessStats{};
-    return results;
+    return batch;
   }
 
   const size_t workers =
       std::max<size_t>(1, std::min(num_threads, queries.size()));
-  // Grow the context pool before launching workers so no worker mutates the
-  // pool vector concurrently.
+  // Lease the batch's worker slots up front (and grow their contexts before
+  // launching) so no worker mutates pool bookkeeping mid-batch.
+  const std::vector<size_t> slots = AcquireSlots(workers);
+  std::vector<ExecutionContext*> contexts(workers);
   for (size_t w = 0; w < workers; ++w) {
-    ContextFor(w);
+    contexts[w] = contexts_.Get(slots[w]);
   }
   if (workers == 1) {
     auto algorithm = MakeAlgorithm(kind, options_);
-    ExecutionContext* context = ContextFor(0);
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = algorithm->Execute(*db_, queries[i], context);
+      batch.results[i] = algorithm->Execute(*db_, queries[i], contexts[0]);
     }
   } else {
     // Work stealing via a shared atomic cursor; each worker owns a private
@@ -47,13 +64,13 @@ std::vector<Result<TopKResult>> QueryEngine::ExecuteBatch(
     for (size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, this, w] {
         auto algorithm = MakeAlgorithm(kind, options_);
-        ExecutionContext* context = contexts_[w].get();
+        ExecutionContext* context = contexts[w];
         for (;;) {
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= queries.size()) {
             return;
           }
-          results[i] = algorithm->Execute(*db_, queries[i], context);
+          batch.results[i] = algorithm->Execute(*db_, queries[i], context);
         }
       });
     }
@@ -61,15 +78,20 @@ std::vector<Result<TopKResult>> QueryEngine::ExecuteBatch(
       t.join();
     }
   }
+  ReleaseSlots(slots);
 
   AccessStats total;
-  for (const Result<TopKResult>& r : results) {
+  for (const Result<TopKResult>& r : batch.results) {
     if (r.ok()) {
       total += r.ValueUnsafe().stats;
     }
   }
-  last_batch_stats_ = total;
-  return results;
+  batch.stats = total;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_batch_stats_ = total;
+  }
+  return batch;
 }
 
 }  // namespace topk

@@ -12,19 +12,31 @@
 #define TOPK_CORE_QUERY_ENGINE_H_
 
 #include <cstddef>
-#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
-#include "core/execution_context.h"
+#include "core/context_pool.h"
 #include "core/topk_algorithm.h"
 #include "lists/database.h"
 
 namespace topk {
 
-/// Executes batches of queries against one database. Not safe for concurrent
-/// ExecuteBatch calls on the same engine (the per-worker contexts and batch
-/// stats are engine state); use one engine per batch issuer.
+/// Everything one ExecuteBatch call produced: the per-query results plus the
+/// aggregate access statistics (summed over the successful queries). Returned
+/// by value so concurrent batch issuers never race on shared engine state.
+struct BatchResult {
+  /// Per-query outcomes, in query order.
+  std::vector<Result<TopKResult>> results;
+
+  /// Aggregate access statistics (sums over the successful queries).
+  AccessStats stats;
+};
+
+/// Executes batches of queries against one database. Safe for concurrent
+/// ExecuteBatch calls on the same engine: each call claims a private range of
+/// worker slots from the shared context pool (growth is mutex-protected) and
+/// returns its batch statistics by value instead of mutating engine state.
 class QueryEngine {
  public:
   /// \param db non-owning; must outlive the engine.
@@ -38,26 +50,40 @@ class QueryEngine {
   /// \param num_threads 0 or 1 = run inline on the calling thread; otherwise
   ///        workers pull queries from a shared atomic cursor (work stealing),
   ///        min(num_threads, queries) workers total.
-  std::vector<Result<TopKResult>> ExecuteBatch(
-      AlgorithmKind kind, const std::vector<TopKQuery>& queries,
-      size_t num_threads = 0) const;
+  BatchResult ExecuteBatch(AlgorithmKind kind,
+                           const std::vector<TopKQuery>& queries,
+                           size_t num_threads = 0) const;
 
-  /// Aggregate access statistics of the last ExecuteBatch call (sums over the
-  /// successful queries).
-  const AccessStats& last_batch_stats() const { return last_batch_stats_; }
+  /// Aggregate access statistics of the most recently *finished* ExecuteBatch
+  /// call. Deprecated: with concurrent issuers "last" is whichever batch
+  /// finished last — prefer BatchResult::stats, which is race-free by
+  /// construction. Kept (mutex-protected, returned by value) for the benches
+  /// and older callers.
+  AccessStats last_batch_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_batch_stats_;
+  }
 
   const Database& database() const { return *db_; }
 
  private:
-  /// Reusable context of worker slot `worker`, created on first use and kept
-  /// warm across batches.
-  ExecutionContext* ContextFor(size_t worker) const;
+  /// Leases `count` worker-slot indices for one batch: freed slots are reused
+  /// first (their contexts are warm), new indices are minted otherwise. Two
+  /// in-flight batches therefore never share an ExecutionContext, while a
+  /// sequential caller keeps hitting the same warmed slots.
+  std::vector<size_t> AcquireSlots(size_t count) const;
+  void ReleaseSlots(const std::vector<size_t>& slots) const;
 
   const Database* db_;
   AlgorithmOptions options_;
+  mutable std::mutex stats_mu_;
   mutable AccessStats last_batch_stats_;
-  // unique_ptr keeps context addresses stable while the pool grows.
-  mutable std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+  /// Per-worker-slot contexts, created on first use and kept warm across
+  /// batches. Thread-safe growth; in-flight batches lease disjoint slots.
+  mutable ContextPool contexts_;
+  mutable std::mutex slots_mu_;
+  mutable std::vector<size_t> free_slots_;
+  mutable size_t minted_slots_ = 0;
 };
 
 }  // namespace topk

@@ -24,7 +24,7 @@ void QueryGovernor::Arm(const GovernorLimits& limits) {
   armed_ = limits.enabled();
   cancel_.store(false, std::memory_order_relaxed);
   if (limits_.deadline_ms > 0.0) {
-    start_ = std::chrono::steady_clock::now();
+    start_ = DeadlineClock::now();
   }
 }
 
@@ -34,7 +34,7 @@ Completion QueryGovernor::ChargeSlow(const AccessStats& stats,
   if (limits_.deadline_ms > 0.0) {
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start_)
+            DeadlineClock::now() - start_)
             .count() +
         virtual_ms;
     if (elapsed_ms >= limits_.deadline_ms) {

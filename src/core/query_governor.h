@@ -73,6 +73,13 @@ struct GovernorLimits {
 /// The per-context governor. Not copyable (holds the cancellation flag).
 class QueryGovernor {
  public:
+  /// The clock deadlines are armed and charged on. Must be monotonic: a
+  /// wall clock stepping backwards would un-expire an armed deadline, and
+  /// stepping forwards would spuriously cancel every in-flight query.
+  using DeadlineClock = std::chrono::steady_clock;
+  static_assert(DeadlineClock::is_steady,
+                "deadline enforcement requires a monotonic clock");
+
   QueryGovernor() = default;
   QueryGovernor(const QueryGovernor&) = delete;
   QueryGovernor& operator=(const QueryGovernor&) = delete;
@@ -114,7 +121,7 @@ class QueryGovernor {
   GovernorLimits limits_;
   bool armed_ = false;
   std::atomic<bool> cancel_{false};
-  std::chrono::steady_clock::time_point start_{};
+  DeadlineClock::time_point start_{};
 };
 
 /// Certifies an anytime result: records the completion reason, the bound

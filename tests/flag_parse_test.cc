@@ -1,0 +1,103 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Regression tests for the strict flag parsers — notably the ERANGE
+// saturation bug: strtoull/strtod report out-of-range values only via errno,
+// so without the check `--n 99999999999999999999999` silently became
+// ULLONG_MAX and was measured (and labeled) as a 2^64-item workload.
+
+#include "common/flag_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace topk {
+namespace {
+
+TEST(ParseFlagU64, AcceptsPlainIntegers) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseFlagU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseFlagU64("123456789", &v));
+  EXPECT_EQ(v, 123456789u);
+  EXPECT_TRUE(ParseFlagU64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseFlagU64, RejectsOverflowInsteadOfSaturating) {
+  uint64_t v = 0;
+  // One past UINT64_MAX: strtoull saturates and sets errno = ERANGE.
+  EXPECT_FALSE(ParseFlagU64("18446744073709551616", &v));
+  EXPECT_FALSE(ParseFlagU64("99999999999999999999999", &v));
+}
+
+TEST(ParseFlagU64, RejectsMalformedInput) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseFlagU64("", &v));
+  EXPECT_FALSE(ParseFlagU64("-3", &v));
+  EXPECT_FALSE(ParseFlagU64("+3", &v));
+  EXPECT_FALSE(ParseFlagU64(" 3", &v));
+  EXPECT_FALSE(ParseFlagU64("3x", &v));
+  EXPECT_FALSE(ParseFlagU64("x3", &v));
+}
+
+TEST(ParseFlagSize, RoundTripsAndRejectsOverflow) {
+  size_t v = 0;
+  EXPECT_TRUE(ParseFlagSize("1000000", &v));
+  EXPECT_EQ(v, 1000000u);
+  EXPECT_FALSE(ParseFlagSize("99999999999999999999999", &v));
+}
+
+TEST(ParseFlagDouble, AcceptsFiniteNonNegative) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseFlagDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(ParseFlagDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseFlagDouble("1e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(ParseFlagDouble, RejectsOutOfRangeValues) {
+  double v = 0.0;
+  // Overflow: strtod saturates to +inf (caught by the finiteness check).
+  EXPECT_FALSE(ParseFlagDouble("1e999", &v));
+  // Underflow: strtod silently flushes toward zero with errno = ERANGE —
+  // the regression this suite pins.
+  EXPECT_FALSE(ParseFlagDouble("1e-999", &v));
+}
+
+TEST(ParseFlagDouble, RejectsMalformedInput) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseFlagDouble("", &v));
+  EXPECT_FALSE(ParseFlagDouble("-1.5", &v));
+  EXPECT_FALSE(ParseFlagDouble("nan", &v));
+  EXPECT_FALSE(ParseFlagDouble("inf", &v));
+  EXPECT_FALSE(ParseFlagDouble("2.5ms", &v));
+}
+
+TEST(FlagValue, HandlesBothFlagShapes) {
+  const char* argv_equals[] = {const_cast<char*>("--n=42")};
+  int i = 0;
+  EXPECT_STREQ(FlagValue("--n=42", "--n", &i, 1,
+                         const_cast<char**>(argv_equals)),
+               "42");
+
+  const char* argv_space[] = {const_cast<char*>("--n"),
+                              const_cast<char*>("42")};
+  i = 0;
+  EXPECT_STREQ(
+      FlagValue("--n", "--n", &i, 2, const_cast<char**>(argv_space)), "42");
+  EXPECT_EQ(i, 1);  // consumed the value token
+
+  // A following "--" token is another flag, not this flag's value.
+  const char* argv_next_flag[] = {const_cast<char*>("--n"),
+                                  const_cast<char*>("--k")};
+  i = 0;
+  EXPECT_EQ(FlagValue("--n", "--n", &i, 2, const_cast<char**>(argv_next_flag)),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace topk

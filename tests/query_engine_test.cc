@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/algorithms.h"
@@ -33,18 +34,20 @@ class QueryEngineTest : public ::testing::Test {
 TEST_F(QueryEngineTest, InlineBatchMatchesDirectExecution) {
   QueryEngine engine(&db_);
   const auto queries = MakeQueries(8);
-  const auto batch = engine.ExecuteBatch(AlgorithmKind::kBpa, queries);
-  ASSERT_EQ(batch.size(), queries.size());
+  const BatchResult batch = engine.ExecuteBatch(AlgorithmKind::kBpa, queries);
+  ASSERT_EQ(batch.results.size(), queries.size());
   auto algorithm = MakeAlgorithm(AlgorithmKind::kBpa);
   for (size_t i = 0; i < queries.size(); ++i) {
-    ASSERT_TRUE(batch[i].ok()) << i;
+    ASSERT_TRUE(batch.results[i].ok()) << i;
     const TopKResult direct =
         algorithm->Execute(db_, queries[i]).ValueOrDie();
-    ASSERT_EQ(batch[i].ValueUnsafe().items.size(), direct.items.size());
+    ASSERT_EQ(batch.results[i].ValueUnsafe().items.size(),
+              direct.items.size());
     for (size_t r = 0; r < direct.items.size(); ++r) {
-      EXPECT_EQ(batch[i].ValueUnsafe().items[r].item, direct.items[r].item);
+      EXPECT_EQ(batch.results[i].ValueUnsafe().items[r].item,
+                direct.items[r].item);
     }
-    EXPECT_EQ(batch[i].ValueUnsafe().stats, direct.stats);
+    EXPECT_EQ(batch.results[i].ValueUnsafe().stats, direct.stats);
   }
 }
 
@@ -52,9 +55,9 @@ TEST_F(QueryEngineTest, ParallelMatchesInline) {
   QueryEngine engine(&db_);
   const auto queries = MakeQueries(40);
   const auto inline_results =
-      engine.ExecuteBatch(AlgorithmKind::kBpa2, queries, 1);
+      engine.ExecuteBatch(AlgorithmKind::kBpa2, queries, 1).results;
   const auto parallel_results =
-      engine.ExecuteBatch(AlgorithmKind::kBpa2, queries, 8);
+      engine.ExecuteBatch(AlgorithmKind::kBpa2, queries, 8).results;
   ASSERT_EQ(inline_results.size(), parallel_results.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_TRUE(inline_results[i].ok());
@@ -75,7 +78,8 @@ TEST_F(QueryEngineTest, PerQueryFailuresDoNotAbortTheBatch) {
   std::vector<TopKQuery> queries = MakeQueries(3);
   queries.push_back(TopKQuery{db_.num_items() + 1, &sum_});  // invalid k
   queries.push_back(TopKQuery{5, nullptr});                  // missing scorer
-  const auto results = engine.ExecuteBatch(AlgorithmKind::kTa, queries, 4);
+  const auto results =
+      engine.ExecuteBatch(AlgorithmKind::kTa, queries, 4).results;
   ASSERT_EQ(results.size(), 5u);
   EXPECT_TRUE(results[0].ok());
   EXPECT_TRUE(results[1].ok());
@@ -86,15 +90,17 @@ TEST_F(QueryEngineTest, PerQueryFailuresDoNotAbortTheBatch) {
 
 TEST_F(QueryEngineTest, EmptyBatch) {
   QueryEngine engine(&db_);
-  const auto results = engine.ExecuteBatch(AlgorithmKind::kTa, {}, 4);
-  EXPECT_TRUE(results.empty());
+  const BatchResult batch = engine.ExecuteBatch(AlgorithmKind::kTa, {}, 4);
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.stats.TotalAccesses(), 0u);
   EXPECT_EQ(engine.last_batch_stats().TotalAccesses(), 0u);
 }
 
 TEST_F(QueryEngineTest, MoreThreadsThanQueries) {
   QueryEngine engine(&db_);
   const auto queries = MakeQueries(2);
-  const auto results = engine.ExecuteBatch(AlgorithmKind::kNaive, queries, 64);
+  const auto results =
+      engine.ExecuteBatch(AlgorithmKind::kNaive, queries, 64).results;
   ASSERT_EQ(results.size(), 2u);
   EXPECT_TRUE(results[0].ok());
   EXPECT_TRUE(results[1].ok());
@@ -103,11 +109,13 @@ TEST_F(QueryEngineTest, MoreThreadsThanQueries) {
 TEST_F(QueryEngineTest, BatchStatsAggregate) {
   QueryEngine engine(&db_);
   const auto queries = MakeQueries(4);
-  const auto results = engine.ExecuteBatch(AlgorithmKind::kTa, queries, 2);
+  const BatchResult batch = engine.ExecuteBatch(AlgorithmKind::kTa, queries, 2);
   uint64_t expected = 0;
-  for (const auto& r : results) {
+  for (const auto& r : batch.results) {
     expected += r.ValueOrDie().stats.TotalAccesses();
   }
+  EXPECT_EQ(batch.stats.TotalAccesses(), expected);
+  // The deprecated accessor reports the same aggregate for a lone issuer.
   EXPECT_EQ(engine.last_batch_stats().TotalAccesses(), expected);
 }
 
@@ -117,7 +125,8 @@ TEST_F(QueryEngineTest, MixedScorersInOneBatch) {
   QueryEngine engine(&db_);
   std::vector<TopKQuery> queries = {TopKQuery{5, &sum_}, TopKQuery{5, &min},
                                     TopKQuery{5, &max}};
-  const auto results = engine.ExecuteBatch(AlgorithmKind::kBpa, queries, 3);
+  const auto results =
+      engine.ExecuteBatch(AlgorithmKind::kBpa, queries, 3).results;
   auto naive = MakeAlgorithm(AlgorithmKind::kNaive);
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_TRUE(results[i].ok());
@@ -126,6 +135,49 @@ TEST_F(QueryEngineTest, MixedScorersInOneBatch) {
       EXPECT_DOUBLE_EQ(results[i].ValueUnsafe().items[r].score,
                        want.items[r].score);
     }
+  }
+}
+
+// Regression for the PR 7 stats race: two issuer threads sharing one engine
+// used to race on the mutable last_batch_stats_ / context-pool growth of the
+// const ExecuteBatch. With BatchResult returned by value and leased context
+// slots, both issuers must observe exactly their own batch's aggregate and
+// every per-query answer must match a single-threaded run. Run under TSan to
+// certify the absence of the data race, not just its invisibility.
+TEST_F(QueryEngineTest, ConcurrentIssuersShareOneEngine) {
+  QueryEngine engine(&db_);
+  const auto queries_a = MakeQueries(24);
+  auto queries_b = MakeQueries(17);
+  queries_b.erase(queries_b.begin());  // different shapes on purpose
+  const uint64_t want_a =
+      engine.ExecuteBatch(AlgorithmKind::kBpa, queries_a, 1)
+          .stats.TotalAccesses();
+  const uint64_t want_b =
+      engine.ExecuteBatch(AlgorithmKind::kNra, queries_b, 1)
+          .stats.TotalAccesses();
+
+  for (int round = 0; round < 4; ++round) {
+    BatchResult got_a;
+    BatchResult got_b;
+    std::thread issuer_a([&] {
+      got_a = engine.ExecuteBatch(AlgorithmKind::kBpa, queries_a, 2);
+    });
+    std::thread issuer_b([&] {
+      got_b = engine.ExecuteBatch(AlgorithmKind::kNra, queries_b, 2);
+    });
+    issuer_a.join();
+    issuer_b.join();
+    EXPECT_EQ(got_a.stats.TotalAccesses(), want_a) << "round " << round;
+    EXPECT_EQ(got_b.stats.TotalAccesses(), want_b) << "round " << round;
+    for (const auto& r : got_a.results) {
+      ASSERT_TRUE(r.ok());
+    }
+    for (const auto& r : got_b.results) {
+      ASSERT_TRUE(r.ok());
+    }
+    // The deprecated aggregate belongs to whichever batch finished last.
+    const uint64_t last = engine.last_batch_stats().TotalAccesses();
+    EXPECT_TRUE(last == want_a || last == want_b) << last;
   }
 }
 

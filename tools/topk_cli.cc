@@ -13,18 +13,29 @@
 //
 // Compare all algorithms on a database:
 //   topk compare --db db.csv --k 10
+//
+// Serve a batch through the multi-threaded TopKServer (smoke test of the
+// serving path: admission queue, per-request SLA, watchdog cancellation):
+//   topk serve --db db.csv --threads 4 --requests 200 --k 10 --algo bpa
+//              [--deadline-ms MS] [--queue CAP] [--shed reject|degrade]
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/table_printer.h"
+#include "common/timer.h"
 #include "core/algorithms.h"
+#include "core/topk_server.h"
 #include "gen/database_generator.h"
 #include "lists/database_io.h"
 #include "lists/scorer.h"
@@ -42,6 +53,9 @@ int Usage() {
       "               [--weights w1,w2,...] [--tracker KIND] [--verbose]\n"
       "               [--deadline-ms MS] [--access-budget N]\n"
       "  topk compare --db FILE --k K [--scorer SCORER] [--weights ...]\n"
+      "  topk serve   --db FILE [--threads N] [--requests R] [--k K]\n"
+      "               [--algo ALGO] [--deadline-ms MS] [--queue CAP]\n"
+      "               [--shed reject|degrade]\n"
       "\n"
       "algos:    naive fa ta bpa bpa2 tput nra ca   (default bpa2)\n"
       "scorers:  sum min max average weighted       (default sum)\n"
@@ -286,6 +300,85 @@ Status RunCompare(const std::map<std::string, std::string>& flags) {
   return Status::OK();
 }
 
+// Smoke test of the serving path: pushes a closed batch of requests through
+// a multi-threaded TopKServer and reports completion/shed/deadline counts.
+// The point is exercising the real admission queue, worker pool and watchdog
+// from the command line, not benchmarking — bench_micro --serve-json is the
+// measured open-loop sweep.
+Status RunServe(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "db", "");
+  if (path.empty()) {
+    return Status::Invalid("serve requires --db FILE");
+  }
+  TOPK_ASSIGN_OR_RETURN(Database db, LoadDb(path));
+  TOPK_ASSIGN_OR_RETURN(AlgorithmKind algo,
+                        ParseAlgo(FlagOr(flags, "algo", "bpa")));
+  TOPK_ASSIGN_OR_RETURN(
+      std::unique_ptr<Scorer> scorer,
+      ParseScorer(FlagOr(flags, "scorer", "sum"), FlagOr(flags, "weights", "")));
+  const size_t k = std::stoul(FlagOr(flags, "k", "10"));
+  const size_t requests = std::stoul(FlagOr(flags, "requests", "100"));
+  const double deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  const std::string shed = FlagOr(flags, "shed", "reject");
+
+  ServerOptions options;
+  options.num_threads = std::stoul(FlagOr(
+      flags, "threads",
+      std::to_string(std::max(1u, std::thread::hardware_concurrency()))));
+  options.queue_capacity = std::stoul(FlagOr(flags, "queue", "256"));
+  if (shed == "reject") {
+    options.shed_policy = ShedPolicy::kReject;
+  } else if (shed == "degrade") {
+    options.shed_policy = ShedPolicy::kServeDegraded;
+  } else {
+    return Status::Invalid("unknown --shed '", shed, "' (reject|degrade)");
+  }
+  for (size_t i = 0; i < db.num_lists(); ++i) {
+    options.algorithm_options.score_floor = std::min(
+        options.algorithm_options.score_floor, db.list(i).MinScore());
+  }
+
+  TopKServer server(&db, options);
+  std::vector<std::future<Result<TopKResult>>> futures;
+  futures.reserve(requests);
+  Timer wall;
+  for (size_t i = 0; i < requests; ++i) {
+    futures.push_back(server.Submit(
+        ServerRequest{algo, TopKQuery{k, scorer.get()}, deadline_ms}));
+  }
+  size_t exact = 0;
+  size_t anytime = 0;
+  size_t errors = 0;
+  for (auto& future : futures) {
+    const Result<TopKResult> result = future.get();
+    if (!result.ok()) {
+      ++errors;
+    } else if (result.ValueUnsafe().completion == Completion::kExact) {
+      ++exact;
+    } else {
+      ++anytime;
+    }
+  }
+  const double wall_ms = wall.ElapsedMillis();
+  const ServerStats stats = server.stats();
+
+  TablePrinter table("served " + std::to_string(requests) + " x " +
+                     ToString(algo) + " k=" + std::to_string(k) + " on " +
+                     std::to_string(options.num_threads) + " thread(s)");
+  table.AddRow("metric", "value");
+  table.AddRow("wall ms", wall_ms);
+  table.AddRow("requests/sec", 1000.0 * static_cast<double>(requests) / wall_ms);
+  table.AddRow("exact", static_cast<uint64_t>(exact));
+  table.AddRow("anytime", static_cast<uint64_t>(anytime));
+  table.AddRow("errors", static_cast<uint64_t>(errors));
+  table.AddRow("shed (rejected)", stats.shed_rejected);
+  table.AddRow("shed (degraded)", stats.shed_degraded);
+  table.AddRow("expired queued", stats.expired_at_dequeue);
+  table.AddRow("deadline cancels", stats.deadline_cancelled);
+  table.Print(std::cout);
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   std::string command;
   std::map<std::string, std::string> flags;
@@ -300,6 +393,8 @@ int Main(int argc, char** argv) {
       status = RunQuery(flags);
     } else if (command == "compare") {
       status = RunCompare(flags);
+    } else if (command == "serve" || command == "--serve") {
+      status = RunServe(flags);
     } else {
       return Usage();
     }
