@@ -40,6 +40,16 @@
 // hiding it: no coordinated omission), the shed rate, and the achieved
 // throughput next to the single-thread closed-loop baseline.
 //
+// `bench_micro --dist-json[=path]` (default path: BENCH_PR8.json) measures
+// the distributed coordinator: per-query message and byte counts for
+// distributed BPA/TPUT over in-process list-owner shards across an n/m/k
+// grid (fault-free, so the counts are exact and deterministic), then a
+// degradation sweep over owner-death x delay rates reporting recall against
+// the exact answer, the certified theta of each degraded answer, SLA
+// compliance under a 250 virtual-ms governor deadline, and the retry/hedge/
+// timeout counters of the fault machinery. --quick trims the grid and the
+// per-cell seed count for CI.
+//
 // The BPA series is measured in two modes — a fresh ExecutionContext per
 // query (the pre-PR1 per-query allocation path) vs one reused context — so
 // the number stays comparable with BENCH_PR1.json. The two modes run as
@@ -75,6 +85,9 @@
 #include "core/algorithms.h"
 #include "core/candidate_bounds.h"
 #include "core/topk_server.h"
+#include "dist/coordinator.h"
+#include "dist/fault_injecting_transport.h"
+#include "dist/in_process_transport.h"
 #include "gen/database_generator.h"
 #include "lists/scorer.h"
 #include "tracker/best_position_tracker.h"
@@ -379,6 +392,8 @@ struct ThroughputConfig {
   size_t threads = 0;  // 0 = hardware concurrency
   double serve_deadline_ms = 25.0;
   size_t serve_requests = 0;  // 0 = auto (scaled down by --quick)
+  // Distributed coordinator mode (--dist-json).
+  std::string dist_path = "BENCH_PR8.json";
 };
 
 // The workloads a flag-less --json run measures: the historical
@@ -973,14 +988,19 @@ int RunServeMode(const ThroughputConfig& config) {
           "        \"achieved_qps\": %.1f, \"speedup_vs_closed_loop\": %.2f,\n"
           "        \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f,"
           " \"p99\": %.3f},\n"
-          "        \"shed_rate\": %.4f, \"completed\": %llu,"
-          " \"shed_rejected\": %llu, \"expired_at_dequeue\": %llu,"
+          "        \"shed_rate\": %.4f, \"submitted\": %llu,"
+          " \"completed\": %llu, \"failed\": %llu,"
+          " \"shed_rejected\": %llu, \"shed_degraded\": %llu,"
+          " \"expired_at_dequeue\": %llu,"
           " \"deadline_cancelled\": %llu}",
           fraction, point.offered_qps, point.requests, point.achieved_qps,
           point.achieved_qps / closed_qps, point.p50_ms, point.p95_ms,
           point.p99_ms, point.shed_rate,
+          static_cast<unsigned long long>(point.stats.submitted),
           static_cast<unsigned long long>(point.stats.completed),
+          static_cast<unsigned long long>(point.stats.failed),
           static_cast<unsigned long long>(point.stats.shed_rejected),
+          static_cast<unsigned long long>(point.stats.shed_degraded),
           static_cast<unsigned long long>(point.stats.expired_at_dequeue),
           static_cast<unsigned long long>(point.stats.deadline_cancelled));
       json += line;
@@ -1000,6 +1020,236 @@ int RunServeMode(const ThroughputConfig& config) {
   return 0;
 }
 
+// --- distributed coordinator mode (--dist-json) ---
+
+// One distributed execution over one in-process ListOwner per list,
+// optionally behind a FaultInjectingTransport. Returns false only on a
+// non-degradable error (validation; the fault paths always answer).
+bool RunDistQuery(const Database& db, bool bpa, size_t k,
+                  const TransportFaultPlan* plan, double deadline_ms,
+                  TopKResult* result, DistStats* stats,
+                  TransportFaultStats* fault_stats) {
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  FaultInjectingTransport faulty(&inner,
+                                 plan != nullptr ? *plan
+                                                 : TransportFaultPlan{});
+  Transport* transport = plan != nullptr ? static_cast<Transport*>(&faulty)
+                                         : static_cast<Transport*>(&inner);
+  DistOptions options;
+  options.governor.deadline_ms = deadline_ms;
+  Coordinator coordinator(transport, options);
+  if (!coordinator.Connect().ok()) {
+    return false;
+  }
+  SumScorer sum;
+  const TopKQuery query{k, &sum};
+  const auto executed =
+      bpa ? coordinator.ExecuteBpa(query) : coordinator.ExecuteTput(query);
+  if (!executed.ok()) {
+    return false;
+  }
+  *result = executed.ValueOrDie();
+  *stats = coordinator.stats();
+  if (fault_stats != nullptr) {
+    *fault_stats = faulty.fault_stats();
+  }
+  return true;
+}
+
+// Distributed wire-cost and degradation sweep: the numbers the distributed
+// top-k literature reports (messages and bytes per query vs n/m/k, TPUT's
+// fixed round count vs BPA's depth-proportional one), then answer quality —
+// recall against the exact top-k, certified theta, SLA compliance — as
+// owner-death and delay rates rise. Everything is deterministic: the wire
+// section is fault-free, and each degradation cell replays a fixed set of
+// transport fault seeds, so the artifact is reproducible bit-for-bit.
+int RunDistMode(const ThroughputConfig& config) {
+  struct WirePoint {
+    size_t n, m, k;
+  };
+  std::vector<WirePoint> wire_points = {{1000, 5, 20},   {10000, 5, 20},
+                                        {100000, 5, 20}, {10000, 2, 20},
+                                        {10000, 10, 20}, {10000, 5, 1},
+                                        {10000, 5, 100}};
+  if (config.quick) {
+    wire_points.resize(5);  // drop n=100k and the k sweep for CI captures
+  }
+
+  std::string json;
+  json += "{\n  \"benchmark\": \"distributed_bpa_tput\",\n";
+  json += "  \"transport\": \"in_process_per_list_owners\",\n";
+  char line[1024];
+
+  json += "  \"wire\": [\n";
+  bool first = true;
+  for (const WirePoint& p : wire_points) {
+    const Database db = MakeUniformDatabase(p.n, p.m, 11);
+    for (const bool bpa : {true, false}) {
+      TopKResult result;
+      DistStats stats;
+      if (!RunDistQuery(db, bpa, p.k, nullptr, 0.0, &result, &stats,
+                        nullptr)) {
+        std::fprintf(stderr, "dist %s failed at n=%zu m=%zu k=%zu\n",
+                     bpa ? "BPA" : "TPUT", p.n, p.m, p.k);
+        return 1;
+      }
+      if (!first) {
+        json += ",\n";
+      }
+      first = false;
+      std::snprintf(
+          line, sizeof(line),
+          "    {\"algorithm\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %zu,"
+          " \"messages_sent\": %llu, \"replies_received\": %llu,"
+          " \"bytes_sent\": %llu, \"bytes_received\": %llu,"
+          " \"rounds\": %llu, \"sorted_accesses\": %llu,"
+          " \"random_accesses\": %llu, \"stop_position\": %u}",
+          bpa ? "dBPA" : "dTPUT", p.n, p.m, p.k,
+          static_cast<unsigned long long>(stats.messages_sent),
+          static_cast<unsigned long long>(stats.replies_received),
+          static_cast<unsigned long long>(stats.bytes_sent),
+          static_cast<unsigned long long>(stats.bytes_received),
+          static_cast<unsigned long long>(stats.rounds),
+          static_cast<unsigned long long>(result.stats.sorted_accesses),
+          static_cast<unsigned long long>(result.stats.random_accesses),
+          result.stop_position);
+      json += line;
+    }
+  }
+  json += "\n  ],\n";
+
+  // Degradation sweep: uniform n=5000 m=5 k=20, a 250 virtual-ms governor
+  // deadline per query (roomy enough that the fault-free baseline certifies
+  // exact — the sweep then isolates what the *faults* cost), and a grid of
+  // owner-death x delay rates. delay_ms equals the 5 ms RPC deadline, the
+  // regime hedging is built for: a delayed primary outlasts the p99-derived
+  // hedge timeout and the re-issued request wins. Recall is against the
+  // fault-free exact answer; theta >= 1 is each degraded answer's own
+  // certificate (1 = certified exact).
+  const size_t kN = 5000, kM = 5, kK = 20;
+  const double kDeadlineMs = 250.0;
+  const Database db = MakeUniformDatabase(kN, kM, 11);
+  SumScorer sum;
+  const auto truth_result =
+      MakeAlgorithm(AlgorithmKind::kBpa)->Execute(db, TopKQuery{kK, &sum});
+  if (!truth_result.ok()) {
+    std::fprintf(stderr, "cannot compute the exact reference answer\n");
+    return 1;
+  }
+  std::vector<bool> truth(kN, false);
+  for (const ResultItem& item : truth_result.ValueOrDie().items) {
+    truth[item.item] = true;
+  }
+
+  std::snprintf(line, sizeof(line),
+                "  \"degradation\": {\"workload\": {\"distribution\":"
+                " \"uniform\", \"n\": %zu, \"m\": %zu, \"k\": %zu},"
+                " \"deadline_ms\": %.1f, \"delay_ms\": 5.0,"
+                " \"death_window_messages\": [1, 32], \"cells\": [\n",
+                kN, kM, kK, kDeadlineMs);
+  json += line;
+
+  const double death_rates[] = {0.0, 0.05, 0.1, 0.2};
+  const double delay_rates[] = {0.0, 0.2};
+  const uint64_t kSeeds = config.quick ? 3 : 8;
+  first = true;
+  for (const bool bpa : {true, false}) {
+    for (const double death_rate : death_rates) {
+      for (const double delay_rate : delay_rates) {
+        size_t exact = 0, failed_over = 0, deadline_trips = 0;
+        double recall_sum = 0.0, theta_sum = 0.0, virtual_ms_sum = 0.0;
+        size_t theta_finite = 0;
+        DistStats totals;
+        TransportFaultStats fault_totals;
+        for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+          TransportFaultPlan plan;
+          plan.seed = seed;
+          plan.owner_death_rate = death_rate;
+          // Dying owners die within the first 32 messages: inside even
+          // TPUT's small per-owner message budget, so the death rate bites
+          // both protocols instead of only BPA's chatty rows.
+          plan.death_max_messages = 32;
+          plan.delay_rate = delay_rate;
+          plan.delay_ms = 5.0;
+          TopKResult result;
+          DistStats stats;
+          TransportFaultStats faults;
+          if (!RunDistQuery(db, bpa, kK, &plan, kDeadlineMs, &result, &stats,
+                            &faults)) {
+            std::fprintf(stderr, "degraded dist query failed (seed %llu)\n",
+                         static_cast<unsigned long long>(seed));
+            return 1;
+          }
+          size_t hits = 0;
+          for (const ResultItem& item : result.items) {
+            hits += truth[item.item] ? 1 : 0;
+          }
+          recall_sum += static_cast<double>(hits) / static_cast<double>(kK);
+          if (std::isfinite(result.theta)) {
+            theta_sum += result.theta;
+            ++theta_finite;
+          }
+          exact += result.completion == Completion::kExact ? 1 : 0;
+          deadline_trips += result.completion == Completion::kDeadline ? 1 : 0;
+          failed_over += result.failed_over ? 1 : 0;
+          virtual_ms_sum += stats.virtual_ms;
+          totals.retries += stats.retries;
+          totals.hedges += stats.hedges;
+          totals.hedge_wins += stats.hedge_wins;
+          totals.timeouts += stats.timeouts;
+          totals.duplicate_replies += stats.duplicate_replies;
+          totals.owner_deaths += stats.owner_deaths;
+          totals.messages_sent += stats.messages_sent;
+          fault_totals.dropped_messages += faults.dropped_messages;
+          fault_totals.delayed_messages += faults.delayed_messages;
+        }
+        if (!first) {
+          json += ",\n";
+        }
+        first = false;
+        const double q = static_cast<double>(kSeeds);
+        std::snprintf(
+            line, sizeof(line),
+            "    {\"algorithm\": \"%s\", \"owner_death_rate\": %.2f,"
+            " \"delay_rate\": %.2f, \"queries\": %llu,\n"
+            "     \"exact\": %zu, \"failed_over\": %zu,"
+            " \"deadline_trips\": %zu, \"mean_recall\": %.4f,"
+            " \"mean_theta\": %.4f, \"theta_finite\": %zu,\n"
+            "     \"mean_virtual_ms\": %.3f, \"messages_sent\": %llu,"
+            " \"retries\": %llu, \"hedges\": %llu, \"hedge_wins\": %llu,"
+            " \"timeouts\": %llu, \"duplicate_replies\": %llu,"
+            " \"owner_deaths\": %u, \"delayed_messages\": %llu}",
+            bpa ? "dBPA" : "dTPUT", death_rate, delay_rate,
+            static_cast<unsigned long long>(kSeeds), exact, failed_over,
+            deadline_trips, recall_sum / q,
+            theta_finite != 0 ? theta_sum / static_cast<double>(theta_finite)
+                              : 0.0,
+            theta_finite, virtual_ms_sum / q,
+            static_cast<unsigned long long>(totals.messages_sent),
+            static_cast<unsigned long long>(totals.retries),
+            static_cast<unsigned long long>(totals.hedges),
+            static_cast<unsigned long long>(totals.hedge_wins),
+            static_cast<unsigned long long>(totals.timeouts),
+            static_cast<unsigned long long>(totals.duplicate_replies),
+            totals.owner_deaths,
+            static_cast<unsigned long long>(fault_totals.delayed_messages));
+        json += line;
+      }
+    }
+  }
+  json += "\n  ]}\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen(config.dist_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", config.dist_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace topk
 
@@ -1008,6 +1258,7 @@ int main(int argc, char** argv) {
   bool throughput_mode = false;
   bool degrade_mode = false;
   bool serve_mode = false;
+  bool dist_mode = false;
   bool scenario_flags_ok = true;
   // Shared CLI flag helpers (see common/flag_parse.h): --flag=value and
   // --flag value shapes, strict numeric parses.
@@ -1033,6 +1284,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--serve-json=", 0) == 0) {
       serve_mode = true;
       config.serve_path = arg.substr(13);
+    } else if (arg == "--dist-json") {
+      dist_mode = true;
+    } else if (arg.rfind("--dist-json=", 0) == 0) {
+      dist_mode = true;
+      config.dist_path = arg.substr(12);
     } else if (const char* v = value_of(arg, "--threads", &i)) {
       scenario_flags_ok &= parse_size(v, &config.threads);
     } else if (const char* v = value_of(arg, "--serve-deadline-ms", &i)) {
@@ -1064,15 +1320,18 @@ int main(int argc, char** argv) {
       scenario_flags_ok = false;
     }
   }
-  if (throughput_mode || degrade_mode || serve_mode) {
+  if (throughput_mode || degrade_mode || serve_mode || dist_mode) {
     if (!scenario_flags_ok) {
       std::fprintf(stderr,
                    "unrecognized argument in --json/--degrade-json/"
-                   "--serve-json mode; scenario flags: --n --m --k --dist "
-                   "{uniform,gaussian,correlated,zipf} --quick "
+                   "--serve-json/--dist-json mode; scenario flags: --n --m "
+                   "--k --dist {uniform,gaussian,correlated,zipf} --quick "
                    "--deadline-ms --access-budget --threads "
                    "--serve-deadline-ms --serve-requests\n");
       return 1;
+    }
+    if (dist_mode) {
+      return topk::RunDistMode(config);
     }
     if (serve_mode) {
       return topk::RunServeMode(config);

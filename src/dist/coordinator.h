@@ -1,0 +1,249 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Coordinator: the paper's query node in the distributed setting. It runs the
+// BPA and TPUT phase structures over a pluggable message Transport to
+// ListOwner shards, batching sorted accesses into windows and random accesses
+// into per-list lookup vectors so the wire carries few large messages instead
+// of the single-node loops' many small accesses — the metric the distributed
+// top-k literature optimizes (messages and bytes per query).
+//
+// Robustness is the contract, not an afterthought:
+//
+//  * every RPC runs under a per-call deadline with a bounded retry budget and
+//    deterministic jittered exponential backoff (all charged as virtual
+//    milliseconds against the query governor's deadline);
+//  * straggler hedging: when an exchange outlasts a p99-derived per-owner
+//    hedge timeout, the request is re-issued and the earlier reply wins
+//    (duplicates are deduped and their bytes counted, as an at-least-once
+//    transport forces);
+//  * an owner whose retry budget is exhausted is declared permanently dead;
+//    its lists map onto PR 6's dead-list semantics and the coordinator
+//    degrades to NRA over the surviving lists, returning a θ-certified
+//    anytime answer tagged Completion::kListFailure — a dying cluster still
+//    answers inside the SLA.
+//
+// Determinism: fault-free distributed BPA/TPUT return byte-identical
+// items/scores to the single-node engine (same tie order, same survivor
+// sets — the batched windows and lookup vectors replay the single-node
+// loops' arithmetic exactly), and a faulted run replays message-for-message
+// from the transport fault plan's seed plus DistOptions::backoff_seed.
+
+#ifndef TOPK_DIST_COORDINATOR_H_
+#define TOPK_DIST_COORDINATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/candidate_pool.h"
+#include "core/query_governor.h"
+#include "core/topk_buffer.h"
+#include "core/topk_result.h"
+#include "dist/transport.h"
+#include "lists/access_stats.h"
+#include "lists/scorer.h"
+#include "lists/types.h"
+
+namespace topk {
+
+/// Knobs of one coordinator. A default-constructed DistOptions is valid for
+/// any transport with at least one owner.
+struct DistOptions {
+  /// Sorted-access batching: rows fetched per kSortedWindow/kDrain message.
+  uint32_t window_rows = 64;
+
+  /// Per-RPC deadline in virtual milliseconds: what a lost message or dead
+  /// owner costs the caller per attempt before the next retry fires.
+  double rpc_deadline_ms = 5.0;
+
+  /// Retry budget: total attempts per RPC (the first try included). An RPC
+  /// whose budget is exhausted declares the owner permanently dead.
+  int rpc_max_attempts = 4;
+
+  /// Backoff before retry attempt a (1-based): backoff_base_ms * 2^(a-1),
+  /// scaled by a deterministic jitter in [1, 1.5) drawn from backoff_seed.
+  double backoff_base_ms = 0.5;
+  uint64_t backoff_seed = 1;
+
+  /// Straggler hedging: when an exchange outlasts the owner's hedge timeout
+  /// — hedge_multiplier times the owner's observed p99 latency, never below
+  /// hedge_floor_ms — the request is re-issued and the earlier reply wins.
+  bool hedging = true;
+  double hedge_floor_ms = 1.0;
+  double hedge_multiplier = 3.0;
+
+  /// Per-query execution limits, enforced at the coordinator's round
+  /// boundaries exactly like the single-node loops enforce them. RPC
+  /// latencies, backoff waits and timeout waits all charge the deadline as
+  /// virtual milliseconds.
+  GovernorLimits governor;
+
+  /// Validates the options for `algorithm` over a transport with
+  /// `num_owners` owners; messages name the algorithm, knob and value.
+  Status Validate(const char* algorithm, size_t num_owners) const;
+};
+
+/// Per-query wire and robustness counters — what the distributed literature
+/// benchmarks, plus what the fault machinery actually did.
+struct DistStats {
+  uint64_t messages_sent = 0;
+  uint64_t replies_received = 0;  ///< incl. duplicate deliveries
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;  ///< incl. duplicate deliveries
+  uint64_t rounds = 0;          ///< coordinator round-trips of the phase loops
+  uint64_t retries = 0;         ///< re-attempts after a lost/failed exchange
+  uint64_t hedges = 0;          ///< hedge requests issued
+  uint64_t hedge_wins = 0;      ///< hedges whose reply beat the primary's
+  uint64_t duplicate_replies = 0;  ///< extra reply copies deduped
+  uint64_t timeouts = 0;           ///< attempts that cost the full RPC deadline
+  uint32_t owner_deaths = 0;       ///< owners declared permanently dead
+  double virtual_ms = 0.0;  ///< total virtual time charged to the deadline
+};
+
+class Coordinator {
+ public:
+  /// Binds to `transport` (not owned; must outlive the coordinator).
+  Coordinator(Transport* transport, const DistOptions& options);
+
+  /// The catalog handshake: one kHello per owner. Fails unless every list
+  /// index 0..m-1 is served by exactly one owner and all lists agree on n.
+  /// Must succeed before the Execute calls. The handshake's messages are
+  /// connection setup: each Execute call resets DistStats, so they appear in
+  /// stats() only until the first query runs.
+  Status Connect();
+
+  size_t num_lists() const { return owner_of_.size(); }
+  size_t num_items() const { return n_; }
+
+  /// The score floor the answers are certified against (DeriveScoreFloor of
+  /// the owners' catalogs: 0 lowered to the smallest advertised min score).
+  Score score_floor() const { return floor_; }
+
+  /// Distributed BPA: per-depth rows over batched sorted windows, row-end
+  /// batched random-access resolution, the paper's λ (best-position) stop
+  /// rule. Any scorer. Fault-free results are byte-identical to single-node
+  /// BPA; owner death degrades to NRA over the survivors.
+  Result<TopKResult> ExecuteBpa(const TopKQuery& query);
+
+  /// Distributed TPUT: the three-phase protocol (top-k prefixes; drain to
+  /// τ1/m via kDrain messages whose threshold stop runs owner-side; batched
+  /// random-access resolution of the τ2 survivors). Summation scoring only.
+  /// Fault-free results are byte-identical to single-node TPUT; owner death
+  /// degrades to NRA over the survivors.
+  Result<TopKResult> ExecuteTput(const TopKQuery& query);
+
+  /// Wire/robustness counters of the last Execute call.
+  const DistStats& stats() const { return stats_; }
+
+  /// True while `list_index`'s owner has not been declared dead.
+  bool ListAlive(size_t list_index) const {
+    return owner_alive_[owner_of_[list_index]] != 0;
+  }
+
+ private:
+  struct PendingItem {
+    ItemId item;
+    uint32_t first_list;
+    Score first_score;
+  };
+
+  Status ValidateQuery(const char* algorithm, const TopKQuery& query) const;
+  void BeginQuery();
+  void FinishQuery(TopKResult* result) const;
+
+  // --- RPC machinery (retry / backoff / hedging / death) ---
+
+  /// One raw exchange with full wire accounting. Fills `reply` on success.
+  Status Send(size_t owner, const Request& request, Reply* reply,
+              CallResult* outcome);
+
+  /// One attempt = primary send, hedged when its outcome (reply latency, or
+  /// the full RPC deadline for a loss) outlasts the owner's hedge timeout.
+  /// On success `*latency_ms` is the attempt's effective latency.
+  Status Attempt(size_t owner, const Request& request, Reply* reply,
+                 double* latency_ms);
+
+  /// The full robust RPC: bounded attempts with jittered exponential
+  /// backoff; exhausting the budget kills the owner (its lists die) and
+  /// fails Unavailable. All waits charge stats_.virtual_ms.
+  Status Rpc(size_t owner, const Request& request, Reply* reply);
+
+  double HedgeTimeoutMs(size_t owner) const;
+  void RecordLatency(size_t owner, double latency_ms);
+  void KillOwner(size_t owner);
+
+  // --- sorted-access windows (one cursor per list, coordinator-side) ---
+
+  /// The entry at 1-based `position` of `list_index`, served from the list's
+  /// window buffer (one kSortedWindow RPC per window_rows positions).
+  Status WindowEntry(size_t list_index, Position position, ListEntry* entry);
+
+  // --- shared degraded path ---
+
+  /// NRA over the surviving lists, from scratch (the same re-run discipline
+  /// as the single-node engine's failover): dead lists are bounded at their
+  /// advertised max score, survivors re-scan from position 1, and the answer
+  /// is certified anytime with Completion::kListFailure (or the governor's
+  /// trip reason, which takes precedence). Always returns OK with a
+  /// certified result.
+  Status DegradeToNra(const TopKQuery& query, TopKResult* result);
+
+  Transport* transport_;
+  DistOptions options_;
+
+  // Catalog (filled by Connect).
+  std::vector<size_t> owner_of_;     // list index -> owner
+  std::vector<Score> max_score_;     // list index -> advertised max
+  std::vector<Score> min_score_;     // list index -> advertised min
+  std::vector<uint8_t> owner_alive_;  // owner -> not yet declared dead
+  size_t n_ = 0;
+  Score floor_ = 0.0;
+  bool connected_ = false;
+
+  // Per-query state (reset by BeginQuery; storage retained).
+  DistStats stats_;
+  AccessStats access_;  // synthesized logical access counts (parity metric)
+  QueryGovernor governor_;
+  TopKBuffer buffer_;
+  CandidatePool pool_;
+  uint64_t backoff_counter_ = 0;
+
+  // Per-owner latency rings feeding the p99 hedge timeout.
+  static constexpr size_t kLatencyRing = 64;
+  std::vector<double> latency_ring_;  // owner-major, kLatencyRing samples
+  std::vector<uint32_t> latency_count_;
+
+  // Window buffers: one per list.
+  std::vector<Position> window_base_;          // first buffered position; 0 = empty
+  std::vector<std::vector<ListEntry>> window_;
+
+  // BPA row state.
+  std::vector<std::vector<uint8_t>> pos_seen_;  // list -> 1-based seen flags
+  std::vector<std::vector<Score>> pos_score_;   // list -> score at seen pos
+  std::vector<Position> best_pos_;
+  std::vector<uint8_t> memo_state_;  // item: 0 unknown / 1 pending / 2 resolved
+  std::vector<Score> memo_score_;
+  std::vector<PendingItem> pending_;
+  std::vector<Score> pending_rows_;             // pending-major, m scores each
+  std::vector<std::vector<ItemId>> batch_items_;  // per-list lookup batches
+  std::vector<std::vector<uint32_t>> batch_pending_;  // parallel: pending idx
+
+  // Shared scratch.
+  std::vector<Score> last_scores_;
+  std::vector<Score> local_;
+  std::vector<Score> capped_;
+  std::vector<Score> tmp_;
+  std::vector<Position> list_depths_;
+  std::vector<uint32_t> survivors_;
+  std::vector<ItemId> winners_;
+  Request request_;
+  Reply reply_;
+  Reply hedge_reply_;
+  mutable std::vector<double> latency_scratch_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_DIST_COORDINATOR_H_

@@ -1,0 +1,160 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+
+#include "dist/fault_injecting_transport.h"
+
+#include <cassert>
+
+namespace topk {
+namespace {
+
+// Distinct salts keep the drop / delay / duplicate / death draws independent
+// even though they hash the same (seed, owner, counter) tuple. Different
+// constants from fault_injection.cc's salts, so a shared seed across the
+// access-level and message-level schedules still yields independent draws.
+constexpr uint64_t kDropSalt = 0xd1b54a32d192ed03ull;
+constexpr uint64_t kDelaySalt = 0x8cb92ba72f3d8dd7ull;
+constexpr uint64_t kDuplicateSalt = 0xaef17502108ef2d9ull;
+constexpr uint64_t kOwnerDeathSalt = 0x9fb21c651e98df25ull;
+
+// splitmix64 finalizer, identical to fault_injection.cc's: all message-fault
+// decisions are pure functions of its output.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform draw in [0, 1) from a hashed tuple.
+double Draw(uint64_t seed, uint64_t owner, uint64_t counter, uint64_t salt) {
+  const uint64_t h = Mix(seed ^ Mix(owner + salt) ^
+                         Mix(counter * 0x2545f4914f6cdd1dull));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Status TransportFaultPlan::Validate(const char* algorithm,
+                                    size_t num_owners) const {
+  const auto rate_ok = [](double rate) { return rate >= 0.0 && rate <= 1.0; };
+  if (!rate_ok(drop_rate)) {
+    return Status::Invalid(algorithm,
+                           ": transport fault plan drop_rate must be in "
+                           "[0, 1]; got drop_rate = ",
+                           drop_rate);
+  }
+  if (!rate_ok(delay_rate)) {
+    return Status::Invalid(algorithm,
+                           ": transport fault plan delay_rate must be in "
+                           "[0, 1]; got delay_rate = ",
+                           delay_rate);
+  }
+  if (!rate_ok(duplicate_rate)) {
+    return Status::Invalid(algorithm,
+                           ": transport fault plan duplicate_rate must be in "
+                           "[0, 1]; got duplicate_rate = ",
+                           duplicate_rate);
+  }
+  if (!rate_ok(owner_death_rate)) {
+    return Status::Invalid(algorithm,
+                           ": transport fault plan owner_death_rate must be "
+                           "in [0, 1]; got owner_death_rate = ",
+                           owner_death_rate);
+  }
+  if (delay_ms < 0.0) {
+    return Status::Invalid(
+        algorithm, ": transport fault plan delay_ms must be >= 0; ",
+        "got delay_ms = ", delay_ms);
+  }
+  if (death_min_messages < 1 || death_max_messages < death_min_messages) {
+    return Status::Invalid(
+        algorithm,
+        ": transport fault plan death window must satisfy 1 <= "
+        "death_min_messages <= death_max_messages; got [",
+        death_min_messages, ", ", death_max_messages, "]");
+  }
+  if (kill_owner != kNoOwner) {
+    if (kill_owner >= num_owners) {
+      return Status::Invalid(algorithm,
+                             ": transport fault plan kill_owner = ", kill_owner,
+                             " exceeds the last owner index ", num_owners - 1);
+    }
+    if (kill_after_messages < 1) {
+      return Status::Invalid(
+          algorithm,
+          ": transport fault plan kill_after_messages must be >= 1 (every "
+          "owner serves its first message); got kill_after_messages = ",
+          kill_after_messages);
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    Transport* inner, const TransportFaultPlan& plan)
+    : inner_(inner), plan_(plan) {
+  Arm();
+}
+
+void FaultInjectingTransport::Arm() {
+  stats_ = TransportFaultStats{};
+  const size_t owners = inner_->num_owners();
+  served_.assign(owners, 0);
+  death_at_.assign(owners, ~0ull);
+  alive_.assign(owners, 1);
+  for (size_t i = 0; i < owners; ++i) {
+    if (plan_.owner_death_rate > 0.0 &&
+        Draw(plan_.seed, i, 0, kOwnerDeathSalt) < plan_.owner_death_rate) {
+      // The death point itself comes from an independent draw so the rate
+      // and the position are not correlated.
+      const double u = Draw(plan_.seed, i, 1, kOwnerDeathSalt);
+      const uint64_t span =
+          plan_.death_max_messages - plan_.death_min_messages + 1;
+      death_at_[i] = plan_.death_min_messages +
+                     static_cast<uint64_t>(u * static_cast<double>(span));
+    }
+    if (plan_.kill_owner == i && plan_.kill_after_messages < death_at_[i]) {
+      death_at_[i] = plan_.kill_after_messages;
+    }
+  }
+}
+
+Status FaultInjectingTransport::Call(size_t owner, const Request& request,
+                                     Reply* reply, CallResult* result) {
+  *result = CallResult{};
+  assert(owner < alive_.size());
+  if (!alive_[owner]) {
+    // Dead owner: the message vanishes; the caller times out on its own RPC
+    // deadline (latency 0 here — the wait is the caller's, not the wire's).
+    return Status::Unavailable("FaultInjectingTransport: owner ", owner,
+                               " is dead");
+  }
+  const uint64_t t = ++served_[owner];
+  // The message that reaches the death point is still served; the owner is
+  // dead from the next Call() on.
+  if (t >= death_at_[owner]) {
+    alive_[owner] = 0;
+    ++stats_.dead_owners;
+  }
+  if (plan_.drop_rate > 0.0 &&
+      Draw(plan_.seed, owner, t, kDropSalt) < plan_.drop_rate) {
+    ++stats_.dropped_messages;
+    return Status::Unavailable("FaultInjectingTransport: message ", t,
+                               " to owner ", owner, " lost");
+  }
+  Status status = inner_->Call(owner, request, reply, result);
+  if (!status.ok()) return status;
+  if (plan_.delay_rate > 0.0 &&
+      Draw(plan_.seed, owner, t, kDelaySalt) < plan_.delay_rate) {
+    ++stats_.delayed_messages;
+    result->latency_ms += plan_.delay_ms;
+  }
+  if (plan_.duplicate_rate > 0.0 &&
+      Draw(plan_.seed, owner, t, kDuplicateSalt) < plan_.duplicate_rate) {
+    ++stats_.duplicated_replies;
+    ++result->duplicate_replies;
+  }
+  return status;
+}
+
+}  // namespace topk

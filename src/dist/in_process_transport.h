@@ -1,0 +1,50 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// InProcessTransport: the baseline Transport — owners live in the same
+// process and every Call() is a direct ListOwner::Serve with a fixed small
+// virtual latency per exchange. It is the fault-free reference the
+// FaultInjectingTransport decorates, and the parity baseline for the
+// acceptance bar (fault-free distributed runs must be byte-identical to the
+// single-node engine).
+
+#ifndef TOPK_DIST_IN_PROCESS_TRANSPORT_H_
+#define TOPK_DIST_IN_PROCESS_TRANSPORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/list_owner.h"
+#include "dist/transport.h"
+#include "lists/database.h"
+
+namespace topk {
+
+class InProcessTransport : public Transport {
+ public:
+  /// Virtual per-exchange latency in milliseconds charged on every Call().
+  /// Small but nonzero: an RPC is never free, and a nonzero base makes the
+  /// coordinator's latency ring / hedging machinery exercise real numbers
+  /// even before faults are layered on.
+  static constexpr double kBaseLatencyMs = 0.05;
+
+  InProcessTransport() = default;
+
+  /// Adds an owner shard. Owners are addressed by insertion order.
+  void AddOwner(ListOwner owner) { owners_.push_back(std::move(owner)); }
+
+  /// Convenience: one owner per list of `db` (owner i serves list i) — the
+  /// paper's "each list at its own node" topology.
+  static InProcessTransport PerListOwners(const Database& db);
+
+  size_t num_owners() const override { return owners_.size(); }
+
+  Status Call(size_t owner, const Request& request, Reply* reply,
+              CallResult* result) override;
+
+ private:
+  std::vector<ListOwner> owners_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_DIST_IN_PROCESS_TRANSPORT_H_

@@ -1,0 +1,54 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// ListOwner: one shard of the paper's distributed setting. It owns one or
+// more of the database's m sorted lists and answers the coordinator's four
+// request kinds (catalog handshake, batched sorted-access windows, TPUT
+// drains, batched random-access lookups) against its lists only.
+//
+// The owner is stateless between requests — every cursor lives at the
+// coordinator — so an owner can be retried, hedged, or restarted without any
+// session state to reconcile. It shares the process's Database here (the
+// in-process transport setting); a real deployment would give each owner its
+// own list storage, and nothing in the interface assumes otherwise.
+
+#ifndef TOPK_DIST_LIST_OWNER_H_
+#define TOPK_DIST_LIST_OWNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/messages.h"
+#include "lists/database.h"
+
+namespace topk {
+
+class ListOwner {
+ public:
+  /// An owner serving `lists` (0-based list indexes) of `db`. The database
+  /// must outlive the owner.
+  ListOwner(const Database* db, std::vector<size_t> lists);
+
+  const std::vector<size_t>& lists() const { return lists_; }
+
+  /// Serves one request into `reply` (cleared first). Requests that name a
+  /// list this owner does not hold, or positions outside [1, n], fail with
+  /// Status::Invalid / OutOfRange — those are coordinator bugs, not faults.
+  Status Serve(const Request& request, Reply* reply) const;
+
+ private:
+  Status ServeHello(Reply* reply) const;
+  Status ServeWindow(const Request& request, Reply* reply) const;
+  Status ServeDrain(const Request& request, Reply* reply) const;
+  Status ServeLookup(const Request& request, Reply* reply) const;
+
+  /// Resolves request.list_index against lists_, or fails.
+  Status CheckOwnership(uint32_t list_index) const;
+
+  const Database* db_;
+  std::vector<size_t> lists_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_DIST_LIST_OWNER_H_

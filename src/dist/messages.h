@@ -1,0 +1,118 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Message set of the distributed layer (paper, Section 1's middleware setting
+// distributed across per-list owner nodes): the coordinator speaks four
+// request kinds to a ListOwner shard and counts every exchange in wire bytes.
+//
+// The structs are in-memory representations, not serialized frames — the
+// in-process transport hands them across by reference — but WireBytes() prices
+// each message as a compact binary encoding would (a fixed header plus packed
+// payload entries), so the `DistStats` byte counters measure what a socket
+// transport would actually move. That is the metric the distributed top-k
+// literature optimizes (cf. TPUT): message and byte counts per query, not
+// local access counts.
+
+#ifndef TOPK_DIST_MESSAGES_H_
+#define TOPK_DIST_MESSAGES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lists/types.h"
+
+namespace topk {
+
+/// Fixed per-message framing cost assumed by the byte accounting: type tag,
+/// list index, position/count fields and a length — 16 bytes covers all four
+/// request kinds' scalar fields in a packed encoding.
+inline constexpr size_t kWireHeaderBytes = 16;
+
+/// Wire cost of one (item, score) list entry: 4-byte item id + 8-byte score.
+inline constexpr size_t kWireEntryBytes = sizeof(ItemId) + sizeof(Score);
+
+/// Wire cost of one random-access answer: 8-byte score + 4-byte position.
+inline constexpr size_t kWireLookupBytes = sizeof(Score) + sizeof(Position);
+
+/// The four RPCs of the coordinator/owner protocol.
+enum class MessageType : uint8_t {
+  kHello = 0,         ///< catalog handshake: which lists, n, score range
+  kSortedWindow = 1,  ///< batched sorted access: `count` rows from `start`
+  kDrain = 2,         ///< TPUT phase 2: rows from `start` down to `threshold`
+  kRandomLookup = 3,  ///< batched random access for a list's scores/positions
+};
+
+/// One list advertised by an owner's Hello reply: enough catalog metadata for
+/// the coordinator to derive the score floor, seed its cursor bounds
+/// (max_score) and freeze sound dead-list bounds without ever touching the
+/// Database directly.
+struct ListCatalog {
+  uint32_t list_index = 0;
+  uint32_t num_items = 0;
+  Score max_score = 0.0;
+  Score min_score = 0.0;
+};
+
+/// Wire cost of one catalog entry: two u32 + two scores.
+inline constexpr size_t kWireCatalogBytes = 2 * sizeof(uint32_t) + 2 * sizeof(Score);
+
+/// A coordinator→owner request. One flat struct for all four kinds keeps the
+/// transport signature simple; unused fields are ignored by the owner.
+struct Request {
+  MessageType type = MessageType::kHello;
+  uint32_t list_index = 0;
+
+  /// First 1-based position served (kSortedWindow, kDrain).
+  Position start = 1;
+
+  /// Maximum entries in the reply (kSortedWindow, kDrain); batching cap.
+  uint32_t max_entries = 0;
+
+  /// Drain floor: the owner stops after the first entry whose local score
+  /// falls below it (kDrain; TPUT's τ1/m).
+  Score threshold = 0.0;
+
+  /// Batched random-access items (kRandomLookup).
+  std::vector<ItemId> items;
+
+  size_t WireBytes() const {
+    return kWireHeaderBytes + items.size() * sizeof(ItemId);
+  }
+};
+
+/// An owner→coordinator reply. Which vectors are filled depends on the
+/// request type; Clear() makes one reply reusable across calls without
+/// releasing capacity.
+struct Reply {
+  /// kHello: the owner's lists.
+  std::vector<ListCatalog> catalog;
+
+  /// kSortedWindow / kDrain: consecutive rows in descending-score order,
+  /// starting at Request::start.
+  std::vector<ListEntry> entries;
+
+  /// kRandomLookup: one answer per requested item, in request order.
+  std::vector<ItemLookup> lookups;
+
+  /// kDrain: true when the drain stopped because an entry fell below the
+  /// threshold (that entry is included — the coordinator's cursor score must
+  /// end below the threshold exactly like a local sorted scan's would);
+  /// false when it stopped at max_entries or the end of the list.
+  bool drained_to_threshold = false;
+
+  size_t WireBytes() const {
+    return kWireHeaderBytes + catalog.size() * kWireCatalogBytes +
+           entries.size() * kWireEntryBytes + lookups.size() * kWireLookupBytes;
+  }
+
+  void Clear() {
+    catalog.clear();
+    entries.clear();
+    lookups.clear();
+    drained_to_threshold = false;
+  }
+};
+
+}  // namespace topk
+
+#endif  // TOPK_DIST_MESSAGES_H_

@@ -1,0 +1,644 @@
+// Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
+//
+// Tests of the distributed layer: ListOwner serving semantics, transport
+// fault determinism, and the Coordinator's two acceptance bars —
+//
+//  1. parity: fault-free distributed BPA/TPUT return byte-identical
+//     items/scores (same tie order) and identical logical access counts to
+//     the single-node engine;
+//  2. robustness: under injected owner death and delays every query still
+//     returns, within its governor deadline, a θ-certified answer (θ >= 1,
+//     θ == 1 iff certified exact), deterministically replayable from the
+//     fault seed.
+
+#include "dist/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "dist/fault_injecting_transport.h"
+#include "dist/in_process_transport.h"
+#include "dist/list_owner.h"
+#include "gen/database_generator.h"
+#include "gen/paper_fixtures.h"
+#include "lists/scorer.h"
+
+namespace topk {
+namespace {
+
+// ---- ListOwner ----
+
+TEST(ListOwnerTest, HelloAdvertisesCatalog) {
+  const Database db = MakeUniformDatabase(100, 3, 7);
+  const ListOwner owner(&db, {0, 2});
+  Request request;
+  request.type = MessageType::kHello;
+  Reply reply;
+  ASSERT_TRUE(owner.Serve(request, &reply).ok());
+  ASSERT_EQ(reply.catalog.size(), 2u);
+  EXPECT_EQ(reply.catalog[0].list_index, 0u);
+  EXPECT_EQ(reply.catalog[1].list_index, 2u);
+  EXPECT_EQ(reply.catalog[0].num_items, 100u);
+  EXPECT_DOUBLE_EQ(reply.catalog[0].max_score, db.list(0).MaxScore());
+  EXPECT_DOUBLE_EQ(reply.catalog[1].min_score, db.list(2).MinScore());
+}
+
+TEST(ListOwnerTest, WindowServesConsecutiveRows) {
+  const Database db = MakeUniformDatabase(50, 2, 3);
+  const ListOwner owner(&db, {1});
+  Request request;
+  request.type = MessageType::kSortedWindow;
+  request.list_index = 1;
+  request.start = 11;
+  request.max_entries = 8;
+  Reply reply;
+  ASSERT_TRUE(owner.Serve(request, &reply).ok());
+  ASSERT_EQ(reply.entries.size(), 8u);
+  for (size_t off = 0; off < reply.entries.size(); ++off) {
+    const ListEntry expected = db.list(1).EntryAt(11 + off);
+    EXPECT_EQ(reply.entries[off].item, expected.item);
+    EXPECT_DOUBLE_EQ(reply.entries[off].score, expected.score);
+  }
+}
+
+TEST(ListOwnerTest, WindowClampsAtListEnd) {
+  const Database db = MakeUniformDatabase(20, 2, 3);
+  const ListOwner owner(&db, {0});
+  Request request;
+  request.type = MessageType::kSortedWindow;
+  request.list_index = 0;
+  request.start = 18;
+  request.max_entries = 64;
+  Reply reply;
+  ASSERT_TRUE(owner.Serve(request, &reply).ok());
+  EXPECT_EQ(reply.entries.size(), 3u);  // positions 18, 19, 20
+}
+
+TEST(ListOwnerTest, DrainIncludesFirstBelowThresholdEntry) {
+  const Database db = MakeUniformDatabase(200, 2, 11);
+  const ListOwner owner(&db, {0});
+  const Score threshold = db.list(0).EntryAt(50).score;
+  Request request;
+  request.type = MessageType::kDrain;
+  request.list_index = 0;
+  request.start = 1;
+  request.max_entries = 200;
+  request.threshold = threshold;
+  Reply reply;
+  ASSERT_TRUE(owner.Serve(request, &reply).ok());
+  ASSERT_TRUE(reply.drained_to_threshold);
+  // Every entry but the last is >= threshold; the last is the first one
+  // strictly below it (the coordinator's cursor must end below the
+  // threshold, exactly like a local sorted scan's).
+  ASSERT_GE(reply.entries.size(), 1u);
+  for (size_t off = 0; off + 1 < reply.entries.size(); ++off) {
+    EXPECT_GE(reply.entries[off].score, threshold);
+  }
+  EXPECT_LT(reply.entries.back().score, threshold);
+}
+
+TEST(ListOwnerTest, LookupAnswersInRequestOrder) {
+  const Database db = MakeUniformDatabase(60, 3, 5);
+  const ListOwner owner(&db, {2});
+  Request request;
+  request.type = MessageType::kRandomLookup;
+  request.list_index = 2;
+  request.items = {7, 3, 42};
+  Reply reply;
+  ASSERT_TRUE(owner.Serve(request, &reply).ok());
+  ASSERT_EQ(reply.lookups.size(), 3u);
+  for (size_t idx = 0; idx < request.items.size(); ++idx) {
+    const ItemLookup expected = db.list(2).Lookup(request.items[idx]);
+    EXPECT_DOUBLE_EQ(reply.lookups[idx].score, expected.score);
+    EXPECT_EQ(reply.lookups[idx].position, expected.position);
+  }
+}
+
+TEST(ListOwnerTest, RejectsForeignListAndBadPositions) {
+  const Database db = MakeUniformDatabase(30, 3, 5);
+  const ListOwner owner(&db, {0});
+  Request request;
+  request.type = MessageType::kSortedWindow;
+  request.list_index = 1;  // not owned
+  request.start = 1;
+  request.max_entries = 4;
+  Reply reply;
+  EXPECT_TRUE(owner.Serve(request, &reply).IsInvalid());
+  request.list_index = 0;
+  request.start = 31;  // outside [1, n]
+  EXPECT_TRUE(owner.Serve(request, &reply).IsOutOfRange());
+}
+
+// ---- FaultInjectingTransport ----
+
+TEST(FaultTransportTest, SameSeedSameSchedule) {
+  const Database db = MakeUniformDatabase(100, 3, 17);
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.seed = 42;
+  plan.drop_rate = 0.3;
+  plan.delay_rate = 0.3;
+  plan.duplicate_rate = 0.2;
+
+  const auto run = [&](std::vector<int>* outcomes) {
+    FaultInjectingTransport transport(&inner, plan);
+    Request request;
+    request.type = MessageType::kHello;
+    Reply reply;
+    CallResult call;
+    for (int t = 0; t < 50; ++t) {
+      const Status status = transport.Call(t % 3, request, &reply, &call);
+      outcomes->push_back(status.ok()
+                              ? static_cast<int>(call.duplicate_replies) +
+                                    (call.latency_ms > 1.0 ? 10 : 0)
+                              : -1);
+    }
+  };
+  std::vector<int> first, second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultTransportTest, TargetedKillStopsOwnerAfterBudget) {
+  const Database db = MakeUniformDatabase(100, 2, 17);
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.kill_owner = 1;
+  plan.kill_after_messages = 3;
+  FaultInjectingTransport transport(&inner, plan);
+  Request request;
+  request.type = MessageType::kHello;
+  Reply reply;
+  CallResult call;
+  // The first three messages are served (the one reaching the death point
+  // included); every later call fails.
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_TRUE(transport.Call(1, request, &reply, &call).ok());
+  }
+  EXPECT_TRUE(transport.Call(1, request, &reply, &call).IsUnavailable());
+  EXPECT_FALSE(transport.OwnerAlive(1));
+  EXPECT_TRUE(transport.OwnerAlive(0));
+  EXPECT_EQ(transport.fault_stats().dead_owners, 1u);
+}
+
+TEST(FaultTransportTest, ValidateRejectsBadPlans) {
+  TransportFaultPlan plan;
+  plan.drop_rate = 1.5;
+  EXPECT_TRUE(plan.Validate("DistBPA", 3).IsInvalid());
+  plan = TransportFaultPlan{};
+  plan.kill_owner = 3;
+  EXPECT_TRUE(plan.Validate("DistBPA", 3).IsInvalid());
+  plan = TransportFaultPlan{};
+  plan.death_min_messages = 0;
+  EXPECT_TRUE(plan.Validate("DistBPA", 3).IsInvalid());
+}
+
+// ---- Coordinator: fault-free parity ----
+
+struct ParityCase {
+  size_t n;
+  size_t m;
+  size_t k;
+  uint64_t seed;
+};
+
+class DistParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(DistParityTest, BpaMatchesSingleNodeExactly) {
+  const ParityCase param = GetParam();
+  const Database db = MakeUniformDatabase(param.n, param.m, param.seed);
+  SumScorer sum;
+  const TopKQuery query{param.k, &sum};
+
+  // Single-node reference: the memoized variant (each item resolved once) —
+  // the same discipline the coordinator's wire protocol implements. Items,
+  // scores and stop depth are identical to the non-memoized run; access
+  // counts are the memoized ones.
+  AlgorithmOptions options;
+  options.memoize_seen_items = true;
+  const TopKResult reference =
+      MakeAlgorithm(AlgorithmKind::kBpa, options)->Execute(db, query)
+          .ValueOrDie();
+
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult dist = coordinator.ExecuteBpa(query).ValueOrDie();
+
+  ASSERT_EQ(dist.items.size(), reference.items.size());
+  for (size_t i = 0; i < reference.items.size(); ++i) {
+    EXPECT_EQ(dist.items[i].item, reference.items[i].item) << "rank " << i;
+    EXPECT_DOUBLE_EQ(dist.items[i].score, reference.items[i].score);
+  }
+  EXPECT_EQ(dist.stop_position, reference.stop_position);
+  EXPECT_EQ(dist.min_best_position, reference.min_best_position);
+  EXPECT_EQ(dist.stats.sorted_accesses, reference.stats.sorted_accesses);
+  EXPECT_EQ(dist.stats.random_accesses, reference.stats.random_accesses);
+  EXPECT_EQ(dist.completion, Completion::kExact);
+  EXPECT_DOUBLE_EQ(dist.theta, 1.0);
+  EXPECT_FALSE(dist.failed_over);
+}
+
+TEST_P(DistParityTest, TputMatchesSingleNodeExactly) {
+  const ParityCase param = GetParam();
+  const Database db = MakeUniformDatabase(param.n, param.m, param.seed);
+  SumScorer sum;
+  const TopKQuery query{param.k, &sum};
+
+  const TopKResult reference =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult dist = coordinator.ExecuteTput(query).ValueOrDie();
+
+  ASSERT_EQ(dist.items.size(), reference.items.size());
+  for (size_t i = 0; i < reference.items.size(); ++i) {
+    EXPECT_EQ(dist.items[i].item, reference.items[i].item) << "rank " << i;
+    EXPECT_DOUBLE_EQ(dist.items[i].score, reference.items[i].score);
+  }
+  EXPECT_EQ(dist.stop_position, reference.stop_position);
+  EXPECT_EQ(dist.stats.sorted_accesses, reference.stats.sorted_accesses);
+  EXPECT_EQ(dist.stats.random_accesses, reference.stats.random_accesses);
+  EXPECT_EQ(dist.completion, Completion::kExact);
+  EXPECT_DOUBLE_EQ(dist.theta, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistParityTest,
+    ::testing::Values(ParityCase{60, 2, 1, 1}, ParityCase{200, 3, 5, 2},
+                      ParityCase{500, 4, 10, 3}, ParityCase{500, 4, 10, 4},
+                      ParityCase{1000, 5, 20, 5}, ParityCase{300, 6, 50, 6},
+                      ParityCase{120, 3, 120, 7}));
+
+TEST(DistCoordinatorTest, WindowSizeDoesNotChangeAnswers) {
+  const Database db = MakeUniformDatabase(400, 4, 9);
+  SumScorer sum;
+  const TopKQuery query{8, &sum};
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+
+  DistOptions wide;
+  wide.window_rows = 256;
+  Coordinator a(&transport, wide);
+  ASSERT_TRUE(a.Connect().ok());
+  DistOptions narrow;
+  narrow.window_rows = 3;
+  Coordinator b(&transport, narrow);
+  ASSERT_TRUE(b.Connect().ok());
+
+  const TopKResult wide_bpa = a.ExecuteBpa(query).ValueOrDie();
+  const TopKResult narrow_bpa = b.ExecuteBpa(query).ValueOrDie();
+  ASSERT_EQ(wide_bpa.items.size(), narrow_bpa.items.size());
+  for (size_t i = 0; i < wide_bpa.items.size(); ++i) {
+    EXPECT_EQ(wide_bpa.items[i].item, narrow_bpa.items[i].item);
+    EXPECT_DOUBLE_EQ(wide_bpa.items[i].score, narrow_bpa.items[i].score);
+  }
+  EXPECT_EQ(wide_bpa.stats.sorted_accesses, narrow_bpa.stats.sorted_accesses);
+
+  const TopKResult wide_tput = a.ExecuteTput(query).ValueOrDie();
+  const TopKResult narrow_tput = b.ExecuteTput(query).ValueOrDie();
+  ASSERT_EQ(wide_tput.items.size(), narrow_tput.items.size());
+  for (size_t i = 0; i < wide_tput.items.size(); ++i) {
+    EXPECT_EQ(wide_tput.items[i].item, narrow_tput.items[i].item);
+    EXPECT_DOUBLE_EQ(wide_tput.items[i].score, narrow_tput.items[i].score);
+  }
+  // Narrower windows cost more messages for the same logical accesses.
+  EXPECT_EQ(wide_tput.stats.sorted_accesses,
+            narrow_tput.stats.sorted_accesses);
+}
+
+TEST(DistCoordinatorTest, MultiListOwnersMatchPerListOwners) {
+  const Database db = MakeUniformDatabase(300, 4, 13);
+  SumScorer sum;
+  const TopKQuery query{6, &sum};
+
+  InProcessTransport per_list = InProcessTransport::PerListOwners(db);
+  Coordinator a(&per_list, DistOptions{});
+  ASSERT_TRUE(a.Connect().ok());
+
+  InProcessTransport packed;
+  packed.AddOwner(ListOwner(&db, {0, 1}));
+  packed.AddOwner(ListOwner(&db, {2, 3}));
+  Coordinator b(&packed, DistOptions{});
+  ASSERT_TRUE(b.Connect().ok());
+  EXPECT_EQ(b.num_lists(), 4u);
+
+  const TopKResult fine = a.ExecuteBpa(query).ValueOrDie();
+  const TopKResult coarse = b.ExecuteBpa(query).ValueOrDie();
+  ASSERT_EQ(fine.items.size(), coarse.items.size());
+  for (size_t i = 0; i < fine.items.size(); ++i) {
+    EXPECT_EQ(fine.items[i].item, coarse.items[i].item);
+    EXPECT_DOUBLE_EQ(fine.items[i].score, coarse.items[i].score);
+  }
+}
+
+TEST(DistCoordinatorTest, WorksOnPaperFigure1) {
+  const Database db = MakeFigure1Database();
+  SumScorer sum;
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult bpa = coordinator.ExecuteBpa(TopKQuery{3, &sum})
+                             .ValueOrDie();
+  EXPECT_EQ(bpa.items[0].item, 7u);  // d8
+  EXPECT_DOUBLE_EQ(bpa.items[0].score, 71.0);
+  const TopKResult tput = coordinator.ExecuteTput(TopKQuery{3, &sum})
+                              .ValueOrDie();
+  EXPECT_EQ(tput.items[0].item, 7u);
+  EXPECT_DOUBLE_EQ(tput.items[0].score, 71.0);
+}
+
+TEST(DistCoordinatorTest, BpaSupportsGenericScorers) {
+  const Database db = MakeUniformDatabase(150, 3, 21);
+  MinScorer min;
+  const TopKQuery query{5, &min};
+  AlgorithmOptions options;
+  options.memoize_seen_items = true;
+  const TopKResult reference =
+      MakeAlgorithm(AlgorithmKind::kBpa, options)->Execute(db, query)
+          .ValueOrDie();
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult dist = coordinator.ExecuteBpa(query).ValueOrDie();
+  ASSERT_EQ(dist.items.size(), reference.items.size());
+  for (size_t i = 0; i < reference.items.size(); ++i) {
+    EXPECT_EQ(dist.items[i].item, reference.items[i].item);
+    EXPECT_DOUBLE_EQ(dist.items[i].score, reference.items[i].score);
+  }
+  EXPECT_EQ(dist.stop_position, reference.stop_position);
+}
+
+TEST(DistCoordinatorTest, TputRejectsNonSumScorer) {
+  const Database db = MakeUniformDatabase(40, 3, 2);
+  MinScorer min;
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  EXPECT_TRUE(coordinator.ExecuteTput(TopKQuery{3, &min})
+                  .status()
+                  .IsNotImplemented());
+}
+
+TEST(DistCoordinatorTest, CountsMessagesAndBytes) {
+  const Database db = MakeUniformDatabase(300, 3, 31);
+  SumScorer sum;
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult result =
+      coordinator.ExecuteBpa(TopKQuery{5, &sum}).ValueOrDie();
+  const DistStats& stats = coordinator.stats();
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_EQ(stats.messages_sent, stats.replies_received);
+  EXPECT_GE(stats.bytes_sent, stats.messages_sent * kWireHeaderBytes);
+  EXPECT_GT(stats.bytes_received, stats.bytes_sent);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.owner_deaths, 0u);
+  // Batching: far fewer messages than logical accesses.
+  EXPECT_LT(stats.messages_sent, result.stats.TotalAccesses());
+  EXPECT_GT(stats.virtual_ms, 0.0);
+}
+
+// ---- Coordinator: faults ----
+
+TEST(DistFaultTest, DropsAreRetriedTransparently) {
+  const Database db = MakeUniformDatabase(400, 3, 5);
+  SumScorer sum;
+  const TopKQuery query{5, &sum};
+  const TopKResult reference =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.20;  // well within a 4-attempt budget
+  FaultInjectingTransport transport(&inner, plan);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult dist = coordinator.ExecuteTput(query).ValueOrDie();
+
+  // Recovery is invisible to the answer: same items, same scores.
+  ASSERT_EQ(dist.items.size(), reference.items.size());
+  for (size_t i = 0; i < reference.items.size(); ++i) {
+    EXPECT_EQ(dist.items[i].item, reference.items[i].item);
+    EXPECT_DOUBLE_EQ(dist.items[i].score, reference.items[i].score);
+  }
+  EXPECT_EQ(dist.completion, Completion::kExact);
+  // A dropped primary is rescued by its hedge when one fires in time, by a
+  // backed-off retry otherwise; either way the loss shows in the wire
+  // ledger as a sent message with no reply.
+  EXPECT_GT(transport.fault_stats().dropped_messages, 0u);
+  const DistStats& stats = coordinator.stats();
+  EXPECT_GT(stats.retries + stats.hedges, 0u);
+  EXPECT_GT(stats.messages_sent, stats.replies_received);
+  EXPECT_EQ(dist.fault_retries, stats.retries);
+}
+
+TEST(DistFaultTest, SameSeedSameRun) {
+  const Database db = MakeUniformDatabase(400, 4, 5);
+  SumScorer sum;
+  const TopKQuery query{8, &sum};
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.seed = 99;
+  plan.drop_rate = 0.08;
+  plan.delay_rate = 0.2;
+  plan.delay_ms = 2.0;
+  plan.duplicate_rate = 0.1;
+
+  const auto run = [&](TopKResult* result, DistStats* stats) {
+    FaultInjectingTransport transport(&inner, plan);
+    Coordinator coordinator(&transport, DistOptions{});
+    ASSERT_TRUE(coordinator.Connect().ok());
+    *result = coordinator.ExecuteBpa(query).ValueOrDie();
+    *stats = coordinator.stats();
+  };
+  TopKResult first_result, second_result;
+  DistStats first_stats, second_stats;
+  run(&first_result, &first_stats);
+  run(&second_result, &second_stats);
+
+  ASSERT_EQ(first_result.items.size(), second_result.items.size());
+  for (size_t i = 0; i < first_result.items.size(); ++i) {
+    EXPECT_EQ(first_result.items[i].item, second_result.items[i].item);
+    EXPECT_DOUBLE_EQ(first_result.items[i].score,
+                     second_result.items[i].score);
+  }
+  EXPECT_EQ(first_stats.messages_sent, second_stats.messages_sent);
+  EXPECT_EQ(first_stats.retries, second_stats.retries);
+  EXPECT_EQ(first_stats.hedges, second_stats.hedges);
+  EXPECT_EQ(first_stats.duplicate_replies, second_stats.duplicate_replies);
+  EXPECT_DOUBLE_EQ(first_stats.virtual_ms, second_stats.virtual_ms);
+}
+
+TEST(DistFaultTest, DelaysTriggerHedging) {
+  const Database db = MakeUniformDatabase(600, 4, 5);
+  SumScorer sum;
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.seed = 3;
+  plan.delay_rate = 0.25;
+  plan.delay_ms = 50.0;  // way past any p99-derived hedge timeout
+  FaultInjectingTransport transport(&inner, plan);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult result =
+      coordinator.ExecuteTput(TopKQuery{10, &sum}).ValueOrDie();
+  EXPECT_EQ(result.completion, Completion::kExact);
+  EXPECT_GT(coordinator.stats().hedges, 0u);
+  EXPECT_GT(coordinator.stats().hedge_wins, 0u);
+}
+
+TEST(DistFaultTest, OwnerDeathDegradesToCertifiedAnswer) {
+  const Database db = MakeUniformDatabase(500, 4, 23);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+  const TopKResult truth =
+      MakeAlgorithm(AlgorithmKind::kNaive)->Execute(db, query).ValueOrDie();
+
+  for (const bool tput : {false, true}) {
+    InProcessTransport inner = InProcessTransport::PerListOwners(db);
+    TransportFaultPlan plan;
+    plan.kill_owner = 2;
+    plan.kill_after_messages = 6;
+    FaultInjectingTransport transport(&inner, plan);
+    Coordinator coordinator(&transport, DistOptions{});
+    ASSERT_TRUE(coordinator.Connect().ok());
+    // Connect's handshake consumed some of owner 2's message budget; the
+    // query's early windows exhaust the rest.
+    const TopKResult result =
+        (tput ? coordinator.ExecuteTput(query) : coordinator.ExecuteBpa(query))
+            .ValueOrDie();
+
+    EXPECT_TRUE(result.failed_over);
+    EXPECT_EQ(result.completion, Completion::kListFailure);
+    EXPECT_GE(result.dead_lists, 1u);
+    EXPECT_GE(coordinator.stats().owner_deaths, 1u);
+    EXPECT_GE(result.theta, 1.0);
+    // θ-certification soundness against ground truth: every returned score
+    // is a lower bound on the item's true score, and no unreturned item's
+    // true score exceeds the certified upper bound.
+    for (const ResultItem& item : result.items) {
+      EXPECT_LE(item.score, truth.items[0].score + 1e-9);
+      EXPECT_GE(result.unreturned_upper_bound + 1e-12,
+                result.kth_lower_bound);
+    }
+    std::vector<bool> returned(db.num_items(), false);
+    for (const ResultItem& item : result.items) {
+      returned[item.item] = true;
+    }
+    std::vector<Score> row(db.num_lists());
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      for (size_t j = 0; j < db.num_lists(); ++j) {
+        row[j] = db.list(j).Lookup(item).score;
+      }
+      const Score true_score = sum.Combine(row.data(), row.size());
+      if (!returned[item]) {
+        EXPECT_LE(true_score, result.unreturned_upper_bound + 1e-9)
+            << "item " << item;
+      }
+    }
+  }
+}
+
+TEST(DistFaultTest, DegradedRunRespectsGovernorDeadline) {
+  const Database db = MakeUniformDatabase(2000, 4, 29);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.seed = 11;
+  plan.kill_owner = 1;
+  plan.kill_after_messages = 4;
+  plan.delay_rate = 0.5;
+  plan.delay_ms = 1.0;
+  FaultInjectingTransport transport(&inner, plan);
+  DistOptions options;
+  options.governor.deadline_ms = 30.0;
+  Coordinator coordinator(&transport, options);
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult result = coordinator.ExecuteBpa(query).ValueOrDie();
+
+  // The query returns despite death + delays, under the deadline (virtual
+  // time is charged at round boundaries, so allow one round of overshoot),
+  // with a certified answer.
+  EXPECT_NE(result.completion, Completion::kExact);
+  EXPECT_GE(result.theta, 1.0);
+  EXPECT_LT(coordinator.stats().virtual_ms, 2.0 * 30.0);
+  EXPECT_TRUE(std::isfinite(result.kth_lower_bound) ||
+              result.items.empty());
+}
+
+TEST(DistFaultTest, AllOwnersDeadStillReturnsCertified) {
+  const Database db = MakeUniformDatabase(200, 3, 31);
+  SumScorer sum;
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.seed = 5;
+  plan.owner_death_rate = 1.0;  // every owner dies within the death window
+  plan.death_min_messages = 2;
+  plan.death_max_messages = 8;
+  FaultInjectingTransport transport(&inner, plan);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  const TopKResult result =
+      coordinator.ExecuteTput(TopKQuery{5, &sum}).ValueOrDie();
+  EXPECT_EQ(result.completion, Completion::kListFailure);
+  EXPECT_GE(result.theta, 1.0);
+  EXPECT_GE(result.dead_lists, 1u);
+}
+
+// ---- DistOptions validation ----
+
+TEST(DistOptionsTest, ValidateRejectsBadKnobs) {
+  DistOptions options;
+  EXPECT_TRUE(options.Validate("DistBPA", 0).IsInvalid());
+  options = DistOptions{};
+  options.window_rows = 0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.rpc_max_attempts = 0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.hedge_floor_ms = 0.0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.rpc_deadline_ms = 0.0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.hedge_multiplier = 0.5;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  EXPECT_TRUE(options.Validate("DistBPA", 3).ok());
+}
+
+TEST(DistCoordinatorTest, RejectsQueriesBeforeConnect) {
+  const Database db = MakeUniformDatabase(50, 3, 2);
+  SumScorer sum;
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  EXPECT_TRUE(coordinator.ExecuteBpa(TopKQuery{3, &sum}).status().IsInvalid());
+}
+
+TEST(DistCoordinatorTest, RejectsBadK) {
+  const Database db = MakeUniformDatabase(50, 3, 2);
+  SumScorer sum;
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  Coordinator coordinator(&transport, DistOptions{});
+  ASSERT_TRUE(coordinator.Connect().ok());
+  EXPECT_TRUE(coordinator.ExecuteBpa(TopKQuery{0, &sum}).status().IsInvalid());
+  EXPECT_TRUE(
+      coordinator.ExecuteBpa(TopKQuery{51, &sum}).status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace topk

@@ -9,6 +9,8 @@
 
 #include "core/query_governor.h"
 #include "core/topk_algorithm.h"
+#include "dist/coordinator.h"
+#include "dist/fault_injecting_transport.h"
 #include "gen/database_generator.h"
 #include "lists/fault_injection.h"
 #include "lists/scorer.h"
@@ -235,6 +237,86 @@ TEST(RejectionMessageTest, FaultKillAfterZero) {
   plan.kill_after_accesses = 0;
   EXPECT_TRUE(MentionsAll(plan.Validate("BPA", 4),
                           {"BPA", "kill_after_accesses must be >= 1", "0"}));
+}
+
+TEST(RejectionMessageTest, DistZeroOwners) {
+  DistOptions options;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistBPA", 0),
+                          {"DistBPA", "at least one", "num_owners = 0"}));
+}
+
+TEST(RejectionMessageTest, DistZeroWindowRows) {
+  DistOptions options;
+  options.window_rows = 0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistTPUT", 3),
+                          {"DistTPUT", "window_rows must be >= 1",
+                           "window_rows = 0"}));
+}
+
+TEST(RejectionMessageTest, DistRpcDeadlineNotPositive) {
+  DistOptions options;
+  options.rpc_deadline_ms = 0.0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistBPA", 3),
+                          {"DistBPA", "rpc_deadline_ms", "finite and > 0",
+                           "rpc_deadline_ms = 0"}));
+}
+
+TEST(RejectionMessageTest, DistRetryBudgetBelowOne) {
+  DistOptions options;
+  options.rpc_max_attempts = 0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistBPA", 3),
+                          {"DistBPA", "retry budget",
+                           "rpc_max_attempts must be >= 1",
+                           "rpc_max_attempts = 0"}));
+}
+
+TEST(RejectionMessageTest, DistHedgeFloorNotPositive) {
+  DistOptions options;
+  options.hedge_floor_ms = -1.0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistTPUT", 3),
+                          {"DistTPUT", "hedge timeout floor",
+                           "hedge_floor_ms = -1"}));
+}
+
+TEST(RejectionMessageTest, DistHedgeMultiplierBelowOne) {
+  DistOptions options;
+  options.hedge_multiplier = 0.5;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistBPA", 3),
+                          {"DistBPA", "hedge_multiplier must be >= 1",
+                           "hedge_multiplier = 0.5"}));
+}
+
+TEST(RejectionMessageTest, TransportDropRateOutOfRange) {
+  TransportFaultPlan plan;
+  plan.drop_rate = 1.5;
+  EXPECT_TRUE(MentionsAll(plan.Validate("DistBPA", 3),
+                          {"DistBPA", "drop_rate", "[0, 1]",
+                           "drop_rate = 1.5"}));
+}
+
+TEST(RejectionMessageTest, TransportKillOwnerBeyondLastIndex) {
+  TransportFaultPlan plan;
+  plan.kill_owner = 3;
+  EXPECT_TRUE(MentionsAll(plan.Validate("DistTPUT", 3),
+                          {"DistTPUT", "kill_owner = 3",
+                           "last owner index 2"}));
+}
+
+TEST(RejectionMessageTest, TransportKillAfterZero) {
+  TransportFaultPlan plan;
+  plan.kill_owner = 0;
+  plan.kill_after_messages = 0;
+  EXPECT_TRUE(MentionsAll(plan.Validate("DistBPA", 3),
+                          {"DistBPA", "kill_after_messages must be >= 1",
+                           "kill_after_messages = 0"}));
+}
+
+TEST(RejectionMessageTest, TransportDeathWindowInverted) {
+  TransportFaultPlan plan;
+  plan.death_min_messages = 8;
+  plan.death_max_messages = 2;
+  EXPECT_TRUE(MentionsAll(plan.Validate("DistTPUT", 3),
+                          {"DistTPUT", "death window", "[8, 2]"}));
 }
 
 TEST(RejectionMessageTest, FaultPlanConflictsWithAudit) {

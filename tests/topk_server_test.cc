@@ -257,6 +257,46 @@ TEST_F(TopKServerTest, OverdueInFlightRequestIsCancelledWithCertificate) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+// The self-healing watchdog handshake: ExecuteInto's Arm() clears the cancel
+// flag at run start, so a RequestCancel that lands between slot publication
+// and Arm would be lost if delivered only once. The watchdog re-cancels every
+// still-overdue slot each pass, so the cancel must arrive eventually no
+// matter how the first delivery interleaves with Arm. A parked worker plus a
+// deadline far shorter than the park forces that window every iteration;
+// under TSan this also proves the slot-mutex/atomic discipline of the
+// re-cancel path.
+TEST_F(TopKServerTest, WatchdogRecancelSurvivesArmRace) {
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    GateScorer gate;
+    ServerOptions options;
+    options.num_threads = 1;
+    options.watchdog_period_ms = 0.25;
+    TopKServer server(&db_, options);
+
+    ServerRequest request;
+    request.kind = AlgorithmKind::kTa;
+    request.query = TopKQuery{3, &gate};
+    request.deadline_ms = 1.0;
+    auto future = server.Submit(request);
+    // The worker is parked inside the query's first aggregation; the 1 ms
+    // deadline expires while it sits there, so the watchdog fires (and keeps
+    // re-firing) across the park. Whether its first cancel raced Arm's clear
+    // or not, the flag must be set by the time the worker resumes.
+    gate.AwaitEntered();
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    gate.Open();
+
+    Result<TopKResult> got = future.get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const TopKResult& result = got.ValueUnsafe();
+    EXPECT_EQ(result.completion, Completion::kDeadline)
+        << "iteration " << iteration;
+    EXPECT_GE(result.theta, 1.0) << "iteration " << iteration;
+    EXPECT_EQ(server.stats().deadline_cancelled, 1u)
+        << "iteration " << iteration;
+  }
+}
+
 TEST_F(TopKServerTest, RequestOverdueAtDequeueFailsWithoutExecuting) {
   GateScorer gate;
   ServerOptions options;

@@ -27,12 +27,26 @@
 // Ad-hoc workloads dump summation scoring only (the min-scorer fallback
 // sweeps the whole pool per stop check — prohibitive at large n).
 //
-// --algos=<csv of nra,ca,tput> restricts which algorithms are dumped — an
-// ad-hoc DRAM-scale fingerprint of one algorithm under test need not pay for
-// the other deep scanners (CA alone at n=1M costs seconds; all three cost
-// tens). It composes with either mode and does not by itself select ad-hoc
-// mode: with no flags at all the full grid over all three algorithms is
-// dumped byte-identically to previous builds.
+// --algos=<csv of nra,ca,tput,bpa,dbpa,dtput> restricts which algorithms are
+// dumped — an ad-hoc DRAM-scale fingerprint of one algorithm under test need
+// not pay for the other deep scanners (CA alone at n=1M costs seconds; all
+// three cost tens). It composes with either mode and does not by itself
+// select ad-hoc mode: with no flags at all the full grid over the default
+// three (nra, ca, tput) is dumped byte-identically to previous builds.
+//
+// dbpa/dtput run distributed BPA/TPUT through a Coordinator over per-list
+// in-process ListOwner shards; bpa is single-node BPA with seen-item
+// memoization (the access-count twin of the batched distributed rows). The
+// distributed engines' fingerprints match their single-node counterparts
+// field for field, so the certification diff is just a name rewrite:
+//
+//   diff <(./build/parity_dump --algos=bpa) \
+//        <(./build/parity_dump --algos=dbpa | sed s/dBPA/BPA/)
+//   diff <(./build/parity_dump --algos=tput) \
+//        <(./build/parity_dump --algos=dtput | sed s/dTPUT/TPUT/)
+//
+// (Only min-scorer TPUT lines differ: both engines reject non-summation
+// scoring with the same words, each naming itself in the message.)
 //
 // --governor=off|<spec> arms the query governor for every dumped execution.
 // `off` (the default) keeps the historical byte-identical output. A <spec>
@@ -49,10 +63,13 @@
 #include <vector>
 
 #include "common/flag_parse.h"
+#include "common/macros.h"
 #include "common/rng.h"
 #include "core/algorithms.h"
 #include "core/candidate_bounds.h"
 #include "core/query_governor.h"
+#include "dist/coordinator.h"
+#include "dist/in_process_transport.h"
 #include "gen/database_generator.h"
 #include "gen/paper_fixtures.h"
 #include "lists/scorer.h"
@@ -60,11 +77,31 @@
 namespace topk {
 namespace {
 
-// The pool-family algorithms in fingerprint order; --algos restricts the
-// dump to a subset (defaults to all three, which reproduces the historical
-// output byte-for-byte).
-std::vector<AlgorithmKind> g_algos = {AlgorithmKind::kNra, AlgorithmKind::kCa,
-                                      AlgorithmKind::kTput};
+// One dumpable engine: a single-node algorithm, or a distributed one run
+// through a Coordinator over per-list in-process ListOwner shards. The
+// single-node bpa entry memoizes seen items so its access counts are the
+// exact twin of dbpa's batched row resolution.
+struct DumpAlgo {
+  const char* token;   // --algos flag token
+  const char* label;   // printed fingerprint name (historical bytes)
+  AlgorithmKind kind;  // single-node engine, or the dist entry's twin
+  bool dist;
+};
+
+constexpr DumpAlgo kDumpAlgos[] = {
+    {"nra", "NRA", AlgorithmKind::kNra, false},
+    {"ca", "CA", AlgorithmKind::kCa, false},
+    {"tput", "TPUT", AlgorithmKind::kTput, false},
+    {"bpa", "BPA", AlgorithmKind::kBpa, false},
+    {"dbpa", "dBPA", AlgorithmKind::kBpa, true},
+    {"dtput", "dTPUT", AlgorithmKind::kTput, true},
+};
+
+// The engines in fingerprint order; --algos restricts the dump to a subset
+// (defaults to the historical pool-family three, which reproduces the
+// historical output byte-for-byte).
+std::vector<const DumpAlgo*> g_algos = {&kDumpAlgos[0], &kDumpAlgos[1],
+                                        &kDumpAlgos[2]};
 
 // Governor limits applied to every dumped execution; default-constructed
 // (everything unlimited) reproduces the historical output byte-for-byte.
@@ -110,33 +147,33 @@ bool ParseGovernor(const std::string& spec) {
 // Parses a comma-separated --algos value ("nra,ca", case-sensitive short
 // names) into g_algos, keeping fingerprint order and dropping duplicates.
 bool ParseAlgos(const std::string& csv) {
-  std::vector<AlgorithmKind> selected;
+  std::vector<const DumpAlgo*> selected;
   size_t begin = 0;
   while (begin <= csv.size()) {
     const size_t comma = std::min(csv.find(',', begin), csv.size());
     const std::string name = csv.substr(begin, comma - begin);
-    AlgorithmKind kind;
-    if (name == "nra") {
-      kind = AlgorithmKind::kNra;
-    } else if (name == "ca") {
-      kind = AlgorithmKind::kCa;
-    } else if (name == "tput") {
-      kind = AlgorithmKind::kTput;
-    } else {
+    const DumpAlgo* algo = nullptr;
+    for (const DumpAlgo& candidate : kDumpAlgos) {
+      if (name == candidate.token) {
+        algo = &candidate;
+        break;
+      }
+    }
+    if (algo == nullptr) {
       return false;
     }
-    if (std::find(selected.begin(), selected.end(), kind) == selected.end()) {
-      selected.push_back(kind);
+    if (std::find(selected.begin(), selected.end(), algo) == selected.end()) {
+      selected.push_back(algo);
     }
     begin = comma + 1;
   }
-  // Fingerprint order is fixed (NRA, CA, TPUT) regardless of flag order so
-  // two dumps of the same subset always diff cleanly.
-  std::vector<AlgorithmKind> ordered;
-  for (AlgorithmKind kind :
-       {AlgorithmKind::kNra, AlgorithmKind::kCa, AlgorithmKind::kTput}) {
-    if (std::find(selected.begin(), selected.end(), kind) != selected.end()) {
-      ordered.push_back(kind);
+  // Fingerprint order is fixed (kDumpAlgos order) regardless of flag order
+  // so two dumps of the same subset always diff cleanly.
+  std::vector<const DumpAlgo*> ordered;
+  for (const DumpAlgo& candidate : kDumpAlgos) {
+    if (std::find(selected.begin(), selected.end(), &candidate) !=
+        selected.end()) {
+      ordered.push_back(&candidate);
     }
   }
   if (ordered.empty()) {
@@ -159,17 +196,39 @@ Database Quantize(const Database& db, double levels) {
   return Database::FromScoreMatrix(scores).ValueOrDie();
 }
 
+// Runs one distributed execution: a Coordinator over one in-process
+// ListOwner per list (the finest sharding, so every list's windows and
+// lookups are separate messages).
+Result<TopKResult> RunDist(AlgorithmKind kind, const Database& db, size_t k,
+                           const Scorer& scorer) {
+  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  DistOptions options;
+  options.governor = g_governor;
+  Coordinator coordinator(&transport, options);
+  TOPK_RETURN_NOT_OK(coordinator.Connect());
+  const TopKQuery query{k, &scorer};
+  return kind == AlgorithmKind::kBpa ? coordinator.ExecuteBpa(query)
+                                     : coordinator.ExecuteTput(query);
+}
+
 void DumpOne(const char* workload, const Database& db, size_t k,
              const Scorer& scorer) {
   AlgorithmOptions options;
   options.score_floor = DeriveScoreFloor(db);
   options.governor = g_governor;
-  for (AlgorithmKind kind : g_algos) {
+  for (const DumpAlgo* algo : g_algos) {
+    AlgorithmOptions run_options = options;
+    // Single-node BPA's access-count twin of the distributed rows (dbpa
+    // resolves each item once; so does memoized BPA).
+    run_options.memoize_seen_items = algo->kind == AlgorithmKind::kBpa;
     const auto result =
-        MakeAlgorithm(kind, options)->Execute(db, TopKQuery{k, &scorer});
+        algo->dist
+            ? RunDist(algo->kind, db, k, scorer)
+            : MakeAlgorithm(algo->kind, run_options)
+                  ->Execute(db, TopKQuery{k, &scorer});
     if (!result.ok()) {
       std::printf("%s k=%zu f=%s %s: %s\n", workload, k,
-                  scorer.name().c_str(), ToString(kind).c_str(),
+                  scorer.name().c_str(), algo->label,
                   result.status().ToString().c_str());
       continue;
     }
@@ -191,8 +250,7 @@ void DumpOne(const char* workload, const Database& db, size_t k,
     }
     std::printf(
         "%s k=%zu f=%s %s: stop=%u as=%llu ar=%llu ad=%llu%s items=%s\n",
-        workload, k, scorer.name().c_str(), ToString(kind).c_str(),
-        r.stop_position,
+        workload, k, scorer.name().c_str(), algo->label, r.stop_position,
         static_cast<unsigned long long>(r.stats.sorted_accesses),
         static_cast<unsigned long long>(r.stats.random_accesses),
         static_cast<unsigned long long>(r.stats.direct_accesses),
@@ -350,7 +408,7 @@ int main(int argc, char** argv) {
                  "usage: parity_dump [--n=<items>] [--m=<lists>]"
                  " [--k=<answers>] [--seed=<rng>]"
                  " [--dist={uniform,gaussian,correlated,zipf}]"
-                 " [--algos=<csv of nra,ca,tput>]"
+                 " [--algos=<csv of nra,ca,tput,bpa,dbpa,dtput>]"
                  " [--governor=off|<key=value,...>]\n"
                  "governor keys: deadline-ms sorted random total pool-bytes\n"
                  "with no workload flags, dumps the built-in grid\n");

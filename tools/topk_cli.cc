@@ -52,6 +52,7 @@ int Usage() {
       "  topk query   --db FILE --k K [--algo ALGO] [--scorer SCORER]\n"
       "               [--weights w1,w2,...] [--tracker KIND] [--verbose]\n"
       "               [--deadline-ms MS] [--access-budget N]\n"
+      "               [--fault-seed S] [--kill-list L] [--kill-after N]\n"
       "  topk compare --db FILE --k K [--scorer SCORER] [--weights ...]\n"
       "  topk serve   --db FILE [--threads N] [--requests R] [--k K]\n"
       "               [--algo ALGO] [--deadline-ms MS] [--queue CAP]\n"
@@ -63,7 +64,12 @@ int Usage() {
       "\n"
       "--deadline-ms / --access-budget govern the query: on a tripped limit\n"
       "the run stops at the next round boundary and reports an anytime\n"
-      "answer with certified lower-bound scores and Fagin's theta factor.\n";
+      "answer with certified lower-bound scores and Fagin's theta factor.\n"
+      "\n"
+      "--kill-list L kills list L permanently after it serves --kill-after N\n"
+      "accesses (default 1); the query fails over to NRA over the survivors\n"
+      "and certifies the degraded answer. --fault-seed fixes the injection\n"
+      "schedule so a degraded run replays exactly.\n";
   return 2;
 }
 
@@ -228,6 +234,15 @@ Status RunQuery(const std::map<std::string, std::string>& flags) {
   options.governor.deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
   options.governor.total_access_budget =
       std::stoull(FlagOr(flags, "access-budget", "0"));
+  // Seeded fault injection on the single-query path: a targeted kill makes a
+  // degraded run (failover to NRA, θ-certified answer) reproducible from the
+  // command line.
+  options.fault_plan.seed = std::stoull(FlagOr(flags, "fault-seed", "1"));
+  if (flags.count("kill-list")) {
+    options.fault_plan.kill_list = std::stoul(flags.at("kill-list"));
+    options.fault_plan.kill_after_accesses =
+        std::stoull(FlagOr(flags, "kill-after", "1"));
+  }
   auto algorithm = MakeAlgorithm(algo, options);
   TOPK_ASSIGN_OR_RETURN(TopKResult result,
                         algorithm->Execute(db, TopKQuery{k, scorer.get()}));
