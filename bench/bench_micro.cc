@@ -40,15 +40,19 @@
 // hiding it: no coordinated omission), the shed rate, and the achieved
 // throughput next to the single-thread closed-loop baseline.
 //
-// `bench_micro --dist-json[=path]` (default path: BENCH_PR8.json) measures
+// `bench_micro --dist-json[=path]` (default path: BENCH_PR10.json) measures
 // the distributed coordinator: per-query message and byte counts for
 // distributed BPA/TPUT over in-process list-owner shards across an n/m/k
 // grid (fault-free, so the counts are exact and deterministic), then a
-// degradation sweep over owner-death x delay rates reporting recall against
-// the exact answer, the certified theta of each degraded answer, SLA
-// compliance under a 250 virtual-ms governor deadline, and the retry/hedge/
-// timeout counters of the fault machinery. --quick trims the grid and the
-// per-cell seed count for CI.
+// degradation sweep over replication factor (R=1 vs R=2) x owner-death x
+// delay rates reporting recall against the exact answer, the certified
+// theta of each degraded answer, SLA compliance under a 250 virtual-ms
+// governor deadline, and the retry/hedge/timeout/failover counters of the
+// fault machinery, plus a deterministic targeted-kill section (one replica
+// of one list dies mid-query: R=1 degrades with a certificate, R=2 stays
+// exact). The degradation object is also written standalone next to the
+// main artifact (<path minus .json>-degradation.json). --quick trims the
+// grid and the per-cell seed count for CI.
 //
 // The BPA series is measured in two modes — a fresh ExecutionContext per
 // query (the pre-PR1 per-query allocation path) vs one reused context — so
@@ -393,7 +397,7 @@ struct ThroughputConfig {
   double serve_deadline_ms = 25.0;
   size_t serve_requests = 0;  // 0 = auto (scaled down by --quick)
   // Distributed coordinator mode (--dist-json).
-  std::string dist_path = "BENCH_PR8.json";
+  std::string dist_path = "BENCH_PR10.json";
 };
 
 // The workloads a flag-less --json run measures: the historical
@@ -1022,14 +1026,14 @@ int RunServeMode(const ThroughputConfig& config) {
 
 // --- distributed coordinator mode (--dist-json) ---
 
-// One distributed execution over one in-process ListOwner per list,
+// One distributed execution over `replicas` in-process ListOwners per list,
 // optionally behind a FaultInjectingTransport. Returns false only on a
 // non-degradable error (validation; the fault paths always answer).
-bool RunDistQuery(const Database& db, bool bpa, size_t k,
+bool RunDistQuery(const Database& db, bool bpa, size_t k, size_t replicas,
                   const TransportFaultPlan* plan, double deadline_ms,
                   TopKResult* result, DistStats* stats,
                   TransportFaultStats* fault_stats) {
-  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  InProcessTransport inner = InProcessTransport::PerListOwners(db, replicas);
   FaultInjectingTransport faulty(&inner,
                                  plan != nullptr ? *plan
                                                  : TransportFaultPlan{});
@@ -1037,6 +1041,7 @@ bool RunDistQuery(const Database& db, bool bpa, size_t k,
                                          : static_cast<Transport*>(&inner);
   DistOptions options;
   options.governor.deadline_ms = deadline_ms;
+  options.replication_factor = static_cast<uint32_t>(replicas);
   Coordinator coordinator(transport, options);
   if (!coordinator.Connect().ok()) {
     return false;
@@ -1087,7 +1092,7 @@ int RunDistMode(const ThroughputConfig& config) {
     for (const bool bpa : {true, false}) {
       TopKResult result;
       DistStats stats;
-      if (!RunDistQuery(db, bpa, p.k, nullptr, 0.0, &result, &stats,
+      if (!RunDistQuery(db, bpa, p.k, 1, nullptr, 0.0, &result, &stats,
                         nullptr)) {
         std::fprintf(stderr, "dist %s failed at n=%zu m=%zu k=%zu\n",
                      bpa ? "BPA" : "TPUT", p.n, p.m, p.k);
@@ -1141,103 +1146,180 @@ int RunDistMode(const ThroughputConfig& config) {
     truth[item.item] = true;
   }
 
+  // The degradation object is built standalone so it can be embedded in the
+  // main artifact AND written as its own file (the R-axis grid is what the
+  // release pipeline tracks release-over-release).
+  std::string deg;
   std::snprintf(line, sizeof(line),
-                "  \"degradation\": {\"workload\": {\"distribution\":"
+                "{\"workload\": {\"distribution\":"
                 " \"uniform\", \"n\": %zu, \"m\": %zu, \"k\": %zu},"
                 " \"deadline_ms\": %.1f, \"delay_ms\": 5.0,"
                 " \"death_window_messages\": [1, 32], \"cells\": [\n",
                 kN, kM, kK, kDeadlineMs);
-  json += line;
+  deg += line;
 
+  const size_t replications[] = {1, 2};
   const double death_rates[] = {0.0, 0.05, 0.1, 0.2};
   const double delay_rates[] = {0.0, 0.2};
   const uint64_t kSeeds = config.quick ? 3 : 8;
   first = true;
   for (const bool bpa : {true, false}) {
-    for (const double death_rate : death_rates) {
-      for (const double delay_rate : delay_rates) {
-        size_t exact = 0, failed_over = 0, deadline_trips = 0;
-        double recall_sum = 0.0, theta_sum = 0.0, virtual_ms_sum = 0.0;
-        size_t theta_finite = 0;
-        DistStats totals;
-        TransportFaultStats fault_totals;
-        for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
-          TransportFaultPlan plan;
-          plan.seed = seed;
-          plan.owner_death_rate = death_rate;
-          // Dying owners die within the first 32 messages: inside even
-          // TPUT's small per-owner message budget, so the death rate bites
-          // both protocols instead of only BPA's chatty rows.
-          plan.death_max_messages = 32;
-          plan.delay_rate = delay_rate;
-          plan.delay_ms = 5.0;
-          TopKResult result;
-          DistStats stats;
-          TransportFaultStats faults;
-          if (!RunDistQuery(db, bpa, kK, &plan, kDeadlineMs, &result, &stats,
-                            &faults)) {
-            std::fprintf(stderr, "degraded dist query failed (seed %llu)\n",
-                         static_cast<unsigned long long>(seed));
-            return 1;
+    for (const size_t replication : replications) {
+      for (const double death_rate : death_rates) {
+        for (const double delay_rate : delay_rates) {
+          size_t exact = 0, failed_over = 0, deadline_trips = 0;
+          double recall_sum = 0.0, theta_sum = 0.0, virtual_ms_sum = 0.0;
+          size_t theta_finite = 0;
+          DistStats totals;
+          TransportFaultStats fault_totals;
+          for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            TransportFaultPlan plan;
+            plan.seed = seed;
+            plan.owner_death_rate = death_rate;
+            // Dying owners die within the first 32 messages: inside even
+            // TPUT's small per-owner message budget, so the death rate bites
+            // both protocols instead of only BPA's chatty rows.
+            plan.death_max_messages = 32;
+            plan.delay_rate = delay_rate;
+            plan.delay_ms = 5.0;
+            TopKResult result;
+            DistStats stats;
+            TransportFaultStats faults;
+            if (!RunDistQuery(db, bpa, kK, replication, &plan, kDeadlineMs,
+                              &result, &stats, &faults)) {
+              std::fprintf(stderr, "degraded dist query failed (seed %llu)\n",
+                           static_cast<unsigned long long>(seed));
+              return 1;
+            }
+            size_t hits = 0;
+            for (const ResultItem& item : result.items) {
+              hits += truth[item.item] ? 1 : 0;
+            }
+            recall_sum += static_cast<double>(hits) / static_cast<double>(kK);
+            if (std::isfinite(result.theta)) {
+              theta_sum += result.theta;
+              ++theta_finite;
+            }
+            exact += result.completion == Completion::kExact ? 1 : 0;
+            deadline_trips +=
+                result.completion == Completion::kDeadline ? 1 : 0;
+            failed_over += result.failed_over ? 1 : 0;
+            virtual_ms_sum += stats.virtual_ms;
+            totals.retries += stats.retries;
+            totals.hedges += stats.hedges;
+            totals.hedge_wins += stats.hedge_wins;
+            totals.timeouts += stats.timeouts;
+            totals.duplicate_replies += stats.duplicate_replies;
+            totals.owner_deaths += stats.owner_deaths;
+            totals.messages_sent += stats.messages_sent;
+            totals.replica_failovers += stats.replica_failovers;
+            totals.breaker_opens += stats.breaker_opens;
+            totals.probes_sent += stats.probes_sent;
+            totals.groups_lost += stats.groups_lost;
+            fault_totals.dropped_messages += faults.dropped_messages;
+            fault_totals.delayed_messages += faults.delayed_messages;
           }
-          size_t hits = 0;
-          for (const ResultItem& item : result.items) {
-            hits += truth[item.item] ? 1 : 0;
+          if (!first) {
+            deg += ",\n";
           }
-          recall_sum += static_cast<double>(hits) / static_cast<double>(kK);
-          if (std::isfinite(result.theta)) {
-            theta_sum += result.theta;
-            ++theta_finite;
-          }
-          exact += result.completion == Completion::kExact ? 1 : 0;
-          deadline_trips += result.completion == Completion::kDeadline ? 1 : 0;
-          failed_over += result.failed_over ? 1 : 0;
-          virtual_ms_sum += stats.virtual_ms;
-          totals.retries += stats.retries;
-          totals.hedges += stats.hedges;
-          totals.hedge_wins += stats.hedge_wins;
-          totals.timeouts += stats.timeouts;
-          totals.duplicate_replies += stats.duplicate_replies;
-          totals.owner_deaths += stats.owner_deaths;
-          totals.messages_sent += stats.messages_sent;
-          fault_totals.dropped_messages += faults.dropped_messages;
-          fault_totals.delayed_messages += faults.delayed_messages;
+          first = false;
+          const double q = static_cast<double>(kSeeds);
+          std::snprintf(
+              line, sizeof(line),
+              "    {\"algorithm\": \"%s\", \"replication\": %zu,"
+              " \"owner_death_rate\": %.2f,"
+              " \"delay_rate\": %.2f, \"queries\": %llu,\n"
+              "     \"exact\": %zu, \"failed_over\": %zu,"
+              " \"deadline_trips\": %zu, \"mean_recall\": %.4f,"
+              " \"mean_theta\": %.4f, \"theta_finite\": %zu,\n"
+              "     \"mean_virtual_ms\": %.3f, \"messages_sent\": %llu,"
+              " \"retries\": %llu, \"hedges\": %llu, \"hedge_wins\": %llu,"
+              " \"timeouts\": %llu, \"duplicate_replies\": %llu,"
+              " \"owner_deaths\": %u, \"delayed_messages\": %llu,\n"
+              "     \"replica_failovers\": %llu, \"breaker_opens\": %llu,"
+              " \"probes_sent\": %llu, \"groups_lost\": %u}",
+              bpa ? "dBPA" : "dTPUT", replication, death_rate, delay_rate,
+              static_cast<unsigned long long>(kSeeds), exact, failed_over,
+              deadline_trips, recall_sum / q,
+              theta_finite != 0
+                  ? theta_sum / static_cast<double>(theta_finite)
+                  : 0.0,
+              theta_finite, virtual_ms_sum / q,
+              static_cast<unsigned long long>(totals.messages_sent),
+              static_cast<unsigned long long>(totals.retries),
+              static_cast<unsigned long long>(totals.hedges),
+              static_cast<unsigned long long>(totals.hedge_wins),
+              static_cast<unsigned long long>(totals.timeouts),
+              static_cast<unsigned long long>(totals.duplicate_replies),
+              totals.owner_deaths,
+              static_cast<unsigned long long>(fault_totals.delayed_messages),
+              static_cast<unsigned long long>(totals.replica_failovers),
+              static_cast<unsigned long long>(totals.breaker_opens),
+              static_cast<unsigned long long>(totals.probes_sent),
+              totals.groups_lost);
+          deg += line;
         }
-        if (!first) {
-          json += ",\n";
-        }
-        first = false;
-        const double q = static_cast<double>(kSeeds);
-        std::snprintf(
-            line, sizeof(line),
-            "    {\"algorithm\": \"%s\", \"owner_death_rate\": %.2f,"
-            " \"delay_rate\": %.2f, \"queries\": %llu,\n"
-            "     \"exact\": %zu, \"failed_over\": %zu,"
-            " \"deadline_trips\": %zu, \"mean_recall\": %.4f,"
-            " \"mean_theta\": %.4f, \"theta_finite\": %zu,\n"
-            "     \"mean_virtual_ms\": %.3f, \"messages_sent\": %llu,"
-            " \"retries\": %llu, \"hedges\": %llu, \"hedge_wins\": %llu,"
-            " \"timeouts\": %llu, \"duplicate_replies\": %llu,"
-            " \"owner_deaths\": %u, \"delayed_messages\": %llu}",
-            bpa ? "dBPA" : "dTPUT", death_rate, delay_rate,
-            static_cast<unsigned long long>(kSeeds), exact, failed_over,
-            deadline_trips, recall_sum / q,
-            theta_finite != 0 ? theta_sum / static_cast<double>(theta_finite)
-                              : 0.0,
-            theta_finite, virtual_ms_sum / q,
-            static_cast<unsigned long long>(totals.messages_sent),
-            static_cast<unsigned long long>(totals.retries),
-            static_cast<unsigned long long>(totals.hedges),
-            static_cast<unsigned long long>(totals.hedge_wins),
-            static_cast<unsigned long long>(totals.timeouts),
-            static_cast<unsigned long long>(totals.duplicate_replies),
-            totals.owner_deaths,
-            static_cast<unsigned long long>(fault_totals.delayed_messages));
-        json += line;
       }
     }
   }
-  json += "\n  ]}\n}\n";
+  deg += "\n  ],\n";
+
+  // Targeted kill: replica 0 of list 0 dies after 6 served messages, no
+  // other fault. The headline of the replication work, deterministic (one
+  // cell per algorithm x R): at R=1 the list dies with the owner and the
+  // answer degrades to a certified-theta NRA fallback; at R=2 the sibling
+  // replica resumes the cursor exactly and the answer stays exact. The
+  // scenario gets a roomier deadline than the grid: dBPA's fault-free run
+  // already sits near the grid budget on this workload, and the point here
+  // is the failover tax (probes + timeouts), not deadline pressure.
+  const double kKillDeadlineMs = 2.0 * kDeadlineMs;
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "  \"targeted_kill\": {\"killed\": \"list 0 replica 0\","
+                " \"kill_after_messages\": 6, \"deadline_ms\": %.0f,"
+                " \"cells\": [\n",
+                kKillDeadlineMs);
+  deg += header;
+  first = true;
+  for (const bool bpa : {true, false}) {
+    for (const size_t replication : replications) {
+      TransportFaultPlan plan;
+      plan.kill_owner = InProcessTransport::OwnerIndex(kM, 0, 0);
+      plan.kill_after_messages = 6;
+      TopKResult result;
+      DistStats stats;
+      TransportFaultStats faults;
+      if (!RunDistQuery(db, bpa, kK, replication, &plan, kKillDeadlineMs,
+                        &result, &stats, &faults)) {
+        std::fprintf(stderr, "targeted-kill dist query failed\n");
+        return 1;
+      }
+      size_t hits = 0;
+      for (const ResultItem& item : result.items) {
+        hits += truth[item.item] ? 1 : 0;
+      }
+      if (!first) {
+        deg += ",\n";
+      }
+      first = false;
+      std::snprintf(
+          line, sizeof(line),
+          "    {\"algorithm\": \"%s\", \"replication\": %zu,"
+          " \"recall\": %.4f, \"theta\": %.4f, \"completion\": \"%s\","
+          " \"failed_over\": %s, \"replica_failovers\": %llu,"
+          " \"owner_deaths\": %u, \"groups_lost\": %u}",
+          bpa ? "dBPA" : "dTPUT", replication,
+          static_cast<double>(hits) / static_cast<double>(kK),
+          std::isfinite(result.theta) ? result.theta : -1.0,
+          ToString(result.completion), result.failed_over ? "true" : "false",
+          static_cast<unsigned long long>(stats.replica_failovers),
+          stats.owner_deaths, stats.groups_lost);
+      deg += line;
+    }
+  }
+  deg += "\n  ]}}";
+
+  json += "  \"degradation\": " + deg + "\n}\n";
 
   std::fputs(json.c_str(), stdout);
   if (std::FILE* f = std::fopen(config.dist_path.c_str(), "w")) {
@@ -1245,6 +1327,26 @@ int RunDistMode(const ThroughputConfig& config) {
     std::fclose(f);
   } else {
     std::fprintf(stderr, "cannot write %s\n", config.dist_path.c_str());
+    return 1;
+  }
+  // The degradation grid alone, as its own artifact next to the main one.
+  std::string deg_path = config.dist_path;
+  const std::string suffix = ".json";
+  if (deg_path.size() >= suffix.size() &&
+      deg_path.compare(deg_path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+    deg_path.resize(deg_path.size() - suffix.size());
+  }
+  deg_path += "-degradation.json";
+  if (std::FILE* f = std::fopen(deg_path.c_str(), "w")) {
+    std::fputs("{\n  \"benchmark\": \"distributed_degradation\",\n"
+               "  \"degradation\": ",
+               f);
+    std::fputs(deg.c_str(), f);
+    std::fputs("\n}\n", f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", deg_path.c_str());
     return 1;
   }
   return 0;

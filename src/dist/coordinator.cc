@@ -85,6 +85,31 @@ Status DistOptions::Validate(const char* algorithm, size_t num_owners) const {
                            "hedge_multiplier = ",
                            hedge_multiplier);
   }
+  if (replication_factor < 1) {
+    return Status::Invalid(algorithm,
+                           ": dist replication_factor must be >= 1 (1 means "
+                           "unreplicated); got replication_factor = ",
+                           replication_factor);
+  }
+  if (breaker_failures < 1) {
+    return Status::Invalid(algorithm,
+                           ": dist breaker_failures must be >= 1 (a breaker "
+                           "that opens after zero failures never routes "
+                           "anywhere); got breaker_failures = ",
+                           breaker_failures);
+  }
+  if (!std::isfinite(breaker_open_ms) || breaker_open_ms < 0.0) {
+    return Status::Invalid(algorithm,
+                           ": dist breaker_open_ms must be finite and >= 0; "
+                           "got breaker_open_ms = ",
+                           breaker_open_ms);
+  }
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    return Status::Invalid(algorithm,
+                           ": dist ewma_alpha must be in (0, 1]; got "
+                           "ewma_alpha = ",
+                           ewma_alpha);
+  }
   return governor.Validate(algorithm);
 }
 
@@ -96,13 +121,24 @@ Status Coordinator::Connect() {
   if (owners == 0) {
     return Status::Invalid("Coordinator: transport has no owners");
   }
+  if (options_.replication_factor < 1) {
+    return Status::Invalid(
+        "Coordinator: dist replication_factor must be >= 1 (1 means "
+        "unreplicated); got replication_factor = ",
+        options_.replication_factor);
+  }
   owner_alive_.assign(owners, 1);
   latency_ring_.assign(owners * kLatencyRing, 0.0);
   latency_count_.assign(owners, 0);
+  health_.assign(owners, ReplicaHealth{});
+  health_counter_ = 0;
+  // Empty until the claims are grouped below, so a handshake-time owner
+  // death cannot tally a group loss against a half-built catalog.
+  lists_of_.assign(owners, {});
   stats_ = DistStats{};
   backoff_counter_ = 0;
 
-  std::vector<size_t> owner_of;
+  std::vector<std::vector<size_t>> claims;  // list -> claiming owners, asc
   std::vector<Score> max_score;
   std::vector<Score> min_score;
   n_ = 0;
@@ -110,22 +146,23 @@ Status Coordinator::Connect() {
     request_.type = MessageType::kHello;
     request_.list_index = 0;
     request_.items.clear();
-    TOPK_RETURN_NOT_OK(Rpc(owner, request_, &reply_));
+    TOPK_RETURN_NOT_OK(OwnerRpc(owner, kNoList, request_, &reply_,
+                                /*allow_breaker_failover=*/false));
     if (reply_.catalog.empty()) {
       return Status::Invalid("Coordinator: owner ", owner,
                              " advertises no lists");
     }
     for (const ListCatalog& entry : reply_.catalog) {
       const size_t index = entry.list_index;
-      if (index >= owner_of.size()) {
-        owner_of.resize(index + 1, owners);  // `owners` marks "unclaimed"
+      if (index >= claims.size()) {
+        claims.resize(index + 1);
         max_score.resize(index + 1, 0.0);
         min_score.resize(index + 1, 0.0);
       }
-      if (owner_of[index] != owners) {
-        return Status::Invalid("Coordinator: list ", index,
-                               " is claimed by owners ", owner_of[index],
-                               " and ", owner);
+      std::vector<size_t>& group = claims[index];
+      if (!group.empty() && group.back() == owner) {
+        return Status::Invalid("Coordinator: owner ", owner, " claims list ",
+                               index, " twice");
       }
       if (entry.num_items == 0) {
         return Status::Invalid("Coordinator: list ", index, " is empty");
@@ -137,18 +174,42 @@ Status Coordinator::Connect() {
                                " vs ", entry.num_items, " on list ", index,
                                ")");
       }
-      owner_of[index] = owner;
-      max_score[index] = entry.max_score;
-      min_score[index] = entry.min_score;
+      if (group.empty()) {
+        max_score[index] = entry.max_score;
+        min_score[index] = entry.min_score;
+      } else if (entry.max_score != max_score[index] ||
+                 entry.min_score != min_score[index]) {
+        // Failover exactness rests on replicas being mirrors of the same
+        // immutable list; a catalog disagreement means they are not.
+        return Status::Invalid(
+            "Coordinator: replicas of list ", index,
+            " advertise different catalogs (max ", max_score[index], " vs ",
+            entry.max_score, ", min ", min_score[index], " vs ",
+            entry.min_score, "); replicas must mirror the same list");
+      }
+      group.push_back(owner);
     }
   }
-  for (size_t i = 0; i < owner_of.size(); ++i) {
-    if (owner_of[i] == owners) {
-      return Status::Invalid("Coordinator: list ", i,
-                             " is served by no owner (lists must cover 0..m-1)");
+  for (size_t i = 0; i < claims.size(); ++i) {
+    if (claims[i].size() != options_.replication_factor) {
+      return Status::Invalid(
+          "Coordinator: list ", i, " is claimed by ", claims[i].size(),
+          " owner(s) but replication_factor = ", options_.replication_factor,
+          " requires exactly that many replicas per list (lists must cover "
+          "0..m-1)");
     }
   }
-  owner_of_ = std::move(owner_of);
+  replicas_of_ = std::move(claims);
+  for (size_t i = 0; i < replicas_of_.size(); ++i) {
+    for (size_t owner : replicas_of_[i]) {
+      lists_of_[owner].push_back(i);
+    }
+  }
+  primary_of_.resize(replicas_of_.size());
+  for (size_t i = 0; i < replicas_of_.size(); ++i) {
+    primary_of_[i] = replicas_of_[i][0];
+  }
+  group_lost_counted_.assign(replicas_of_.size(), 0);
   max_score_ = std::move(max_score);
   min_score_ = std::move(min_score);
   // DeriveScoreFloor over the catalog: the paper's model floor (0) lowered to
@@ -179,7 +240,7 @@ Status Coordinator::ValidateQuery(const char* algorithm,
 }
 
 void Coordinator::BeginQuery() {
-  const size_t m = owner_of_.size();
+  const size_t m = replicas_of_.size();
   const size_t owners = transport_->num_owners();
   stats_ = DistStats{};
   access_ = AccessStats{};
@@ -191,6 +252,14 @@ void Coordinator::BeginQuery() {
   owner_alive_.assign(owners, 1);
   latency_ring_.assign(owners * kLatencyRing, 0.0);
   latency_count_.assign(owners, 0);
+  // Health starts every query fresh too: breakers closed, EWMA unseen,
+  // every list routed to its lowest-indexed replica.
+  health_.assign(owners, ReplicaHealth{});
+  health_counter_ = 0;
+  group_lost_counted_.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    primary_of_[i] = replicas_of_[i][0];
+  }
   window_base_.assign(m, 0);
   window_.resize(m);
   last_scores_.assign(m, 0.0);
@@ -240,16 +309,176 @@ void Coordinator::RecordLatency(size_t owner, double latency_ms) {
   latency_ring_[owner * kLatencyRing + latency_count_[owner] % kLatencyRing] =
       latency_ms;
   ++latency_count_[owner];
+  // The same successful samples feed the health tracker's EWMA — the
+  // healthiest-replica routing signal.
+  ReplicaHealth& health = health_[owner];
+  health.ewma_ms = health.ewma_set
+                       ? options_.ewma_alpha * latency_ms +
+                             (1.0 - options_.ewma_alpha) * health.ewma_ms
+                       : latency_ms;
+  health.ewma_set = true;
 }
 
 void Coordinator::KillOwner(size_t owner) {
-  if (owner_alive_[owner]) {
-    owner_alive_[owner] = 0;
-    ++stats_.owner_deaths;
+  if (!owner_alive_[owner]) {
+    return;
+  }
+  owner_alive_[owner] = 0;
+  ++stats_.owner_deaths;
+  // A list is lost when its LAST replica dies; tally each group once.
+  for (size_t list : lists_of_[owner]) {
+    if (list < group_lost_counted_.size() && !group_lost_counted_[list] &&
+        !ListAlive(list)) {
+      group_lost_counted_[list] = 1;
+      ++stats_.groups_lost;
+    }
   }
 }
 
-Status Coordinator::Attempt(size_t owner, const Request& request, Reply* reply,
+// --- replica health ---
+
+double Coordinator::HealthJitter() {
+  return JitterDraw(options_.health_seed, ++health_counter_);
+}
+
+void Coordinator::RecordOutcome(size_t owner, bool success) {
+  ReplicaHealth& health = health_[owner];
+  if (success) {
+    health.consecutive_failures = 0;
+    health.breaker = ReplicaHealth::kClosed;
+    return;
+  }
+  ++health.consecutive_failures;
+  const bool opens =
+      health.breaker == ReplicaHealth::kHalfOpen ||
+      (health.breaker == ReplicaHealth::kClosed &&
+       health.consecutive_failures >= options_.breaker_failures);
+  if (opens) {
+    health.breaker = ReplicaHealth::kOpen;
+    ++stats_.breaker_opens;
+    // Jittered open window, same [1, 1.5) discipline as the backoff: two
+    // replicas opened together do not probe in lockstep.
+    health.open_until_ms =
+        stats_.virtual_ms +
+        options_.breaker_open_ms * (1.0 + 0.5 * HealthJitter());
+  }
+}
+
+bool Coordinator::ProbeDue(size_t owner) const {
+  return owner_alive_[owner] != 0 &&
+         health_[owner].breaker == ReplicaHealth::kOpen &&
+         stats_.virtual_ms >= health_[owner].open_until_ms;
+}
+
+void Coordinator::SendProbe(size_t owner) {
+  // Half-open: exactly one cheap probe decides whether the replica is
+  // readmitted (breaker closes) or benched for another window.
+  health_[owner].breaker = ReplicaHealth::kHalfOpen;
+  ++stats_.probes_sent;
+  probe_request_.type = MessageType::kProbe;
+  probe_request_.list_index = 0;
+  probe_request_.items.clear();
+  CallResult outcome;
+  const Status status = Send(owner, probe_request_, &probe_reply_, &outcome);
+  const double latency_ms =
+      status.ok() ? outcome.latency_ms : options_.rpc_deadline_ms;
+  stats_.virtual_ms += latency_ms;
+  if (status.ok()) {
+    RecordLatency(owner, latency_ms);
+  } else {
+    ++stats_.timeouts;
+  }
+  RecordOutcome(owner, status.ok());
+}
+
+bool Coordinator::HasClosedAlternative(size_t list, size_t owner) const {
+  if (list == kNoList) {
+    return false;
+  }
+  for (size_t sibling : replicas_of_[list]) {
+    if (sibling != owner && owner_alive_[sibling] != 0 &&
+        health_[sibling].breaker == ReplicaHealth::kClosed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Coordinator::HedgeTarget(size_t owner, size_t list) const {
+  // PR 8's self-hedge stays the fallback: same owner, second chance. With a
+  // live non-open sibling the hedge becomes a failover probe for free — the
+  // sibling serves the identical window, so whichever reply wins is correct.
+  if (list == kNoList) {
+    return owner;
+  }
+  size_t best = owner;
+  double best_ewma = 0.0;
+  bool found = false;
+  for (size_t sibling : replicas_of_[list]) {
+    if (sibling == owner || owner_alive_[sibling] == 0 ||
+        health_[sibling].breaker == ReplicaHealth::kOpen) {
+      continue;
+    }
+    const double ewma =
+        health_[sibling].ewma_set ? health_[sibling].ewma_ms : 0.0;
+    if (!found || ewma < best_ewma) {  // ties: lowest owner index (asc scan)
+      found = true;
+      best = sibling;
+      best_ewma = ewma;
+    }
+  }
+  return best;
+}
+
+size_t Coordinator::PickReplica(size_t list) {
+  const std::vector<size_t>& group = replicas_of_[list];
+  if (group.size() > 1) {
+    // Readmission only matters when there is routing to do; at R = 1 the
+    // sole replica is always "picked" and probes would just spend wire.
+    for (size_t owner : group) {
+      if (ProbeDue(owner)) {
+        SendProbe(owner);
+      }
+    }
+  }
+  const size_t sticky = primary_of_[list];
+  if (owner_alive_[sticky] != 0 &&
+      health_[sticky].breaker == ReplicaHealth::kClosed) {
+    return sticky;  // fault-free runs never leave replica 0 — parity holds
+  }
+  size_t best = sticky;
+  bool best_closed = false;
+  double best_ewma = 0.0;
+  bool found = false;
+  for (size_t owner : group) {
+    if (owner_alive_[owner] == 0) {
+      continue;
+    }
+    const bool closed = health_[owner].breaker == ReplicaHealth::kClosed;
+    const double ewma = health_[owner].ewma_set ? health_[owner].ewma_ms : 0.0;
+    const bool better =
+        !found || (closed && !best_closed) ||
+        (closed == best_closed && ewma < best_ewma);  // ties: lowest index
+    if (better) {
+      found = true;
+      best = owner;
+      best_closed = closed;
+      best_ewma = ewma;
+    }
+  }
+  if (found && best != sticky) {
+    // The routing decision IS the failover — whether the old primary died,
+    // tripped its breaker, or was hedged around, the moment the list's
+    // traffic moves to a sibling is counted here (and a probe-driven
+    // failback counts the same way).
+    primary_of_[list] = best;
+    ++stats_.replica_failovers;
+  }
+  return best;
+}
+
+Status Coordinator::Attempt(size_t owner, size_t hedge_owner,
+                            const Request& request, Reply* reply,
                             double* latency_ms) {
   CallResult primary;
   Status status = Send(owner, request, reply, &primary);
@@ -259,21 +488,31 @@ Status Coordinator::Attempt(size_t owner, const Request& request, Reply* reply,
       status.ok() ? primary.latency_ms : options_.rpc_deadline_ms;
   const double hedge_after = HedgeTimeoutMs(owner);
   if (!options_.hedging || primary_ms <= hedge_after) {
+    RecordOutcome(owner, status.ok());
     *latency_ms = primary_ms;
     return status;
   }
   // The primary outcome outlasts the hedge timeout, so the hedge fired at
   // hedge_after and raced it; the earlier reply wins and the loser's copy is
-  // deduped (its bytes were already counted by Send).
+  // deduped (its bytes were already counted by Send). With replicas the
+  // hedge goes to the healthiest live sibling — owners are stateless mirrors
+  // of the same immutable list, so either reply is equally correct.
   ++stats_.hedges;
   CallResult hedge;
-  Status hedge_status = Send(owner, request, &hedge_reply_, &hedge);
+  Status hedge_status = Send(hedge_owner, request, &hedge_reply_, &hedge);
+  if (hedge_owner != owner) {
+    RecordOutcome(hedge_owner, hedge_status.ok());
+  }
+  RecordOutcome(owner, status.ok());
   if (hedge_status.ok()) {
     const double hedge_ms = hedge_after + hedge.latency_ms;
     if (!status.ok() || hedge_ms < primary_ms) {
       ++stats_.hedge_wins;
       if (status.ok()) {
         ++stats_.duplicate_replies;  // the slower primary reply still lands
+      }
+      if (hedge_owner != owner) {
+        RecordLatency(hedge_owner, hedge.latency_ms);
       }
       std::swap(*reply, hedge_reply_);
       *latency_ms = hedge_ms;
@@ -285,11 +524,13 @@ Status Coordinator::Attempt(size_t owner, const Request& request, Reply* reply,
   return status;
 }
 
-Status Coordinator::Rpc(size_t owner, const Request& request, Reply* reply) {
+Status Coordinator::OwnerRpc(size_t owner, size_t list, const Request& request,
+                             Reply* reply, bool allow_breaker_failover) {
   if (!owner_alive_[owner]) {
     return Status::Unavailable("Coordinator: owner ", owner,
                                " was already declared dead");
   }
+  const size_t hedge_owner = HedgeTarget(owner, list);
   Status last;
   for (int attempt = 0; attempt < options_.rpc_max_attempts; ++attempt) {
     if (attempt > 0) {
@@ -303,19 +544,66 @@ Status Coordinator::Rpc(size_t owner, const Request& request, Reply* reply) {
                            (1.0 + 0.5 * jitter);
     }
     double latency_ms = 0.0;
-    last = Attempt(owner, request, reply, &latency_ms);
+    last = Attempt(owner, hedge_owner, request, reply, &latency_ms);
     stats_.virtual_ms += latency_ms;
     if (last.ok()) {
       RecordLatency(owner, latency_ms);
       return last;
     }
     ++stats_.timeouts;
+    if (allow_breaker_failover &&
+        health_[owner].breaker == ReplicaHealth::kOpen &&
+        HasClosedAlternative(list, owner)) {
+      // The breaker opened mid-RPC and a healthy sibling can take over:
+      // abandon the replica WITHOUT declaring it dead, so a half-open probe
+      // can readmit it later. Death is reserved for owners that exhaust the
+      // retry budget with nowhere else to go.
+      return Status::Unavailable("Coordinator: breaker open on owner ", owner,
+                                 " after ", attempt + 1,
+                                 " attempts; failing over to a sibling "
+                                 "replica of list ",
+                                 list);
+    }
   }
   KillOwner(owner);
   return Status::Unavailable("Coordinator: owner ", owner,
                              " declared permanently dead after ",
                              options_.rpc_max_attempts,
                              " attempts; last error: ", last.message());
+}
+
+Status Coordinator::ListRpc(size_t list, const Request& request, Reply* reply) {
+  // The failover ladder. Each rung: route to the healthiest replica
+  // (PickReplica) and run the robust per-owner RPC there. A rung that fails
+  // either opened a breaker (recoverable — the replica survives for a later
+  // probe) or killed the owner; both re-route to the next survivor, whose
+  // identical sorted cursor resumes at the exact window position. The
+  // breaker budget (one recoverable failover per replica) bounds the walk:
+  // past it every further failure is terminal, so the ladder ends in an
+  // answer or a fully dead group (Unavailable -> the degrade path).
+  int breaker_budget = static_cast<int>(replicas_of_[list].size());
+  Status last;
+  while (ListAlive(list)) {
+    const size_t owner = PickReplica(list);
+    last = OwnerRpc(owner, list, request, reply,
+                    /*allow_breaker_failover=*/breaker_budget > 0);
+    if (last.ok() || !last.IsUnavailable()) {
+      return last;
+    }
+    if (owner_alive_[owner]) {
+      --breaker_budget;
+    }
+    // The re-route itself (to a survivor, or out of the dead group) is
+    // what the next PickReplica / the caller's degrade path does; the
+    // failover counter ticks where the routing actually changes.
+  }
+  if (last.ok()) {
+    // The list was already dead on entry (every replica declared dead by an
+    // earlier RPC) — no rung ever ran.
+    return Status::Unavailable("Coordinator: list ", list,
+                               " lost its whole replica group");
+  }
+  return last;
 }
 
 // --- sorted-access windows ---
@@ -331,7 +619,7 @@ Status Coordinator::WindowEntry(size_t list_index, Position position,
     request_.max_entries = static_cast<uint32_t>(std::min<uint64_t>(
         options_.window_rows, n_ - (position - 1)));
     request_.items.clear();
-    TOPK_RETURN_NOT_OK(Rpc(owner_of_[list_index], request_, &reply_));
+    TOPK_RETURN_NOT_OK(ListRpc(list_index, request_, &reply_));
     window.assign(reply_.entries.begin(), reply_.entries.end());
     window_base_[list_index] = position;
   }
@@ -432,7 +720,7 @@ Result<TopKResult> Coordinator::ExecuteBpa(const TopKQuery& query) {
       request_.type = MessageType::kRandomLookup;
       request_.list_index = static_cast<uint32_t>(j);
       request_.items = batch_items_[j];
-      io_status = Rpc(owner_of_[j], request_, &reply_);
+      io_status = ListRpc(j, request_, &reply_);
       if (!io_status.ok()) {
         break;
       }
@@ -602,7 +890,7 @@ Result<TopKResult> Coordinator::ExecuteTput(const TopKQuery& query) {
       request_.max_entries = static_cast<uint32_t>(std::min<uint64_t>(
           options_.window_rows, depth - p + 1));
       request_.items.clear();
-      io_status = Rpc(owner_of_[i], request_, &reply_);
+      io_status = ListRpc(i, request_, &reply_);
       if (!io_status.ok()) {
         break;
       }
@@ -646,7 +934,7 @@ Result<TopKResult> Coordinator::ExecuteTput(const TopKQuery& query) {
             options_.window_rows, n - list_depths_[i]));
         request_.threshold = threshold;
         request_.items.clear();
-        io_status = Rpc(owner_of_[i], request_, &reply_);
+        io_status = ListRpc(i, request_, &reply_);
         if (!io_status.ok()) {
           break;
         }
@@ -714,7 +1002,7 @@ Result<TopKResult> Coordinator::ExecuteTput(const TopKQuery& query) {
       request_.type = MessageType::kRandomLookup;
       request_.list_index = static_cast<uint32_t>(j);
       request_.items = batch_items_[j];
-      io_status = Rpc(owner_of_[j], request_, &reply_);
+      io_status = ListRpc(j, request_, &reply_);
       if (!io_status.ok()) {
         break;
       }
@@ -811,13 +1099,13 @@ Status Coordinator::DegradeToNra(const TopKQuery& query, TopKResult* result) {
       request_.max_entries = static_cast<uint32_t>(
           std::min<uint64_t>(options_.window_rows, n - list_depths_[i]));
       request_.items.clear();
-      Status status = Rpc(owner_of_[i], request_, &reply_);
+      Status status = ListRpc(i, request_, &reply_);
       if (!status.ok()) {
         if (!status.IsUnavailable()) {
           return status;
         }
-        // Rpc declared the owner dead; its lists freeze at their cursors
-        // and the scan continues over the survivors.
+        // The whole replica group died; the list freezes at its cursor and
+        // the scan continues over the survivors.
         continue;
       }
       for (const ListEntry& entry : reply_.entries) {

@@ -16,11 +16,22 @@
 //    hedge timeout, the request is re-issued and the earlier reply wins
 //    (duplicates are deduped and their bytes counted, as an at-least-once
 //    transport forces);
-//  * an owner whose retry budget is exhausted is declared permanently dead;
-//    its lists map onto PR 6's dead-list semantics and the coordinator
-//    degrades to NRA over the surviving lists, returning a θ-certified
-//    anytime answer tagged Completion::kListFailure — a dying cluster still
-//    answers inside the SLA.
+//  * replica groups: with DistOptions::replication_factor = R every list is
+//    served by R owner replicas (mirrors of the same immutable list), and a
+//    per-replica health tracker (consecutive-failure circuit breaker with
+//    seeded half-open probes, EWMA latency) drives a failover ladder per
+//    RPC: retry-with-backoff on the primary → hedge to the healthiest
+//    sibling replica → abandon the replica (breaker open or retry budget
+//    exhausted) and re-route to a survivor, resuming the sorted cursor at
+//    the exact window position. Owners are stateless and windows are
+//    deterministic functions of the immutable list, so a mid-query replica
+//    switch is invisible to the algorithm: items, scores, stop positions
+//    and access counts stay byte-identical to the unreplicated run;
+//  * only when a WHOLE replica group is dead does a list die: it maps onto
+//    PR 6's dead-list semantics and the coordinator degrades to NRA over
+//    the surviving lists, returning a θ-certified anytime answer tagged
+//    Completion::kListFailure — a dying cluster still answers inside the
+//    SLA.
 //
 // Determinism: fault-free distributed BPA/TPUT return byte-identical
 // items/scores to the single-node engine (same tie order, same survivor
@@ -74,6 +85,30 @@ struct DistOptions {
   double hedge_floor_ms = 1.0;
   double hedge_multiplier = 3.0;
 
+  /// Replica groups: every list must be claimed by exactly this many owners
+  /// (Connect() groups the claims). 1 — the default — is the unreplicated
+  /// PR 8 topology; the health tracker and failover ladder are then inert
+  /// (one replica is always "the healthiest") and behavior is unchanged.
+  uint32_t replication_factor = 1;
+
+  /// Per-replica circuit breaker: this many CONSECUTIVE failed attempts
+  /// open the breaker; a replica with an open breaker is routed around
+  /// while a sibling is available instead of burning retry budget on it.
+  int breaker_failures = 3;
+
+  /// How long (virtual ms) an open breaker stays open before a half-open
+  /// probe is allowed, scaled by a deterministic jitter in [1, 1.5) drawn
+  /// from health_seed. A successful probe closes the breaker; a failed one
+  /// re-opens it for another window.
+  double breaker_open_ms = 10.0;
+
+  /// EWMA smoothing for per-replica observed latency (the healthiest-replica
+  /// routing signal): ewma ← alpha * sample + (1 - alpha) * ewma. In (0, 1].
+  double ewma_alpha = 0.3;
+
+  /// Seed of the health tracker's jittered breaker windows.
+  uint64_t health_seed = 1;
+
   /// Per-query execution limits, enforced at the coordinator's round
   /// boundaries exactly like the single-node loops enforce them. RPC
   /// latencies, backoff waits and timeout waits all charge the deadline as
@@ -99,6 +134,10 @@ struct DistStats {
   uint64_t duplicate_replies = 0;  ///< extra reply copies deduped
   uint64_t timeouts = 0;           ///< attempts that cost the full RPC deadline
   uint32_t owner_deaths = 0;       ///< owners declared permanently dead
+  uint64_t replica_failovers = 0;  ///< RPCs re-routed to a sibling replica
+  uint64_t breaker_opens = 0;      ///< circuit-breaker open transitions
+  uint64_t probes_sent = 0;        ///< half-open health probes issued
+  uint32_t groups_lost = 0;        ///< lists whose whole replica group died
   double virtual_ms = 0.0;  ///< total virtual time charged to the deadline
 };
 
@@ -108,13 +147,16 @@ class Coordinator {
   Coordinator(Transport* transport, const DistOptions& options);
 
   /// The catalog handshake: one kHello per owner. Fails unless every list
-  /// index 0..m-1 is served by exactly one owner and all lists agree on n.
-  /// Must succeed before the Execute calls. The handshake's messages are
-  /// connection setup: each Execute call resets DistStats, so they appear in
-  /// stats() only until the first query runs.
+  /// index 0..m-1 is claimed by exactly replication_factor owners (its
+  /// replica group, ordered by owner index), the replicas of each group
+  /// advertise identical catalogs (same max/min scores — mirrors of the same
+  /// immutable list), and all lists agree on n. Must succeed before the
+  /// Execute calls. The handshake's messages are connection setup: each
+  /// Execute call resets DistStats, so they appear in stats() only until the
+  /// first query runs.
   Status Connect();
 
-  size_t num_lists() const { return owner_of_.size(); }
+  size_t num_lists() const { return replicas_of_.size(); }
   size_t num_items() const { return n_; }
 
   /// The score floor the answers are certified against (DeriveScoreFloor of
@@ -137,9 +179,13 @@ class Coordinator {
   /// Wire/robustness counters of the last Execute call.
   const DistStats& stats() const { return stats_; }
 
-  /// True while `list_index`'s owner has not been declared dead.
+  /// True while at least one replica of `list_index`'s group has not been
+  /// declared dead — a list only dies with its whole replica group.
   bool ListAlive(size_t list_index) const {
-    return owner_alive_[owner_of_[list_index]] != 0;
+    for (size_t owner : replicas_of_[list_index]) {
+      if (owner_alive_[owner] != 0) return true;
+    }
+    return false;
   }
 
  private:
@@ -148,6 +194,22 @@ class Coordinator {
     uint32_t first_list;
     Score first_score;
   };
+
+  /// Per-replica health, reset per query: a consecutive-failure circuit
+  /// breaker (closed → open after breaker_failures straight failures; open →
+  /// half-open when a seeded jittered window elapses and a probe fires;
+  /// half-open → closed on probe success, back to open on failure) plus an
+  /// EWMA of observed attempt latency for healthiest-replica routing.
+  struct ReplicaHealth {
+    enum Breaker : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+    Breaker breaker = kClosed;
+    int consecutive_failures = 0;
+    double open_until_ms = 0.0;  ///< virtual time the open window ends
+    double ewma_ms = 0.0;
+    bool ewma_set = false;
+  };
+
+  static constexpr size_t kNoList = static_cast<size_t>(-1);
 
   Status ValidateQuery(const char* algorithm, const TopKQuery& query) const;
   void BeginQuery();
@@ -161,18 +223,53 @@ class Coordinator {
 
   /// One attempt = primary send, hedged when its outcome (reply latency, or
   /// the full RPC deadline for a loss) outlasts the owner's hedge timeout.
-  /// On success `*latency_ms` is the attempt's effective latency.
-  Status Attempt(size_t owner, const Request& request, Reply* reply,
-                 double* latency_ms);
+  /// The hedge goes to `hedge_owner` — the primary itself when unreplicated,
+  /// the healthiest live sibling replica otherwise. On success `*latency_ms`
+  /// is the attempt's effective latency.
+  Status Attempt(size_t owner, size_t hedge_owner, const Request& request,
+                 Reply* reply, double* latency_ms);
 
-  /// The full robust RPC: bounded attempts with jittered exponential
-  /// backoff; exhausting the budget kills the owner (its lists die) and
-  /// fails Unavailable. All waits charge stats_.virtual_ms.
-  Status Rpc(size_t owner, const Request& request, Reply* reply);
+  /// The robust per-owner RPC: bounded attempts with jittered exponential
+  /// backoff. When `allow_breaker_failover` and the owner's breaker opens
+  /// mid-RPC while a breaker-closed sibling of `list` exists, it returns
+  /// Unavailable WITHOUT killing the owner (a recoverable failover — the
+  /// breaker's whole point); otherwise exhausting the budget kills the owner
+  /// and fails Unavailable. All waits charge stats_.virtual_ms.
+  Status OwnerRpc(size_t owner, size_t list, const Request& request,
+                  Reply* reply, bool allow_breaker_failover);
+
+  /// The list-level RPC the phase loops call: PickReplica → OwnerRpc,
+  /// laddering across the replica group (each breaker failover or owner
+  /// death re-routes to the next-healthiest survivor) until one replica
+  /// answers or the whole group is dead (Unavailable → the degrade path).
+  Status ListRpc(size_t list, const Request& request, Reply* reply);
 
   double HedgeTimeoutMs(size_t owner) const;
   void RecordLatency(size_t owner, double latency_ms);
   void KillOwner(size_t owner);
+
+  // --- replica health (inert at replication_factor = 1) ---
+
+  /// Routing decision for `list`: fires any due half-open probes for the
+  /// group, then keeps the sticky primary while it is alive with a closed
+  /// breaker; otherwise re-picks deterministically — prefer closed breakers,
+  /// then lowest EWMA latency (unseen replicas sort first), then lowest
+  /// owner index — and updates the sticky primary.
+  size_t PickReplica(size_t list);
+
+  /// The hedge target for an RPC to `owner` serving `list`: the healthiest
+  /// live non-open sibling replica, or `owner` itself when there is none
+  /// (self-hedging — PR 8's behavior).
+  size_t HedgeTarget(size_t owner, size_t list) const;
+
+  /// True when `list` has a live breaker-closed replica other than `owner` —
+  /// the condition under which abandoning `owner` is a failover, not a death.
+  bool HasClosedAlternative(size_t list, size_t owner) const;
+
+  bool ProbeDue(size_t owner) const;
+  void SendProbe(size_t owner);
+  void RecordOutcome(size_t owner, bool success);
+  double HealthJitter();
 
   // --- sorted-access windows (one cursor per list, coordinator-side) ---
 
@@ -194,7 +291,8 @@ class Coordinator {
   DistOptions options_;
 
   // Catalog (filled by Connect).
-  std::vector<size_t> owner_of_;     // list index -> owner
+  std::vector<std::vector<size_t>> replicas_of_;  // list -> owners, asc order
+  std::vector<std::vector<size_t>> lists_of_;     // owner -> lists it serves
   std::vector<Score> max_score_;     // list index -> advertised max
   std::vector<Score> min_score_;     // list index -> advertised min
   std::vector<uint8_t> owner_alive_;  // owner -> not yet declared dead
@@ -209,6 +307,12 @@ class Coordinator {
   TopKBuffer buffer_;
   CandidatePool pool_;
   uint64_t backoff_counter_ = 0;
+
+  // Replica health (reset by BeginQuery).
+  std::vector<ReplicaHealth> health_;        // per owner
+  std::vector<size_t> primary_of_;           // list -> sticky routed replica
+  std::vector<uint8_t> group_lost_counted_;  // list -> groups_lost tallied
+  uint64_t health_counter_ = 0;              // jitter draw counter
 
   // Per-owner latency rings feeding the p99 hedge timeout.
   static constexpr size_t kLatencyRing = 64;
@@ -241,6 +345,8 @@ class Coordinator {
   Request request_;
   Reply reply_;
   Reply hedge_reply_;
+  Request probe_request_;
+  Reply probe_reply_;
   mutable std::vector<double> latency_scratch_;
 };
 

@@ -2,6 +2,7 @@
 
 #include "dist/fault_injecting_transport.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace topk {
@@ -73,19 +74,34 @@ Status TransportFaultPlan::Validate(const char* algorithm,
         "death_min_messages <= death_max_messages; got [",
         death_min_messages, ", ", death_max_messages, "]");
   }
-  if (kill_owner != kNoOwner) {
-    if (kill_owner >= num_owners) {
+  if (kill_owner != kNoOwner && kill_owner >= num_owners) {
+    return Status::Invalid(algorithm,
+                           ": transport fault plan kill_owner = ", kill_owner,
+                           " exceeds the last owner index ", num_owners - 1);
+  }
+  for (size_t owner : kill_owners) {
+    if (owner >= num_owners) {
       return Status::Invalid(algorithm,
-                             ": transport fault plan kill_owner = ", kill_owner,
-                             " exceeds the last owner index ", num_owners - 1);
+                             ": transport fault plan kill_owners entry ",
+                             owner, " exceeds the last owner index ",
+                             num_owners - 1);
     }
-    if (kill_after_messages < 1) {
-      return Status::Invalid(
-          algorithm,
-          ": transport fault plan kill_after_messages must be >= 1 (every "
-          "owner serves its first message); got kill_after_messages = ",
-          kill_after_messages);
-    }
+  }
+  if ((kill_owner != kNoOwner || !kill_owners.empty()) &&
+      kill_after_messages < 1) {
+    return Status::Invalid(
+        algorithm,
+        ": transport fault plan kill_after_messages must be >= 1 (every "
+        "owner serves its first message); got kill_after_messages = ",
+        kill_after_messages);
+  }
+  if (flap_revive_calls > 0 && owner_death_rate == 0.0 &&
+      kill_owner == kNoOwner && kill_owners.empty()) {
+    return Status::Invalid(
+        algorithm,
+        ": transport fault plan flap_revive_calls = ", flap_revive_calls,
+        " needs a death source (owner_death_rate > 0 or a targeted kill) — "
+        "a flap plan without deaths never flaps");
   }
   return Status::OK();
 }
@@ -96,12 +112,27 @@ FaultInjectingTransport::FaultInjectingTransport(
   Arm();
 }
 
+uint64_t FaultInjectingTransport::TargetedKillAt(size_t owner) const {
+  uint64_t at = ~0ull;
+  if (plan_.kill_owner == owner) {
+    at = plan_.kill_after_messages;
+  }
+  for (size_t target : plan_.kill_owners) {
+    if (target == owner && plan_.kill_after_messages < at) {
+      at = plan_.kill_after_messages;
+    }
+  }
+  return at;
+}
+
 void FaultInjectingTransport::Arm() {
   stats_ = TransportFaultStats{};
   const size_t owners = inner_->num_owners();
   served_.assign(owners, 0);
   death_at_.assign(owners, ~0ull);
   alive_.assign(owners, 1);
+  down_left_.assign(owners, 0);
+  revivals_.assign(owners, 0);
   for (size_t i = 0; i < owners; ++i) {
     if (plan_.owner_death_rate > 0.0 &&
         Draw(plan_.seed, i, 0, kOwnerDeathSalt) < plan_.owner_death_rate) {
@@ -113,8 +144,9 @@ void FaultInjectingTransport::Arm() {
       death_at_[i] = plan_.death_min_messages +
                      static_cast<uint64_t>(u * static_cast<double>(span));
     }
-    if (plan_.kill_owner == i && plan_.kill_after_messages < death_at_[i]) {
-      death_at_[i] = plan_.kill_after_messages;
+    const uint64_t targeted = TargetedKillAt(i);
+    if (targeted < death_at_[i]) {
+      death_at_[i] = targeted;
     }
   }
 }
@@ -124,6 +156,27 @@ Status FaultInjectingTransport::Call(size_t owner, const Request& request,
   *result = CallResult{};
   assert(owner < alive_.size());
   if (!alive_[owner]) {
+    if (plan_.flap_revive_calls > 0 && down_left_[owner] > 0 &&
+        --down_left_[owner] == 0) {
+      // Flapping: the owner has rejected its full down window and recovers;
+      // this call still fails (the recovery is observed by the NEXT call),
+      // and the next death point is redrawn past the revival. The redraw
+      // hashes the per-owner revival count, so it is independent of how
+      // calls to other owners interleave.
+      alive_[owner] = 1;
+      ++stats_.owner_revivals;
+      const uint64_t revival = ++revivals_[owner];
+      const double u = Draw(plan_.seed, owner, 2 * revival, kOwnerDeathSalt);
+      const uint64_t span =
+          plan_.death_max_messages - plan_.death_min_messages + 1;
+      uint64_t next = plan_.death_min_messages +
+                      static_cast<uint64_t>(u * static_cast<double>(span));
+      const uint64_t targeted = TargetedKillAt(owner);
+      if (targeted != ~0ull) {
+        next = std::min(next, plan_.kill_after_messages);
+      }
+      death_at_[owner] = served_[owner] + next;
+    }
     // Dead owner: the message vanishes; the caller times out on its own RPC
     // deadline (latency 0 here — the wait is the caller's, not the wire's).
     return Status::Unavailable("FaultInjectingTransport: owner ", owner,
@@ -131,10 +184,14 @@ Status FaultInjectingTransport::Call(size_t owner, const Request& request,
   }
   const uint64_t t = ++served_[owner];
   // The message that reaches the death point is still served; the owner is
-  // dead from the next Call() on.
+  // dead from the next Call() on. (death_at_ counts THIS owner's served
+  // messages only — see the header's death-window note.)
   if (t >= death_at_[owner]) {
     alive_[owner] = 0;
     ++stats_.dead_owners;
+    if (plan_.flap_revive_calls > 0) {
+      down_left_[owner] = plan_.flap_revive_calls;
+    }
   }
   if (plan_.drop_rate > 0.0 &&
       Draw(plan_.seed, owner, t, kDropSalt) < plan_.drop_rate) {

@@ -12,6 +12,17 @@
 // later Call() fails Unavailable with zero reported latency — a dead owner
 // looks exactly like a black hole, so the caller charges its own RPC deadline
 // for the wait, and only its retry budget can conclude death.
+//
+// Death-window counter semantics: a death point is a count on ITS OWNER'S
+// OWN message axis, not the transport-wide one. Every owner keeps a private
+// served-message counter, the death point drawn from
+// [death_min_messages, death_max_messages] (or pinned by a targeted kill) is
+// compared against that private counter only, and calls to other owners
+// never advance it. Two owners given the same window therefore die after
+// serving their own Nth message each, regardless of how calls interleave
+// across owners — replica-targeted plans can kill exactly one replica of a
+// group without the sibling's traffic dragging the window forward.
+// (Pinned by DistFaultTransportTest.DeathWindowsCountPerOwnerMessages.)
 
 #ifndef TOPK_DIST_FAULT_INJECTING_TRANSPORT_H_
 #define TOPK_DIST_FAULT_INJECTING_TRANSPORT_H_
@@ -59,10 +70,27 @@ struct TransportFaultPlan {
   size_t kill_owner = kNoOwner;
   uint64_t kill_after_messages = 1;
 
+  /// Additional deterministic targeted kills, each after its own
+  /// `kill_after_messages` served messages (per-owner counters — see the
+  /// death-window note above). Listing every replica owner of one list is
+  /// the correlated whole-group-death scenario the coordinator's degrade
+  /// path certifies against.
+  std::vector<size_t> kill_owners;
+
+  /// Flapping: when > 0, deaths are temporary — a down owner rejects
+  /// exactly `flap_revive_calls` calls, then recovers and serves again; its
+  /// next death point is redrawn from the death window past the revival
+  /// (per-owner revival counters keep the redraws deterministic under any
+  /// call interleaving). Requires a death source (owner_death_rate > 0 or a
+  /// targeted kill) — a flap plan without deaths never flaps and is
+  /// rejected by Validate().
+  uint64_t flap_revive_calls = 0;
+
   /// True when the plan injects anything at all.
   bool enabled() const {
     return drop_rate > 0.0 || delay_rate > 0.0 || duplicate_rate > 0.0 ||
-           owner_death_rate > 0.0 || kill_owner != kNoOwner;
+           owner_death_rate > 0.0 || kill_owner != kNoOwner ||
+           !kill_owners.empty();
   }
 
   /// Validates the plan for `algorithm` against a transport with
@@ -75,7 +103,8 @@ struct TransportFaultStats {
   uint64_t dropped_messages = 0;
   uint64_t delayed_messages = 0;
   uint64_t duplicated_replies = 0;
-  uint32_t dead_owners = 0;
+  uint32_t dead_owners = 0;     ///< death events (a flapper counts each one)
+  uint32_t owner_revivals = 0;  ///< flapping recoveries
 };
 
 class FaultInjectingTransport : public Transport {
@@ -99,12 +128,18 @@ class FaultInjectingTransport : public Transport {
               CallResult* result) override;
 
  private:
+  /// The owner's targeted kill point (the tightest of kill_owner /
+  /// kill_owners naming it), or ~0 when untargeted.
+  uint64_t TargetedKillAt(size_t owner) const;
+
   Transport* inner_;
   TransportFaultPlan plan_;
   TransportFaultStats stats_;
-  std::vector<uint64_t> served_;    // messages served per owner
+  std::vector<uint64_t> served_;    // messages served, per owner (see header)
   std::vector<uint64_t> death_at_;  // owner dies after serving this many
   std::vector<uint8_t> alive_;
+  std::vector<uint64_t> down_left_;  // flapping: rejected calls until revival
+  std::vector<uint64_t> revivals_;   // flapping: per-owner revival count
 };
 
 }  // namespace topk

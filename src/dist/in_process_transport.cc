@@ -4,10 +4,13 @@
 
 namespace topk {
 
-InProcessTransport InProcessTransport::PerListOwners(const Database& db) {
+InProcessTransport InProcessTransport::PerListOwners(const Database& db,
+                                                     size_t replicas) {
   InProcessTransport transport;
-  for (size_t i = 0; i < db.num_lists(); ++i) {
-    transport.AddOwner(ListOwner(&db, {i}));
+  for (size_t r = 0; r < replicas; ++r) {
+    for (size_t i = 0; i < db.num_lists(); ++i) {
+      transport.AddOwner(ListOwner(&db, {i}));
+    }
   }
   return transport;
 }

@@ -32,9 +32,21 @@ class InProcessTransport : public Transport {
   /// Adds an owner shard. Owners are addressed by insertion order.
   void AddOwner(ListOwner owner) { owners_.push_back(std::move(owner)); }
 
-  /// Convenience: one owner per list of `db` (owner i serves list i) — the
-  /// paper's "each list at its own node" topology.
-  static InProcessTransport PerListOwners(const Database& db);
+  /// Convenience: `replicas` owners per list of `db` — the paper's "each
+  /// list at its own node" topology, replicated. Owners are laid out
+  /// replica-major (owner r*m + i serves list i as replica r, see
+  /// OwnerIndex), so `replicas = 1` (the default) is exactly the PR 8
+  /// topology: owner i serves list i.
+  static InProcessTransport PerListOwners(const Database& db,
+                                          size_t replicas = 1);
+
+  /// The owner index serving `list` as replica `replica` under the
+  /// replica-major PerListOwners layout. Tools that target a specific
+  /// replica (topk_cli --kill-replica, the bench grids) map through this so
+  /// their targeting can never drift from the layout.
+  static size_t OwnerIndex(size_t num_lists, size_t list, size_t replica) {
+    return replica * num_lists + list;
+  }
 
   size_t num_owners() const override { return owners_.size(); }
 

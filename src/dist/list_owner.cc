@@ -21,6 +21,10 @@ Status ListOwner::Serve(const Request& request, Reply* reply) const {
       return ServeDrain(request, reply);
     case MessageType::kRandomLookup:
       return ServeLookup(request, reply);
+    case MessageType::kProbe:
+      // Liveness check: an empty OK reply is the whole answer. The health
+      // tracker only needs to know whether the owner responds.
+      return Status::OK();
   }
   return Status::Invalid("ListOwner: unknown message type ",
                          static_cast<int>(request.type));

@@ -1,15 +1,19 @@
 // Copyright (c) the topk-bpa authors. Licensed under the Apache License 2.0.
 //
 // ListOwner: one shard of the paper's distributed setting. It owns one or
-// more of the database's m sorted lists and answers the coordinator's four
+// more of the database's m sorted lists and answers the coordinator's five
 // request kinds (catalog handshake, batched sorted-access windows, TPUT
-// drains, batched random-access lookups) against its lists only.
+// drains, batched random-access lookups, health probes) against its lists
+// only.
 //
 // The owner is stateless between requests — every cursor lives at the
-// coordinator — so an owner can be retried, hedged, or restarted without any
-// session state to reconcile. It shares the process's Database here (the
-// in-process transport setting); a real deployment would give each owner its
-// own list storage, and nothing in the interface assumes otherwise.
+// coordinator — so an owner can be retried, hedged, restarted, or REPLACED BY
+// A REPLICA without any session state to reconcile: two owners constructed
+// over the same immutable lists answer every request byte-identically, which
+// is what makes the coordinator's mid-query replica failover invisible to
+// the algorithms. It shares the process's Database here (the in-process
+// transport setting); a real deployment would give each owner its own list
+// storage, and nothing in the interface assumes otherwise.
 
 #ifndef TOPK_DIST_LIST_OWNER_H_
 #define TOPK_DIST_LIST_OWNER_H_

@@ -34,12 +34,13 @@ inline constexpr size_t kWireEntryBytes = sizeof(ItemId) + sizeof(Score);
 /// Wire cost of one random-access answer: 8-byte score + 4-byte position.
 inline constexpr size_t kWireLookupBytes = sizeof(Score) + sizeof(Position);
 
-/// The four RPCs of the coordinator/owner protocol.
+/// The five RPCs of the coordinator/owner protocol.
 enum class MessageType : uint8_t {
   kHello = 0,         ///< catalog handshake: which lists, n, score range
   kSortedWindow = 1,  ///< batched sorted access: `count` rows from `start`
   kDrain = 2,         ///< TPUT phase 2: rows from `start` down to `threshold`
   kRandomLookup = 3,  ///< batched random access for a list's scores/positions
+  kProbe = 4,         ///< health probe: empty OK reply proves liveness
 };
 
 /// One list advertised by an owner's Hello reply: enough catalog metadata for

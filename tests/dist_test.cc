@@ -196,6 +196,16 @@ TEST(FaultTransportTest, ValidateRejectsBadPlans) {
   plan = TransportFaultPlan{};
   plan.death_min_messages = 0;
   EXPECT_TRUE(plan.Validate("DistBPA", 3).IsInvalid());
+  plan = TransportFaultPlan{};
+  plan.kill_owners = {0, 5};  // second entry out of range
+  EXPECT_TRUE(plan.Validate("DistBPA", 3).IsInvalid());
+  plan = TransportFaultPlan{};
+  plan.flap_revive_calls = 2;  // flapping with no death source never flaps
+  EXPECT_TRUE(plan.Validate("DistBPA", 3).IsInvalid());
+  plan = TransportFaultPlan{};
+  plan.flap_revive_calls = 2;
+  plan.kill_owner = 1;
+  EXPECT_TRUE(plan.Validate("DistBPA", 3).ok());
 }
 
 // ---- Coordinator: fault-free parity ----
@@ -597,6 +607,394 @@ TEST(DistFaultTest, AllOwnersDeadStillReturnsCertified) {
   EXPECT_GE(result.dead_lists, 1u);
 }
 
+// ---- Replica groups: parity, failover ladder, health tracking ----
+
+// Shared check: `dist` is byte-identical to the single-node reference —
+// same items, same scores (same tie order), same stop depth, same logical
+// access counts — and certified exact.
+void ExpectExactParity(const TopKResult& dist, const TopKResult& reference) {
+  ASSERT_EQ(dist.items.size(), reference.items.size());
+  for (size_t i = 0; i < reference.items.size(); ++i) {
+    EXPECT_EQ(dist.items[i].item, reference.items[i].item) << "rank " << i;
+    EXPECT_DOUBLE_EQ(dist.items[i].score, reference.items[i].score);
+  }
+  EXPECT_EQ(dist.stop_position, reference.stop_position);
+  EXPECT_EQ(dist.stats.sorted_accesses, reference.stats.sorted_accesses);
+  EXPECT_EQ(dist.stats.random_accesses, reference.stats.random_accesses);
+  EXPECT_EQ(dist.completion, Completion::kExact);
+  EXPECT_DOUBLE_EQ(dist.theta, 1.0);
+}
+
+TEST(DistReplicaTest, FaultFreeR2MatchesSingleNodeExactly) {
+  const Database db = MakeUniformDatabase(500, 4, 3);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+  AlgorithmOptions memoized;
+  memoized.memoize_seen_items = true;
+  const TopKResult bpa_reference =
+      MakeAlgorithm(AlgorithmKind::kBpa, memoized)->Execute(db, query)
+          .ValueOrDie();
+  const TopKResult tput_reference =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+
+  InProcessTransport transport = InProcessTransport::PerListOwners(db, 2);
+  DistOptions options;
+  options.replication_factor = 2;
+  Coordinator coordinator(&transport, options);
+  ASSERT_TRUE(coordinator.Connect().ok());
+
+  ExpectExactParity(coordinator.ExecuteBpa(query).ValueOrDie(),
+                    bpa_reference);
+  ExpectExactParity(coordinator.ExecuteTput(query).ValueOrDie(),
+                    tput_reference);
+  // A fault-free run never leaves replica 0: no failovers, no breaker
+  // activity, no probes. The health machinery is pure bookkeeping.
+  const DistStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.replica_failovers, 0u);
+  EXPECT_EQ(stats.breaker_opens, 0u);
+  EXPECT_EQ(stats.probes_sent, 0u);
+  EXPECT_EQ(stats.groups_lost, 0u);
+}
+
+TEST(DistReplicaTest, FaultFreeR2KeepsTheUnreplicatedWireTimeline) {
+  // Sticky primaries pin every fault-free RPC to replica 0, whose owners sit
+  // at the same indices as the unreplicated topology — so R = 2 costs the
+  // same messages, bytes and virtual time as R = 1 until something fails.
+  const Database db = MakeUniformDatabase(400, 4, 9);
+  SumScorer sum;
+  const TopKQuery query{8, &sum};
+
+  InProcessTransport flat = InProcessTransport::PerListOwners(db);
+  Coordinator r1(&flat, DistOptions{});
+  ASSERT_TRUE(r1.Connect().ok());
+  const TopKResult first = r1.ExecuteBpa(query).ValueOrDie();
+
+  InProcessTransport wide = InProcessTransport::PerListOwners(db, 2);
+  DistOptions options;
+  options.replication_factor = 2;
+  Coordinator r2(&wide, options);
+  ASSERT_TRUE(r2.Connect().ok());
+  const TopKResult second = r2.ExecuteBpa(query).ValueOrDie();
+
+  ExpectExactParity(second, first);
+  EXPECT_EQ(r2.stats().messages_sent, r1.stats().messages_sent);
+  EXPECT_EQ(r2.stats().bytes_sent, r1.stats().bytes_sent);
+  EXPECT_DOUBLE_EQ(r2.stats().virtual_ms, r1.stats().virtual_ms);
+}
+
+TEST(DistReplicaTest, MidQueryReplicaKillStaysExact) {
+  // The headline robustness bar: kill the primary replica of one list
+  // mid-query; the failover ladder (hedge to the sibling, breaker re-pick,
+  // cursor handoff at the exact sorted position) keeps the answer
+  // byte-identical to the single-node run — not merely certified.
+  const Database db = MakeUniformDatabase(500, 4, 23);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+  AlgorithmOptions memoized;
+  memoized.memoize_seen_items = true;
+  const TopKResult bpa_reference =
+      MakeAlgorithm(AlgorithmKind::kBpa, memoized)->Execute(db, query)
+          .ValueOrDie();
+  const TopKResult tput_reference =
+      MakeAlgorithm(AlgorithmKind::kTput)->Execute(db, query).ValueOrDie();
+
+  for (const bool tput : {false, true}) {
+    InProcessTransport inner = InProcessTransport::PerListOwners(db, 2);
+    TransportFaultPlan plan;
+    // The handshake consumes the primary's whole budget: every query RPC to
+    // list 2 finds it dead, so the breaker trips and the sibling takes over.
+    plan.kill_owner = InProcessTransport::OwnerIndex(4, 2, 0);
+    plan.kill_after_messages = 1;
+    FaultInjectingTransport transport(&inner, plan);
+    DistOptions options;
+    options.replication_factor = 2;
+    options.governor.deadline_ms = 500.0;
+    Coordinator coordinator(&transport, options);
+    ASSERT_TRUE(coordinator.Connect().ok());
+    const TopKResult result =
+        (tput ? coordinator.ExecuteTput(query) : coordinator.ExecuteBpa(query))
+            .ValueOrDie();
+
+    ExpectExactParity(result, tput ? tput_reference : bpa_reference);
+    const DistStats& stats = coordinator.stats();
+    // The sibling took over as primary at least once, via the breaker.
+    EXPECT_GE(stats.replica_failovers, 1u);
+    EXPECT_GE(stats.breaker_opens, 1u);
+    EXPECT_EQ(stats.groups_lost, 0u);
+    // Hedge wins can absorb every primary failure before the retry budget
+    // concludes death, so owner_deaths may legitimately stay 0 here — the
+    // ladder's whole point is that the answer never notices either way.
+  }
+}
+
+TEST(DistReplicaTest, CursorHandoffExactAtEveryKillPoint) {
+  // Sweep the death point across the query so the handoff lands in every
+  // phase — handshake, early windows, drains, random lookups. The survivor
+  // resumes the sorted cursor at the exact position every time.
+  const Database db = MakeUniformDatabase(400, 4, 9);
+  SumScorer sum;
+  const TopKQuery query{8, &sum};
+  AlgorithmOptions memoized;
+  memoized.memoize_seen_items = true;
+  const TopKResult reference =
+      MakeAlgorithm(AlgorithmKind::kBpa, memoized)->Execute(db, query)
+          .ValueOrDie();
+
+  for (const uint64_t kill_after : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SCOPED_TRACE(kill_after);
+    InProcessTransport inner = InProcessTransport::PerListOwners(db, 2);
+    TransportFaultPlan plan;
+    plan.kill_owner = InProcessTransport::OwnerIndex(4, 1, 0);
+    plan.kill_after_messages = kill_after;
+    FaultInjectingTransport transport(&inner, plan);
+    DistOptions options;
+    options.replication_factor = 2;
+    options.governor.deadline_ms = 500.0;
+    Coordinator coordinator(&transport, options);
+    ASSERT_TRUE(coordinator.Connect().ok());
+    const TopKResult result = coordinator.ExecuteBpa(query).ValueOrDie();
+    ExpectExactParity(result, reference);
+    EXPECT_EQ(coordinator.stats().groups_lost, 0u);
+  }
+}
+
+TEST(DistReplicaTest, BreakerScheduleIsDeterministic) {
+  // Breaker opens, half-open probes, failovers and flapping recoveries are
+  // all driven by seeded draws and virtual time — two runs of the same plan
+  // agree counter-for-counter.
+  const Database db = MakeUniformDatabase(600, 4, 29);
+  SumScorer sum;
+  const TopKQuery query{8, &sum};
+  TransportFaultPlan plan;
+  plan.seed = 17;
+  plan.drop_rate = 0.05;
+  plan.delay_rate = 0.2;
+  plan.delay_ms = 2.0;
+  plan.owner_death_rate = 0.5;
+  plan.death_min_messages = 2;
+  plan.death_max_messages = 20;
+  plan.flap_revive_calls = 3;
+
+  const auto run = [&](TopKResult* result, DistStats* stats) {
+    InProcessTransport inner = InProcessTransport::PerListOwners(db, 2);
+    FaultInjectingTransport transport(&inner, plan);
+    DistOptions options;
+    options.replication_factor = 2;
+    options.governor.deadline_ms = 400.0;
+    Coordinator coordinator(&transport, options);
+    ASSERT_TRUE(coordinator.Connect().ok());
+    *result = coordinator.ExecuteBpa(query).ValueOrDie();
+    *stats = coordinator.stats();
+  };
+  TopKResult first_result, second_result;
+  DistStats first, second;
+  run(&first_result, &first);
+  run(&second_result, &second);
+
+  ASSERT_EQ(first_result.items.size(), second_result.items.size());
+  for (size_t i = 0; i < first_result.items.size(); ++i) {
+    EXPECT_EQ(first_result.items[i].item, second_result.items[i].item);
+    EXPECT_DOUBLE_EQ(first_result.items[i].score,
+                     second_result.items[i].score);
+  }
+  EXPECT_EQ(first.messages_sent, second.messages_sent);
+  EXPECT_EQ(first.retries, second.retries);
+  EXPECT_EQ(first.hedges, second.hedges);
+  EXPECT_EQ(first.replica_failovers, second.replica_failovers);
+  EXPECT_EQ(first.breaker_opens, second.breaker_opens);
+  EXPECT_EQ(first.probes_sent, second.probes_sent);
+  EXPECT_EQ(first.groups_lost, second.groups_lost);
+  EXPECT_DOUBLE_EQ(first.virtual_ms, second.virtual_ms);
+  // The plan actually exercised the health machinery (half of eight owners
+  // flap at this seed).
+  EXPECT_GT(first.breaker_opens, 0u);
+}
+
+TEST(DistReplicaTest, WholeGroupDeathDegradesToCertifiedAnswer) {
+  // Correlated failure: both replicas of one list die. No ladder rung can
+  // save an extinct group, so the query degrades exactly like PR 8's
+  // single-owner death — θ-certified NRA over the survivors.
+  const Database db = MakeUniformDatabase(500, 4, 23);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+
+  for (const bool tput : {false, true}) {
+    InProcessTransport inner = InProcessTransport::PerListOwners(db, 2);
+    TransportFaultPlan plan;
+    plan.kill_owners = {InProcessTransport::OwnerIndex(4, 1, 0),
+                        InProcessTransport::OwnerIndex(4, 1, 1)};
+    plan.kill_after_messages = 4;
+    FaultInjectingTransport transport(&inner, plan);
+    DistOptions options;
+    options.replication_factor = 2;
+    Coordinator coordinator(&transport, options);
+    ASSERT_TRUE(coordinator.Connect().ok());
+    const TopKResult result =
+        (tput ? coordinator.ExecuteTput(query) : coordinator.ExecuteBpa(query))
+            .ValueOrDie();
+
+    EXPECT_TRUE(result.failed_over);
+    EXPECT_EQ(result.completion, Completion::kListFailure);
+    EXPECT_GE(result.dead_lists, 1u);
+    EXPECT_GE(result.theta, 1.0);
+    const DistStats& stats = coordinator.stats();
+    EXPECT_GE(stats.owner_deaths, 2u);
+    EXPECT_GE(stats.groups_lost, 1u);
+  }
+}
+
+TEST(DistReplicaTest, ChaosSoakExactOrCertifiedUnderDeadline) {
+  // Seeded chaos across drops, delays, flapping deaths and both replication
+  // levels: every query must return inside the governor deadline with a
+  // certified answer, and any run that claims exactness must BE exact.
+  const Database db = MakeUniformDatabase(600, 4, 29);
+  SumScorer sum;
+  const TopKQuery query{10, &sum};
+  AlgorithmOptions memoized;
+  memoized.memoize_seen_items = true;
+  const TopKResult reference =
+      MakeAlgorithm(AlgorithmKind::kBpa, memoized)->Execute(db, query)
+          .ValueOrDie();
+
+  for (const size_t replicas : {size_t{1}, size_t{2}}) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      SCOPED_TRACE(::testing::Message()
+                   << "replicas " << replicas << " seed " << seed);
+      InProcessTransport inner =
+          InProcessTransport::PerListOwners(db, replicas);
+      TransportFaultPlan plan;
+      plan.seed = seed;
+      plan.drop_rate = 0.05;
+      plan.delay_rate = 0.3;
+      plan.delay_ms = 2.0;
+      plan.owner_death_rate = 0.15;
+      plan.death_min_messages = 2;
+      plan.death_max_messages = 40;
+      plan.flap_revive_calls = 2;
+      FaultInjectingTransport transport(&inner, plan);
+      DistOptions options;
+      options.replication_factor = static_cast<uint32_t>(replicas);
+      options.governor.deadline_ms = 250.0;
+      Coordinator coordinator(&transport, options);
+      ASSERT_TRUE(coordinator.Connect().ok());
+      const Result<TopKResult> run = coordinator.ExecuteBpa(query);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      const TopKResult& result = run.ValueOrDie();
+
+      EXPECT_GE(result.theta, 1.0);
+      EXPECT_LT(coordinator.stats().virtual_ms, 2.0 * 250.0);
+      if (result.completion == Completion::kExact) {
+        ExpectExactParity(result, reference);
+      } else {
+        EXPECT_GE(result.theta, 1.0);
+        EXPECT_TRUE(std::isfinite(result.unreturned_upper_bound) ||
+                    result.items.empty());
+      }
+    }
+  }
+}
+
+TEST(DistReplicaTest, ConnectRejectsMismatchedReplicaCounts) {
+  const Database db = MakeUniformDatabase(100, 3, 7);
+  // One owner per list, but the options promise two replicas each.
+  InProcessTransport flat = InProcessTransport::PerListOwners(db);
+  DistOptions two;
+  two.replication_factor = 2;
+  Coordinator under(&flat, two);
+  EXPECT_TRUE(under.Connect().IsInvalid());
+  // Two owners per list, but the options promise one.
+  InProcessTransport wide = InProcessTransport::PerListOwners(db, 2);
+  Coordinator over(&wide, DistOptions{});
+  EXPECT_TRUE(over.Connect().IsInvalid());
+}
+
+TEST(DistReplicaTest, ConnectRejectsDivergentReplicaCatalogs) {
+  // Replicas must mirror the same list: a sibling serving a different
+  // database is a misconfiguration, not a failover target.
+  const Database db = MakeUniformDatabase(100, 2, 7);
+  const Database impostor = MakeUniformDatabase(100, 2, 8);
+  InProcessTransport transport;
+  transport.AddOwner(ListOwner(&db, {0}));
+  transport.AddOwner(ListOwner(&db, {1}));
+  transport.AddOwner(ListOwner(&impostor, {0}));
+  transport.AddOwner(ListOwner(&impostor, {1}));
+  DistOptions options;
+  options.replication_factor = 2;
+  Coordinator coordinator(&transport, options);
+  EXPECT_TRUE(coordinator.Connect().IsInvalid());
+}
+
+// ---- Fault transport: replica-aware plans ----
+
+// Pins the death-window contract documented in fault_injecting_transport.h:
+// every owner's death point counts ITS OWN served messages, so interleaved
+// traffic to a sibling never drags another owner's window forward.
+TEST(DistFaultTransportTest, DeathWindowsCountPerOwnerMessages) {
+  const Database db = MakeUniformDatabase(50, 2, 3);
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.kill_owners = {0, 1};
+  plan.kill_after_messages = 2;
+  FaultInjectingTransport transport(&inner, plan);
+  Request request;
+  request.type = MessageType::kHello;
+  Reply reply;
+  CallResult call;
+
+  EXPECT_TRUE(transport.Call(0, request, &reply, &call).ok());  // 0: 1 of 2
+  EXPECT_TRUE(transport.Call(1, request, &reply, &call).ok());  // 1: 1 of 2
+  EXPECT_TRUE(transport.Call(0, request, &reply, &call).ok());  // 0: 2 of 2
+  // Owner 0 has served its window; owner 1 has one message left even though
+  // the transport as a whole carried three.
+  EXPECT_TRUE(transport.Call(0, request, &reply, &call).IsUnavailable());
+  EXPECT_FALSE(transport.OwnerAlive(0));
+  EXPECT_TRUE(transport.Call(1, request, &reply, &call).ok());  // 1: 2 of 2
+  EXPECT_TRUE(transport.Call(1, request, &reply, &call).IsUnavailable());
+  EXPECT_FALSE(transport.OwnerAlive(1));
+  EXPECT_EQ(transport.fault_stats().dead_owners, 2u);
+}
+
+TEST(DistFaultTransportTest, FlappingRevivesAfterExactRejectionWindow) {
+  const Database db = MakeUniformDatabase(50, 1, 3);
+  InProcessTransport inner = InProcessTransport::PerListOwners(db);
+  TransportFaultPlan plan;
+  plan.kill_owner = 0;
+  plan.kill_after_messages = 2;
+  plan.flap_revive_calls = 3;
+  FaultInjectingTransport transport(&inner, plan);
+  Request request;
+  request.type = MessageType::kHello;
+  Reply reply;
+  CallResult call;
+
+  // Serves its window, rejects exactly flap_revive_calls calls (the last
+  // rejection is the one that revives it), then serves again.
+  EXPECT_TRUE(transport.Call(0, request, &reply, &call).ok());
+  EXPECT_TRUE(transport.Call(0, request, &reply, &call).ok());
+  for (int down = 0; down < 3; ++down) {
+    EXPECT_TRUE(transport.Call(0, request, &reply, &call).IsUnavailable());
+  }
+  EXPECT_TRUE(transport.OwnerAlive(0));
+  EXPECT_TRUE(transport.Call(0, request, &reply, &call).ok());
+  EXPECT_EQ(transport.fault_stats().owner_revivals, 1u);
+  EXPECT_EQ(transport.fault_stats().dead_owners, 1u);
+
+  // The redrawn death point is capped by the targeted kill, so the owner
+  // dies again within two served messages and flaps through the same
+  // exact-width down window.
+  int served_after_revival = 1;
+  while (transport.Call(0, request, &reply, &call).ok()) {
+    ++served_after_revival;
+  }
+  EXPECT_LE(served_after_revival, 2);
+  EXPECT_EQ(transport.fault_stats().dead_owners, 2u);
+  for (int down = 0; down < 2; ++down) {
+    EXPECT_TRUE(transport.Call(0, request, &reply, &call).IsUnavailable());
+  }
+  EXPECT_TRUE(transport.OwnerAlive(0));
+  EXPECT_EQ(transport.fault_stats().owner_revivals, 2u);
+}
+
 // ---- DistOptions validation ----
 
 TEST(DistOptionsTest, ValidateRejectsBadKnobs) {
@@ -616,6 +1014,21 @@ TEST(DistOptionsTest, ValidateRejectsBadKnobs) {
   EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
   options = DistOptions{};
   options.hedge_multiplier = 0.5;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.replication_factor = 0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.breaker_failures = 0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.breaker_open_ms = -1.0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.ewma_alpha = 0.0;
+  EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
+  options = DistOptions{};
+  options.ewma_alpha = 1.5;
   EXPECT_TRUE(options.Validate("DistBPA", 3).IsInvalid());
   options = DistOptions{};
   EXPECT_TRUE(options.Validate("DistBPA", 3).ok());

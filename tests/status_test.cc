@@ -286,6 +286,38 @@ TEST(RejectionMessageTest, DistHedgeMultiplierBelowOne) {
                            "hedge_multiplier = 0.5"}));
 }
 
+TEST(RejectionMessageTest, DistReplicationFactorZero) {
+  DistOptions options;
+  options.replication_factor = 0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistBPA", 3),
+                          {"DistBPA", "replication_factor must be >= 1",
+                           "replication_factor = 0"}));
+}
+
+TEST(RejectionMessageTest, DistBreakerFailuresZero) {
+  DistOptions options;
+  options.breaker_failures = 0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistTPUT", 3),
+                          {"DistTPUT", "breaker_failures must be >= 1",
+                           "breaker_failures = 0"}));
+}
+
+TEST(RejectionMessageTest, DistBreakerOpenMsNegative) {
+  DistOptions options;
+  options.breaker_open_ms = -2.0;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistBPA", 3),
+                          {"DistBPA", "breaker_open_ms must be finite and >= 0",
+                           "breaker_open_ms = -2"}));
+}
+
+TEST(RejectionMessageTest, DistEwmaAlphaOutOfRange) {
+  DistOptions options;
+  options.ewma_alpha = 1.5;
+  EXPECT_TRUE(MentionsAll(options.Validate("DistTPUT", 3),
+                          {"DistTPUT", "ewma_alpha must be in (0, 1]",
+                           "ewma_alpha = 1.5"}));
+}
+
 TEST(RejectionMessageTest, TransportDropRateOutOfRange) {
   TransportFaultPlan plan;
   plan.drop_rate = 1.5;
@@ -317,6 +349,22 @@ TEST(RejectionMessageTest, TransportDeathWindowInverted) {
   plan.death_max_messages = 2;
   EXPECT_TRUE(MentionsAll(plan.Validate("DistTPUT", 3),
                           {"DistTPUT", "death window", "[8, 2]"}));
+}
+
+TEST(RejectionMessageTest, TransportKillOwnersEntryBeyondLastIndex) {
+  TransportFaultPlan plan;
+  plan.kill_owners = {1, 4};
+  EXPECT_TRUE(MentionsAll(plan.Validate("DistBPA", 3),
+                          {"DistBPA", "kill_owners entry 4",
+                           "last owner index 2"}));
+}
+
+TEST(RejectionMessageTest, TransportFlapWithoutDeathSource) {
+  TransportFaultPlan plan;
+  plan.flap_revive_calls = 2;
+  EXPECT_TRUE(MentionsAll(plan.Validate("DistTPUT", 3),
+                          {"DistTPUT", "flap_revive_calls = 2",
+                           "needs a death source"}));
 }
 
 TEST(RejectionMessageTest, FaultPlanConflictsWithAudit) {

@@ -48,6 +48,14 @@
 // (Only min-scorer TPUT lines differ: both engines reject non-summation
 // scoring with the same words, each naming itself in the message.)
 //
+// --replicas=<R> (default 1) serves every list from R in-process owner
+// replicas with Coordinator replication to match. Fault-free replicated runs
+// never leave replica 0, so the dump is byte-identical to --replicas=1 —
+// diffing certifies the replication layer is invisible when healthy:
+//
+//   diff <(./build/parity_dump --algos=dbpa,dtput) \
+//        <(./build/parity_dump --algos=dbpa,dtput --replicas=2)
+//
 // --governor=off|<spec> arms the query governor for every dumped execution.
 // `off` (the default) keeps the historical byte-identical output. A <spec>
 // is comma-separated key=value pairs over deadline-ms, sorted, random,
@@ -106,6 +114,11 @@ std::vector<const DumpAlgo*> g_algos = {&kDumpAlgos[0], &kDumpAlgos[1],
 // Governor limits applied to every dumped execution; default-constructed
 // (everything unlimited) reproduces the historical output byte-for-byte.
 GovernorLimits g_governor;
+
+// Owner replicas per list for the distributed engines (--replicas). 1 is
+// the unreplicated PR 8 topology; fault-free dumps are byte-identical at
+// any value.
+size_t g_replicas = 1;
 
 // Parses a --governor value: "off" or comma-separated key=value pairs
 // (deadline-ms, sorted, random, total, pool-bytes).
@@ -201,9 +214,11 @@ Database Quantize(const Database& db, double levels) {
 // lookups are separate messages).
 Result<TopKResult> RunDist(AlgorithmKind kind, const Database& db, size_t k,
                            const Scorer& scorer) {
-  InProcessTransport transport = InProcessTransport::PerListOwners(db);
+  InProcessTransport transport =
+      InProcessTransport::PerListOwners(db, g_replicas);
   DistOptions options;
   options.governor = g_governor;
+  options.replication_factor = static_cast<uint32_t>(g_replicas);
   Coordinator coordinator(&transport, options);
   TOPK_RETURN_NOT_OK(coordinator.Connect());
   const TopKQuery query{k, &scorer};
@@ -385,6 +400,12 @@ int main(int argc, char** argv) {
       ok &= topk::ParseGovernor(v);
       continue;
     }
+    if (const char* v = value_of(arg, "--replicas", &i)) {
+      // Replicates the distributed engines' owners; a replicated full-grid
+      // dump is legal (and byte-identical — that is the point).
+      ok &= topk::ParseFlagSize(v, &topk::g_replicas) && topk::g_replicas >= 1;
+      continue;
+    }
     if (const char* v = value_of(arg, "--n", &i)) {
       ok &= topk::ParseFlagSize(v, &config.n);
     } else if (const char* v = value_of(arg, "--m", &i)) {
@@ -409,7 +430,7 @@ int main(int argc, char** argv) {
                  " [--k=<answers>] [--seed=<rng>]"
                  " [--dist={uniform,gaussian,correlated,zipf}]"
                  " [--algos=<csv of nra,ca,tput,bpa,dbpa,dtput>]"
-                 " [--governor=off|<key=value,...>]\n"
+                 " [--governor=off|<key=value,...>] [--replicas=<R>]\n"
                  "governor keys: deadline-ms sorted random total pool-bytes\n"
                  "with no workload flags, dumps the built-in grid\n");
     return 1;

@@ -36,6 +36,9 @@
 #include "common/timer.h"
 #include "core/algorithms.h"
 #include "core/topk_server.h"
+#include "dist/coordinator.h"
+#include "dist/fault_injecting_transport.h"
+#include "dist/in_process_transport.h"
 #include "gen/database_generator.h"
 #include "lists/database_io.h"
 #include "lists/scorer.h"
@@ -53,6 +56,7 @@ int Usage() {
       "               [--weights w1,w2,...] [--tracker KIND] [--verbose]\n"
       "               [--deadline-ms MS] [--access-budget N]\n"
       "               [--fault-seed S] [--kill-list L] [--kill-after N]\n"
+      "               [--replicas R [--kill-replica L:R]]\n"
       "  topk compare --db FILE --k K [--scorer SCORER] [--weights ...]\n"
       "  topk serve   --db FILE [--threads N] [--requests R] [--k K]\n"
       "               [--algo ALGO] [--deadline-ms MS] [--queue CAP]\n"
@@ -69,7 +73,13 @@ int Usage() {
       "--kill-list L kills list L permanently after it serves --kill-after N\n"
       "accesses (default 1); the query fails over to NRA over the survivors\n"
       "and certifies the degraded answer. --fault-seed fixes the injection\n"
-      "schedule so a degraded run replays exactly.\n";
+      "schedule so a degraded run replays exactly.\n"
+      "\n"
+      "--replicas R runs the query DISTRIBUTED: every list is served by R\n"
+      "in-process owner replicas behind a coordinator (--algo bpa or tput).\n"
+      "--kill-replica L:R kills replica R of list L after --kill-after N\n"
+      "messages; with replication a sibling replica resumes the cursor\n"
+      "exactly, without it the query degrades to a certified answer.\n";
   return 2;
 }
 
@@ -212,12 +222,122 @@ Status RunGen(const std::map<std::string, std::string>& flags) {
   return Status::OK();
 }
 
+// The distributed query path (--replicas): the same database served by R
+// in-process owner replicas per list behind a Coordinator, optionally with a
+// deterministic replica kill injected (--kill-replica L:R). The CLI twin of
+// the dist_test replica suite — kill one replica of a group and watch the
+// failover ladder keep the answer exact, or kill the only replica and watch
+// the θ-certified degrade.
+Status RunDistQuery(const std::map<std::string, std::string>& flags,
+                    const Database& db, const Scorer& scorer, size_t k) {
+  const size_t replicas = std::stoul(flags.at("replicas"));
+  if (replicas < 1) {
+    return Status::Invalid("--replicas must be >= 1; got ", replicas);
+  }
+  const std::string algo = FlagOr(flags, "algo", "bpa");
+  if (algo != "bpa" && algo != "tput") {
+    return Status::Invalid(
+        "--replicas runs the distributed engines, so --algo must be bpa or "
+        "tput; got '",
+        algo, "'");
+  }
+  InProcessTransport inner = InProcessTransport::PerListOwners(db, replicas);
+  TransportFaultPlan plan;
+  plan.seed = std::stoull(FlagOr(flags, "fault-seed", "1"));
+  const std::string kill = FlagOr(flags, "kill-replica", "");
+  if (!kill.empty()) {
+    const size_t colon = kill.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == kill.size()) {
+      return Status::Invalid("--kill-replica wants <list>:<replica>; got '",
+                             kill, "'");
+    }
+    const size_t list = std::stoul(kill.substr(0, colon));
+    const size_t replica = std::stoul(kill.substr(colon + 1));
+    if (list >= db.num_lists()) {
+      return Status::Invalid("--kill-replica list ", list,
+                             " exceeds the last list index ",
+                             db.num_lists() - 1);
+    }
+    if (replica >= replicas) {
+      return Status::Invalid("--kill-replica replica ", replica,
+                             " exceeds the last replica index ", replicas - 1,
+                             " (--replicas = ", replicas, ")");
+    }
+    plan.kill_owner =
+        InProcessTransport::OwnerIndex(db.num_lists(), list, replica);
+    plan.kill_after_messages = std::stoull(FlagOr(flags, "kill-after", "1"));
+  }
+  FaultInjectingTransport faulty(&inner, plan);
+  Transport* transport = plan.enabled() ? static_cast<Transport*>(&faulty)
+                                        : static_cast<Transport*>(&inner);
+  DistOptions options;
+  options.replication_factor = static_cast<uint32_t>(replicas);
+  options.governor.deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  options.governor.total_access_budget =
+      std::stoull(FlagOr(flags, "access-budget", "0"));
+  Coordinator coordinator(transport, options);
+  TOPK_RETURN_NOT_OK(coordinator.Connect());
+  const TopKQuery query{k, &scorer};
+  TOPK_ASSIGN_OR_RETURN(TopKResult result,
+                        algo == "bpa" ? coordinator.ExecuteBpa(query)
+                                      : coordinator.ExecuteTput(query));
+  const DistStats& stats = coordinator.stats();
+
+  TablePrinter table("top-" + std::to_string(k) + " by " + scorer.name() +
+                     " (distributed " + algo + ", " +
+                     std::to_string(replicas) + " replica(s)/list)");
+  table.AddRow("rank", "item", "score");
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    table.AddRow(i + 1, static_cast<uint64_t>(result.items[i].item),
+                 result.items[i].score);
+  }
+  table.Print(std::cout);
+  if (result.completion != Completion::kExact) {
+    std::cout << "anytime answer (" << ToString(result.completion) << "): "
+              << result.items.size() << " of " << k
+              << " items, scores are certified lower bounds, theta = "
+              << result.theta << " (unreturned <= "
+              << result.unreturned_upper_bound << ")\n";
+    if (result.failed_over) {
+      std::cout << "note: " << result.dead_lists
+                << " list(s) lost their whole replica group; the query "
+                   "degraded to NRA over the survivors\n";
+    }
+  }
+  std::cout << "wire: " << stats.messages_sent << " msgs sent, "
+            << stats.replies_received << " replies, " << stats.bytes_sent
+            << "+" << stats.bytes_received << " bytes, " << stats.rounds
+            << " rounds\n"
+            << "robustness: " << stats.retries << " retries, " << stats.hedges
+            << " hedges (" << stats.hedge_wins << " won), " << stats.timeouts
+            << " timeouts, " << stats.replica_failovers
+            << " replica failovers, " << stats.breaker_opens
+            << " breaker opens, " << stats.probes_sent << " probes, "
+            << stats.owner_deaths << " owner death(s), " << stats.groups_lost
+            << " group(s) lost, " << stats.virtual_ms << " virtual ms\n";
+  if (flags.count("verbose")) {
+    std::cout << "\naccesses: " << result.stats.ToString()
+              << "\nstop position:  " << result.stop_position
+              << "\ncompletion:     " << ToString(result.completion)
+              << "\nelapsed:        " << result.elapsed_ms << " ms\n";
+  }
+  return Status::OK();
+}
+
 Status RunQuery(const std::map<std::string, std::string>& flags) {
   const std::string path = FlagOr(flags, "db", "");
   if (path.empty()) {
     return Status::Invalid("query requires --db FILE");
   }
   TOPK_ASSIGN_OR_RETURN(Database db, LoadDb(path));
+  if (flags.count("replicas")) {
+    TOPK_ASSIGN_OR_RETURN(std::unique_ptr<Scorer> dist_scorer,
+                          ParseScorer(FlagOr(flags, "scorer", "sum"),
+                                      FlagOr(flags, "weights", "")));
+    return RunDistQuery(flags, db, *dist_scorer,
+                        std::stoul(FlagOr(flags, "k", "10")));
+  }
   TOPK_ASSIGN_OR_RETURN(AlgorithmKind algo,
                         ParseAlgo(FlagOr(flags, "algo", "bpa2")));
   TOPK_ASSIGN_OR_RETURN(
